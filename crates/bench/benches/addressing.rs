@@ -1,0 +1,58 @@
+//! Microbenchmarks of the addressing primitives on the algorithms' hot
+//! paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cubeaddr::{bit_reverse, gray, gray_inverse, shuffle, DimPermutation, NodeId};
+use cubecomm::sbnt::sbnt_path_dims;
+
+fn bench_codes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("addressing");
+    group.bench_function("gray", |b| {
+        b.iter(|| (0..1024u64).map(gray).sum::<u64>())
+    });
+    group.bench_function("gray_inverse", |b| {
+        b.iter(|| (0..1024u64).map(gray_inverse).sum::<u64>())
+    });
+    group.bench_function("shuffle", |b| {
+        b.iter(|| (0..1024u64).map(|w| shuffle(w, 3, 10)).sum::<u64>())
+    });
+    group.bench_function("bit_reverse", |b| {
+        b.iter(|| (0..1024u64).map(|w| bit_reverse(w, 10)).sum::<u64>())
+    });
+    group.finish();
+}
+
+fn bench_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paths");
+    group.bench_function("sbnt_path_10cube", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for d in 1..1024u64 {
+                total += sbnt_path_dims(NodeId(0), NodeId(d), 10).len();
+            }
+            total
+        })
+    });
+    group.bench_function("mpt_paths_8cube", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for x in 0..256u64 {
+                let h = cubetranspose::two_dim::h_of(x, 4);
+                for p in 0..2 * h {
+                    total += cubetranspose::two_dim::mpt_path(x, 4, p).len();
+                }
+            }
+            total
+        })
+    });
+    group.bench_function("parallel_swap_factorization", |b| {
+        b.iter(|| {
+            let delta = DimPermutation::new(vec![7, 3, 0, 5, 2, 6, 1, 4]);
+            delta.parallel_swap_factors().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codes, bench_paths);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Application-level benches: the FFT kernels and the spectral Poisson
+//! solve (local compute plus simulated transpose overhead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cubeapps::cplx::Cplx;
+use cubeapps::fft::{fft_four_step, fft_in_place};
+use cubeapps::poisson::{grid_layout, solve_poisson};
+use cubeapps::tridiag::{cyclic_reduction, thomas, ConstTridiag};
+use cubelayout::DistMatrix;
+use cubesim::{MachineParams, PortMode};
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for bits in [10u32, 14] {
+        let n = 1usize << bits;
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(BenchmarkId::new("local", n), |b| {
+            let data: Vec<Cplx> =
+                (0..n).map(|i| Cplx::new((i as f64).sin(), 0.0)).collect();
+            b.iter(|| {
+                let mut d = data.clone();
+                fft_in_place(&mut d);
+                d
+            })
+        });
+    }
+    group.sample_size(20);
+    group.bench_function("four_step_4096_8nodes", |b| {
+        let x: Vec<Cplx> = (0..4096).map(|i| Cplx::new((i as f64 * 0.3).cos(), 0.0)).collect();
+        let params = MachineParams::intel_ipsc();
+        b.iter(|| fft_four_step(&x, 6, 6, 3, &params))
+    });
+    group.finish();
+}
+
+fn bench_tridiag(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tridiag");
+    let sys = ConstTridiag { a: -1.0, b: 2.5, c: -1.0 };
+    for n in [255usize, 4095] {
+        let d: Vec<f64> = (0..n).map(|i| (i as f64 * 0.9).sin()).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("thomas", n), &d, |b, d| {
+            b.iter(|| thomas(sys, d))
+        });
+        group.bench_with_input(BenchmarkId::new("cyclic_reduction", n), &d, |b, d| {
+            b.iter(|| cyclic_reduction(sys, d))
+        });
+    }
+    group.finish();
+}
+
+fn bench_poisson(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poisson");
+    group.sample_size(10);
+    let layout = grid_layout(5, 2);
+    let rhs = DistMatrix::from_fn(layout, |y, x| ((y * 3 + x) % 7) as f64 - 3.0);
+    let params = MachineParams::unit(PortMode::OnePort);
+    group.bench_function("facr_32x32_4nodes", |b| {
+        b.iter(|| solve_poisson(&rhs, 2, &params))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_tridiag, bench_poisson);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Host-measured local transpose kernels (the in-node work of the §6.2
+//! conversion algorithms and the copy costs behind Figure 9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cubetranspose::local::Dense;
+
+fn bench_local_transpose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_transpose");
+    for size in [64usize, 256, 1024] {
+        let m = Dense::from_fn(size, size, |r, c| (r * size + c) as u64);
+        group.throughput(Throughput::Elements((size * size) as u64));
+        group.bench_with_input(BenchmarkId::new("naive", size), &m, |b, m| {
+            b.iter(|| m.transpose_naive())
+        });
+        group.bench_with_input(BenchmarkId::new("blocked32", size), &m, |b, m| {
+            b.iter(|| m.transpose_blocked(32))
+        });
+        group.bench_with_input(BenchmarkId::new("cache_oblivious", size), &m, |b, m| {
+            b.iter(|| m.transpose_cache_oblivious(32))
+        });
+    }
+    group.finish();
+}
+
+fn bench_in_place(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_transpose_in_place");
+    for size in [256usize, 1024] {
+        group.throughput(Throughput::Elements((size * size) as u64));
+        group.bench_function(BenchmarkId::from_parameter(size), |b| {
+            let mut m = Dense::from_fn(size, size, |r, c| (r * size + c) as u64);
+            b.iter(|| m.transpose_in_place());
+        });
+    }
+    group.finish();
+}
+
+fn bench_copy(c: &mut Criterion) {
+    // Figure 9's subject: raw copy speed per element width.
+    let mut group = c.benchmark_group("copy");
+    let bytes = 1 << 16;
+    let src8: Vec<u8> = vec![1; bytes];
+    let src64: Vec<u64> = vec![1; bytes / 8];
+    group.throughput(Throughput::Bytes(bytes as u64));
+    group.bench_function("u8", |b| b.iter(|| src8.clone()));
+    group.bench_function("u64", |b| b.iter(|| src64.clone()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_transpose, bench_in_place, bench_copy);
+criterion_main!(benches);

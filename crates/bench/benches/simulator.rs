@@ -1,0 +1,69 @@
+//! Simulation throughput: wall-clock cost of running the cost-model
+//! simulator for each transpose algorithm (one iteration = one full
+//! simulated transpose including legality checking).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cubecomm::BufferPolicy;
+use cubelayout::{Assignment, Direction, Encoding, Layout};
+use cubesim::{MachineParams, PortMode, SimNet};
+use cubetranspose::two_dim::Packet;
+use cubetranspose::{verify, SendPolicy};
+
+fn bench_sim_one_dim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_1d");
+    group.sample_size(20);
+    let n = 4u32;
+    let before =
+        Layout::one_dim(6, 6, Direction::Rows, n, Assignment::Consecutive, Encoding::Binary);
+    let after =
+        Layout::one_dim(6, 6, Direction::Rows, n, Assignment::Consecutive, Encoding::Binary);
+    let m = verify::labels(before);
+
+    group.bench_function("exchange_blocks", |b| {
+        b.iter(|| {
+            let mut net = SimNet::new(n, MachineParams::intel_ipsc());
+            cubetranspose::transpose_1d_exchange(&m, &after, &mut net, BufferPolicy::Ideal)
+        })
+    });
+    group.bench_function("exchange_stepwise", |b| {
+        b.iter(|| {
+            let mut net: SimNet<Vec<u64>> = SimNet::new(n, MachineParams::intel_ipsc());
+            cubetranspose::transpose_stepwise(&m, &after, &mut net, SendPolicy::Ideal)
+        })
+    });
+    group.bench_function("sbnt", |b| {
+        b.iter(|| {
+            let mut net =
+                SimNet::new(n, MachineParams::intel_ipsc().with_ports(PortMode::AllPorts));
+            cubetranspose::transpose_1d_sbnt(&m, &after, &mut net)
+        })
+    });
+    group.finish();
+}
+
+fn bench_sim_two_dim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_2d");
+    group.sample_size(20);
+    let before = Layout::square(6, 6, 2, Assignment::Consecutive, Encoding::Binary);
+    let after = before.swapped_shape();
+    let m = verify::labels(before.clone());
+    let params = MachineParams::intel_ipsc().with_ports(PortMode::AllPorts);
+    for b_size in [16usize, 64] {
+        group.bench_with_input(BenchmarkId::new("spt", b_size), &b_size, |b, &bs| {
+            b.iter(|| {
+                let mut net: SimNet<Packet<u64>> = SimNet::new(4, params.clone());
+                cubetranspose::transpose_spt(&m, &after, &mut net, bs)
+            })
+        });
+    }
+    group.bench_function("mpt_k2", |b| {
+        b.iter(|| {
+            let mut net: SimNet<Packet<u64>> = SimNet::new(4, params.clone());
+            cubetranspose::transpose_mpt(&m, &after, &mut net, 2)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_one_dim, bench_sim_two_dim);
+criterion_main!(benches);

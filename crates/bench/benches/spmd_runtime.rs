@@ -1,0 +1,43 @@
+//! Real multithreaded transposes on the SPMD runtime: wall-clock cost of
+//! the exchange and SPT node programs across cube sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cubelayout::{Assignment, Direction, DistMatrix, Encoding, Layout};
+use cubetranspose::spmd::{spmd_transpose_exchange, spmd_transpose_spt};
+
+fn bench_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmd_exchange_transpose");
+    group.sample_size(20);
+    for n in [2u32, 4, 6] {
+        let p = 5u32.max(n);
+        let before =
+            Layout::one_dim(p, p, Direction::Rows, n, Assignment::Consecutive, Encoding::Binary);
+        let after =
+            Layout::one_dim(p, p, Direction::Rows, n, Assignment::Consecutive, Encoding::Binary);
+        let m = DistMatrix::from_fn(before.clone(), |u, v| (u * 64 + v) as f64);
+        group.throughput(Throughput::Elements(1 << (2 * p)));
+        group.bench_with_input(BenchmarkId::new("threads", 1 << n), &m, |b, m| {
+            b.iter(|| spmd_transpose_exchange(m, &after))
+        });
+    }
+    group.finish();
+}
+
+fn bench_spt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmd_spt_transpose");
+    group.sample_size(20);
+    for half in [1u32, 2, 3] {
+        let p = 5u32;
+        let before = Layout::square(p, p, half, Assignment::Consecutive, Encoding::Binary);
+        let after = before.swapped_shape();
+        let m = DistMatrix::from_fn(before.clone(), |u, v| (u * 32 + v) as f64);
+        group.throughput(Throughput::Elements(1 << (2 * p)));
+        group.bench_with_input(BenchmarkId::new("threads", 1 << (2 * half)), &m, |b, m| {
+            b.iter(|| spmd_transpose_spt(m, &after))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exchange, bench_spt);
+criterion_main!(benches);

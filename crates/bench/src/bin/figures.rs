@@ -1,0 +1,93 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p cubebench --bin figures            # everything
+//! cargo run --release -p cubebench --bin figures fig10 tab3 # a subset
+//! cargo run --release -p cubebench --bin figures --csv out/ # also CSV files
+//! ```
+
+use cubebench::experiments as exp;
+use cubebench::SeriesSet;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut csv_dir: Option<String> = None;
+    let mut plot = false;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--csv" {
+            csv_dir = Some(it.next().unwrap_or_else(|| {
+                eprintln!("--csv needs a directory");
+                std::process::exit(2);
+            }));
+        } else if a == "--plot" {
+            plot = true;
+        } else {
+            wanted.push(a);
+        }
+    }
+
+    type Gen = fn() -> SeriesSet;
+    let numeric: &[(&str, Gen)] = &[
+        ("fig9", exp::fig9),
+        ("fig10", exp::fig10),
+        ("fig11", exp::fig11),
+        ("fig12", exp::fig12),
+        ("fig13", exp::fig13),
+        ("fig14a", exp::fig14a),
+        ("fig14b", exp::fig14b),
+        ("fig15", exp::fig15),
+        ("fig16", exp::fig16),
+        ("fig17", exp::fig17),
+        ("fig18", exp::fig18),
+        ("fig19", exp::fig19),
+        ("tab3", exp::tab3),
+        ("thm2", exp::thm2),
+        ("breakeven", exp::breakeven),
+        ("ablation_bopt", exp::ablation_bopt),
+        ("pipeline", exp::pipeline),
+        ("ablation_convert", exp::ablation_convert),
+    ];
+    type TextGen = fn() -> String;
+    let textual: &[(&str, TextGen)] = &[
+        ("tab1", exp::tables12 as TextGen),
+        ("fig1", exp::partition_grids as TextGen),
+        ("fig4", exp::fig4 as TextGen),
+        ("fig7", exp::fig7 as TextGen),
+        ("trace", exp::trace as TextGen),
+        ("recommend", exp::recommend as TextGen),
+    ];
+
+    let run_all = wanted.is_empty() || wanted.iter().any(|w| w == "all");
+    let selected = |name: &str| run_all || wanted.iter().any(|w| w == name);
+
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+    }
+
+    for (name, f) in textual {
+        if selected(name) {
+            println!("==== {name} ====");
+            println!("{}", f());
+        }
+    }
+    for (name, f) in numeric {
+        if selected(name) {
+            println!("==== {name} ====");
+            let set = f();
+            print!("{}", set.to_table());
+            if plot {
+                print!("\n{}", set.to_ascii_chart(64, 16));
+            }
+            println!();
+            if let Some(dir) = &csv_dir {
+                let path = format!("{dir}/{name}.csv");
+                let mut file = std::fs::File::create(&path).expect("create csv");
+                file.write_all(set.to_csv().as_bytes()).expect("write csv");
+                eprintln!("wrote {path}");
+            }
+        }
+    }
+}

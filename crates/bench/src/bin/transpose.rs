@@ -1,0 +1,103 @@
+//! Command-line transpose planner: describe a distributed matrix and a
+//! machine, get the algorithm choice, the simulated cost, and a
+//! correctness check.
+//!
+//! ```text
+//! cargo run --release -p cubebench --bin transpose -- \
+//!     --p 6 --q 6 --before 2d:consecutive:binary:half=2 \
+//!     --machine ipsc --ports all
+//! ```
+//!
+//! `--after` defaults to the same scheme on the transposed shape. Layout
+//! spec grammar: see `cubelayout::parse`.
+
+use cubelayout::parse::parse_layout;
+use cubesim::{MachineParams, PortMode};
+use cubetranspose::{driver, verify};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: transpose --p <bits> --q <bits> --before <spec> [--after <spec>]\n\
+         \x20                 [--machine ipsc|cm|unit] [--ports one|all]\n\
+         specs: 1d:rows|cols:cyclic|consecutive:binary|gray:n=<k>\n\
+         \x20      2d:<scheme>:<enc>:half=<k>\n\
+         \x20      2d:<rs>:<re>:<cs>:<ce>:nr=<k>:nc=<k>\n\
+         \x20      banded:nc=<k>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut p = None;
+    let mut q = None;
+    let mut before_spec = None;
+    let mut after_spec: Option<String> = None;
+    let mut machine = "ipsc".to_string();
+    let mut ports = "one".to_string();
+    while let Some(a) = args.next() {
+        let mut val = |name: &str| args.next().unwrap_or_else(|| {
+            eprintln!("{name} needs a value");
+            usage()
+        });
+        match a.as_str() {
+            "--p" => p = val("--p").parse().ok(),
+            "--q" => q = val("--q").parse().ok(),
+            "--before" => before_spec = Some(val("--before")),
+            "--after" => after_spec = Some(val("--after")),
+            "--machine" => machine = val("--machine"),
+            "--ports" => ports = val("--ports"),
+            _ => usage(),
+        }
+    }
+    let (Some(p), Some(q), Some(before_spec)) = (p, q, before_spec) else {
+        usage()
+    };
+
+    let before = parse_layout(&before_spec, p, q).unwrap_or_else(|e| {
+        eprintln!("--before: {e}");
+        std::process::exit(2);
+    });
+    let after = match after_spec {
+        Some(s) => parse_layout(&s, q, p).unwrap_or_else(|e| {
+            eprintln!("--after: {e}");
+            std::process::exit(2);
+        }),
+        None => before.swapped_shape(),
+    };
+
+    let mut params = match machine.as_str() {
+        "ipsc" => MachineParams::intel_ipsc(),
+        "cm" => MachineParams::connection_machine(),
+        "unit" => MachineParams::unit(PortMode::OnePort),
+        other => {
+            eprintln!("unknown machine '{other}'");
+            usage()
+        }
+    };
+    params.ports = match ports.as_str() {
+        "one" => PortMode::OnePort,
+        "all" => PortMode::AllPorts,
+        other => {
+            eprintln!("unknown port mode '{other}'");
+            usage()
+        }
+    };
+
+    println!(
+        "problem: {}×{} matrix, {} nodes ({} elements/node) on {}\n",
+        1u64 << p,
+        1u64 << q,
+        before.num_nodes(),
+        before.elems_per_node(),
+        params.name,
+    );
+
+    let matrix = verify::labels(before.clone());
+    let (out, choice, report) = driver::execute(&matrix, &after, &params);
+    verify::assert_transposed(&before, &out);
+
+    println!("plan     : {choice:?}");
+    println!("simulated: {}", report.summary());
+    println!("verified : every element of A^T in place.");
+}

@@ -1,0 +1,229 @@
+//! Tiny data-series container with CSV and aligned-text output, used by
+//! the figure harness.
+
+/// A named series of `(x, y)` points.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// The points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series { name: name.into(), points: Vec::new() }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+}
+
+/// A set of series sharing an x-axis; renders as CSV (one x column, one
+/// column per series) or as an aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct SeriesSet {
+    /// Title printed above text output.
+    pub title: String,
+    /// Label of the shared x axis.
+    pub x_label: String,
+    /// Label of the y axis.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl SeriesSet {
+    /// Creates an empty set.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        SeriesSet {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Appends a series.
+    pub fn push(&mut self, s: Series) {
+        self.series.push(s);
+    }
+
+    /// The union of all x values, sorted and deduplicated.
+    fn xs(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = self.series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+        xs.sort_by(f64::total_cmp);
+        xs.dedup();
+        xs
+    }
+
+    fn lookup(s: &Series, x: f64) -> Option<f64> {
+        s.points.iter().find(|p| p.0 == x).map(|p| p.1)
+    }
+
+    /// Renders as CSV with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.x_label);
+        for s in &self.series {
+            out.push(',');
+            out.push_str(&s.name);
+        }
+        out.push('\n');
+        for x in self.xs() {
+            out.push_str(&format!("{x}"));
+            for s in &self.series {
+                out.push(',');
+                if let Some(y) = Self::lookup(s, x) {
+                    out.push_str(&format!("{y}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as an aligned, human-readable table.
+    pub fn to_table(&self) -> String {
+        let mut out = format!("# {} (y: {})\n", self.title, self.y_label);
+        let mut widths = vec![self.x_label.len().max(12)];
+        for s in &self.series {
+            widths.push(s.name.len().max(12));
+        }
+        out.push_str(&format!("{:>w$}", self.x_label, w = widths[0]));
+        for (s, w) in self.series.iter().zip(&widths[1..]) {
+            out.push_str(&format!("  {:>w$}", s.name, w = w));
+        }
+        out.push('\n');
+        for x in self.xs() {
+            out.push_str(&format!("{:>w$.4}", x, w = widths[0]));
+            for (s, w) in self.series.iter().zip(&widths[1..]) {
+                match Self::lookup(s, x) {
+                    Some(y) => out.push_str(&format!("  {:>w$.6}", y, w = w)),
+                    None => out.push_str(&format!("  {:>w$}", "-", w = w)),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl SeriesSet {
+    /// Renders a simple ASCII chart: one symbol per series, x mapped
+    /// log-scale when it spans more than a decade, y linear. Terminal-
+    /// friendly companion to the CSV output.
+    pub fn to_ascii_chart(&self, width: usize, height: usize) -> String {
+        const SYMBOLS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+        let pts: Vec<(f64, f64)> =
+            self.series.iter().flat_map(|s| s.points.iter().copied()).collect();
+        if pts.is_empty() || width < 8 || height < 4 {
+            return String::from("(no data)\n");
+        }
+        let (x_min, x_max) = pts.iter().fold((f64::MAX, f64::MIN), |(lo, hi), p| {
+            (lo.min(p.0), hi.max(p.0))
+        });
+        let (y_min, y_max) = pts.iter().fold((f64::MAX, f64::MIN), |(lo, hi), p| {
+            (lo.min(p.1), hi.max(p.1))
+        });
+        let log_x = x_min > 0.0 && x_max / x_min.max(f64::MIN_POSITIVE) > 10.0;
+        let fx = |x: f64| if log_x { x.ln() } else { x };
+        let (xa, xb) = (fx(x_min), fx(x_max));
+        let col = |x: f64| {
+            if xb > xa {
+                (((fx(x) - xa) / (xb - xa)) * (width - 1) as f64).round() as usize
+            } else {
+                0
+            }
+        };
+        let row = |y: f64| {
+            if y_max > y_min {
+                (height - 1) - (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize
+            } else {
+                height / 2
+            }
+        };
+        let mut grid = vec![vec![' '; width]; height];
+        for (i, s) in self.series.iter().enumerate() {
+            let sym = SYMBOLS[i % SYMBOLS.len()];
+            for &(x, y) in &s.points {
+                grid[row(y)][col(x)] = sym;
+            }
+        }
+        let mut out = format!("{} (y: {:.3e}..{:.3e})\n", self.title, y_min, y_max);
+        for line in grid {
+            out.push('|');
+            out.extend(line);
+            out.push('\n');
+        }
+        out.push('+');
+        out.extend(std::iter::repeat_n('-', width));
+        out.push('\n');
+        out.push_str(&format!(
+            "x: {:.3e}..{:.3e}{}  legend:",
+            x_min,
+            x_max,
+            if log_x { " (log)" } else { "" }
+        ));
+        for (i, s) in self.series.iter().enumerate() {
+            out.push_str(&format!(" {}={}", SYMBOLS[i % SYMBOLS.len()], s.name));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SeriesSet {
+        let mut set = SeriesSet::new("t", "x", "y");
+        let mut a = Series::new("a");
+        a.push(1.0, 10.0);
+        a.push(2.0, 20.0);
+        let mut b = Series::new("b");
+        b.push(2.0, 200.0);
+        set.push(a);
+        set.push(b);
+        set
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,a,b");
+        assert_eq!(lines[1], "1,10,");
+        assert_eq!(lines[2], "2,20,200");
+    }
+
+    #[test]
+    fn table_contains_values() {
+        let t = sample().to_table();
+        assert!(t.contains("200"));
+        assert!(t.contains('-'));
+    }
+
+    #[test]
+    fn chart_renders_symbols_and_legend() {
+        let chart = sample().to_ascii_chart(40, 10);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("legend: *=a o=b"));
+        assert_eq!(chart.lines().count(), 13);
+    }
+
+    #[test]
+    fn chart_handles_empty() {
+        let set = SeriesSet::new("t", "x", "y");
+        assert_eq!(set.to_ascii_chart(40, 10), "(no data)\n");
+    }
+}

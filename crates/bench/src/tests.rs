@@ -1,0 +1,60 @@
+//! Smoke tests over the experiment harness: cheap instances of each
+//! generator, with shape assertions where the paper states one.
+
+use crate::experiments as exp;
+
+#[test]
+fn textual_artifacts_nonempty() {
+    for (name, s) in [
+        ("tables12", exp::tables12()),
+        ("grids", exp::partition_grids()),
+        ("fig4", exp::fig4()),
+        ("fig7", exp::fig7()),
+    ] {
+        assert!(s.lines().count() > 3, "{name} too short");
+    }
+}
+
+#[test]
+fn fig4_paths_verbatim() {
+    let s = exp::fig4();
+    assert!(s.contains("[5, 2, 4, 1, 3, 0]"));
+    assert!(s.contains("[2, 5, 1, 4, 0, 3]"));
+}
+
+#[test]
+fn fig7_final_grid_is_transposed() {
+    let s = exp::fig7();
+    // Final grid row 0 lists the blocks (u, 0) in Gray order of u.
+    let last: Vec<&str> = s.lines().rev().filter(|l| !l.trim().is_empty()).take(4).collect();
+    assert_eq!(last[3].trim(), "00 10 30 20");
+    assert_eq!(last[0].trim(), "03 13 33 23");
+}
+
+#[test]
+fn fig9_linear_in_bytes() {
+    let set = exp::fig9();
+    for s in &set.series {
+        let (x0, y0) = s.points[0];
+        let (x1, y1) = *s.points.last().unwrap();
+        let ratio = (y1 / y0) / (x1 / x0);
+        assert!((ratio - 1.0).abs() < 1e-9, "{} not linear", s.name);
+    }
+}
+
+#[test]
+fn tab3_simulation_equals_model() {
+    let set = exp::tab3();
+    let sim = &set.series[0];
+    let model = &set.series[1];
+    for (a, b) in sim.points.iter().zip(&model.points) {
+        assert!((a.1 - b.1).abs() < 1e-9, "k={} sim {} vs model {}", a.0, a.1, b.1);
+    }
+}
+
+#[test]
+fn series_set_renders_both_formats() {
+    let set = exp::fig9();
+    assert!(set.to_csv().lines().count() >= 2);
+    assert!(set.to_table().contains("Figure 9"));
+}

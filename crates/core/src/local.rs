@@ -1,0 +1,223 @@
+//! In-node dense matrix transpose kernels.
+//!
+//! The conversion algorithms of §6.2 interleave interprocessor exchanges
+//! with *local* matrix transposes ("transpose the local matrices
+//! concurrently"), and the iPSC implementation's copy costs come from
+//! exactly this kind of local rearrangement. These kernels provide the
+//! local step: a straightforward row-major transpose, a cache-blocked
+//! version, an in-place square variant, and a cache-oblivious recursive
+//! version for large tiles.
+
+/// A dense row-major matrix.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Dense<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Dense<T> {
+    /// Builds from a generator `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Dense { rows, cols, data }
+    }
+
+    /// An all-default matrix.
+    pub fn zeroed(rows: usize, cols: usize) -> Self {
+        Dense { rows, cols, data: vec![T::default(); rows * cols] }
+    }
+}
+
+impl<T: Copy> Dense<T> {
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    /// If `data.len() != rows·cols`.
+    #[track_caller]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), rows * cols);
+        Dense { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> T {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: T) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// The underlying row-major buffer.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Consumes into the row-major buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Straightforward out-of-place transpose.
+    pub fn transpose_naive(&self) -> Dense<T> {
+        let mut out = Vec::with_capacity(self.data.len());
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                out.push(self.get(r, c));
+            }
+        }
+        Dense { rows: self.cols, cols: self.rows, data: out }
+    }
+
+    /// Cache-blocked out-of-place transpose with `tile × tile` tiles.
+    #[track_caller]
+    pub fn transpose_blocked(&self, tile: usize) -> Dense<T> {
+        assert!(tile > 0);
+        // Placeholder contents; every position is overwritten below.
+        let mut out =
+            Dense { rows: self.cols, cols: self.rows, data: self.data.clone() };
+        for rb in (0..self.rows).step_by(tile) {
+            for cb in (0..self.cols).step_by(tile) {
+                for r in rb..(rb + tile).min(self.rows) {
+                    for c in cb..(cb + tile).min(self.cols) {
+                        out.set(c, r, self.get(r, c));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Cache-oblivious recursive transpose (split the longer axis until
+    /// the tile fits `base` elements on a side).
+    pub fn transpose_cache_oblivious(&self, base: usize) -> Dense<T> {
+        let mut out =
+            Dense { rows: self.cols, cols: self.rows, data: self.data.clone() };
+        self.co_rec(&mut out, 0, self.rows, 0, self.cols, base.max(1));
+        out
+    }
+
+    fn co_rec(&self, out: &mut Dense<T>, r0: usize, r1: usize, c0: usize, c1: usize, base: usize) {
+        let (dr, dc) = (r1 - r0, c1 - c0);
+        if dr <= base && dc <= base {
+            for r in r0..r1 {
+                for c in c0..c1 {
+                    out.set(c, r, self.get(r, c));
+                }
+            }
+        } else if dr >= dc {
+            let mid = r0 + dr / 2;
+            self.co_rec(out, r0, mid, c0, c1, base);
+            self.co_rec(out, mid, r1, c0, c1, base);
+        } else {
+            let mid = c0 + dc / 2;
+            self.co_rec(out, r0, r1, c0, mid, base);
+            self.co_rec(out, r0, r1, mid, c1, base);
+        }
+    }
+
+    /// In-place transpose of a square matrix.
+    ///
+    /// # Panics
+    /// If the matrix is not square.
+    #[track_caller]
+    pub fn transpose_in_place(&mut self) {
+        assert_eq!(self.rows, self.cols, "in-place transpose needs a square matrix");
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols {
+                self.data.swap(r * self.cols + c, c * self.cols + r);
+            }
+        }
+    }
+}
+
+/// Transposes a flat row-major `rows × cols` buffer (helper for local
+/// arrays held as plain slices by the distributed algorithms).
+#[track_caller]
+pub fn transpose_flat<T: Copy>(data: &[T], rows: usize, cols: usize) -> Vec<T> {
+    assert_eq!(data.len(), rows * cols);
+    let mut out = Vec::with_capacity(data.len());
+    for c in 0..cols {
+        for r in 0..rows {
+            out.push(data[r * cols + c]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rows: usize, cols: usize) -> Dense<u64> {
+        Dense::from_fn(rows, cols, |r, c| (r * 100 + c) as u64)
+    }
+
+    #[test]
+    fn naive_transpose_correct() {
+        let m = sample(3, 5);
+        let t = m.transpose_naive();
+        assert_eq!(t.rows(), 5);
+        assert_eq!(t.cols(), 3);
+        for r in 0..3 {
+            for c in 0..5 {
+                assert_eq!(t.get(c, r), m.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn all_kernels_agree() {
+        for (rows, cols) in [(1, 1), (4, 4), (8, 2), (3, 7), (16, 16), (5, 32)] {
+            let m = sample(rows, cols);
+            let expect = m.transpose_naive();
+            assert_eq!(m.transpose_blocked(4), expect, "{rows}×{cols} blocked");
+            assert_eq!(m.transpose_cache_oblivious(4), expect, "{rows}×{cols} cache-oblivious");
+        }
+    }
+
+    #[test]
+    fn in_place_square() {
+        let mut m = sample(8, 8);
+        let expect = m.transpose_naive();
+        m.transpose_in_place();
+        assert_eq!(m, expect);
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let m = sample(6, 9);
+        assert_eq!(m.transpose_naive().transpose_naive(), m);
+    }
+
+    #[test]
+    fn flat_helper() {
+        let data: Vec<u64> = (0..6).collect(); // 2×3: [0 1 2; 3 4 5]
+        assert_eq!(transpose_flat(&data, 2, 3), vec![0, 3, 1, 4, 2, 5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn in_place_rejects_rectangular() {
+        sample(2, 3).transpose_in_place();
+    }
+}

@@ -1,0 +1,300 @@
+//! Using matrix transposition machinery for other permutations (§7).
+//!
+//! * [`bit_reversal`] — the bit-reversal permutation
+//!   `(x_{n-1} … x_0) ← (x_0 … x_{n-1})` realized by the general exchange
+//!   algorithm with dimension pairs `f(i) = i`, `g(i) = n-1-i`;
+//! * [`dimension_permutation`] — any permutation of the cube dimensions
+//!   (Definition 17) realized by `⌈log₂ n⌉` *parallel swappings*
+//!   (Lemma 15), each a set of disjoint dimension transpositions;
+//! * [`arbitrary_permutation`] — any node-level permutation realized by
+//!   two all-to-all personalized communications (message size at least
+//!   `N` per node makes the splitting exact).
+
+use cubeaddr::{DimPermutation, NodeId};
+use cubecomm::exchange::{all_to_all_exchange, BufferPolicy};
+use cubecomm::{Block, BlockMsg};
+use cubesim::SimNet;
+
+/// Moves every node's array to the node with the bit-reversed address:
+/// `⌊n/2⌋` dimension-pair swaps, each two routing steps, by the general
+/// exchange algorithm. Returns the rearranged per-node arrays.
+pub fn bit_reversal<T: Clone>(
+    net: &mut SimNet<Vec<T>>,
+    data: Vec<Vec<T>>,
+) -> Vec<Vec<T>> {
+    let n = net.n();
+    let pairs: Vec<(u32, u32)> = (0..n / 2).map(|i| (i, n - 1 - i)).collect();
+    swap_pairs_sequence(net, data, &pairs)
+}
+
+/// Realizes the dimension permutation `δ` (node `x`'s data moves to
+/// `(x_{δ(n-1)} … x_{δ(0)})`... i.e. to the node `y` with
+/// `y = δ⁻¹-gather of x`, matching [`DimPermutation::apply`]'s
+/// convention: destination bit `i` = source bit `δ(i)`, so data at `x`
+/// ends at the node `y` with `y_i = x_{δ(i)}`).
+///
+/// Factors `δ` into at most `⌈log₂ n⌉` parallel swappings (Lemma 15) and
+/// executes each swapping's disjoint transpositions as distance-2
+/// exchanges. Returns the rearranged arrays and the number of parallel
+/// swapping steps used.
+pub fn dimension_permutation<T: Clone>(
+    net: &mut SimNet<Vec<T>>,
+    data: Vec<Vec<T>>,
+    delta: &DimPermutation,
+) -> (Vec<Vec<T>>, usize) {
+    assert_eq!(delta.n(), net.n());
+    let factors = delta.parallel_swap_factors();
+    let steps = factors.len();
+    let mut data = data;
+    for sigma in &factors {
+        data = swap_pairs_sequence(net, data, &sigma.swap_pairs());
+    }
+    (data, steps)
+}
+
+/// Executes a set of disjoint dimension transpositions: for each pair
+/// `(i, j)`, every node whose bits `i` and `j` differ relocates its array
+/// across a distance-2 path (`i` then `j`). Pairs are processed
+/// sequentially (two one-port-legal rounds each); within a pair all
+/// affected nodes move concurrently.
+fn swap_pairs_sequence<T: Clone>(
+    net: &mut SimNet<Vec<T>>,
+    mut data: Vec<Vec<T>>,
+    pairs: &[(u32, u32)],
+) -> Vec<Vec<T>> {
+    let num = net.num_nodes();
+    assert_eq!(data.len(), num);
+    for &(i1, i2) in pairs {
+        let moves = |x: u64| ((x >> i1) & 1) != ((x >> i2) & 1);
+        for x in 0..num as u64 {
+            if moves(x) && !data[x as usize].is_empty() {
+                let payload = std::mem::take(&mut data[x as usize]);
+                net.send(NodeId(x), i1, payload);
+            }
+        }
+        net.finish_round();
+        let mut transit: Vec<Option<Vec<T>>> = (0..num).map(|_| None).collect();
+        for x in 0..num as u64 {
+            if net.has_message(NodeId(x), i1) {
+                transit[x as usize] = Some(net.recv(NodeId(x), i1));
+            }
+        }
+        for (x, t) in transit.into_iter().enumerate() {
+            if let Some(p) = t {
+                net.send(NodeId(x as u64), i2, p);
+            }
+        }
+        net.finish_round();
+        for x in 0..num as u64 {
+            if net.has_message(NodeId(x), i2) {
+                debug_assert!(moves(x));
+                data[x as usize] = net.recv(NodeId(x), i2);
+            }
+        }
+    }
+    data
+}
+
+/// Routes an arbitrary node permutation `π` with two all-to-all
+/// personalized communications (§7, after Stout & Wagar): node `x`'s
+/// message for `π(x)` is split into `N` equal pieces; the first all-to-all
+/// scatters piece `j` to node `j`, the second forwards each piece to its
+/// final destination. Balanced regardless of `π`.
+///
+/// `data[x]` is `x`'s message; `perm[x] = π(x)` must be a permutation.
+/// Message lengths should be multiples of `N` for perfectly equal pieces
+/// (smaller messages still work, with ragged pieces).
+#[track_caller]
+pub fn arbitrary_permutation<T: Clone>(
+    net: &mut SimNet<BlockMsg<(u64, T)>>,
+    data: Vec<Vec<T>>,
+    perm: &[NodeId],
+) -> Vec<Vec<T>> {
+    let num = net.num_nodes();
+    assert_eq!(data.len(), num);
+    assert_eq!(perm.len(), num);
+    let mut seen = vec![false; num];
+    for d in perm {
+        assert!(!seen[d.index()], "perm is not a permutation");
+        seen[d.index()] = true;
+    }
+
+    // Phase 1: scatter. Piece j of x's message goes to node j, tagged
+    // with its position so the final message reassembles in order.
+    let mut phase1: Vec<Vec<Vec<(u64, T)>>> =
+        (0..num).map(|_| (0..num).map(|_| Vec::new()).collect()).collect();
+    for (x, msg) in data.into_iter().enumerate() {
+        let total = msg.len();
+        let base = total / num;
+        let extra = total % num;
+        let mut offset = 0usize;
+        let mut iter = msg.into_iter();
+        for j in 0..num {
+            let take = base + usize::from(j < extra);
+            let piece: Vec<(u64, T)> =
+                (0..take).map(|i| ((offset + i) as u64, iter.next().expect("sized"))).collect();
+            offset += take;
+            phase1[x][j] = piece;
+        }
+    }
+    let mid = all_to_all_exchange(net, phase1, BufferPolicy::Ideal);
+
+    // Phase 2: forward. Node j holds one piece per source x; send it to
+    // π(x).
+    let mut phase2: Vec<Vec<Vec<(u64, T)>>> =
+        (0..num).map(|_| (0..num).map(|_| Vec::new()).collect()).collect();
+    for (j, blocks) in mid.into_iter().enumerate() {
+        for Block { src, data, .. } in blocks {
+            let dst = perm[src.index()];
+            assert!(
+                phase2[j][dst.index()].is_empty() || perm[src.index()] == NodeId(src.bits()),
+                "two pieces for one destination in phase 2"
+            );
+            phase2[j][dst.index()].extend(data);
+        }
+    }
+    let fin = all_to_all_exchange(net, phase2, BufferPolicy::Ideal);
+
+    // Reassemble by tag.
+    fin.into_iter()
+        .map(|blocks| {
+            let mut tagged: Vec<(u64, T)> = blocks.into_iter().flat_map(|b| b.data).collect();
+            tagged.sort_by_key(|&(pos, _)| pos);
+            for (k, &(pos, _)) in tagged.iter().enumerate() {
+                assert_eq!(pos as usize, k, "missing piece at position {k}");
+            }
+            tagged.into_iter().map(|(_, v)| v).collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubeaddr::bit_reverse;
+    use cubesim::{MachineParams, PortMode};
+
+    fn unit_net(n: u32) -> SimNet<Vec<u64>> {
+        SimNet::new(n, MachineParams::unit(PortMode::OnePort))
+    }
+
+    fn node_data(n: u32, len: usize) -> Vec<Vec<u64>> {
+        (0..(1u64 << n)).map(|x| vec![x; len]).collect()
+    }
+
+    #[test]
+    fn bit_reversal_places_data() {
+        for n in 1..=6u32 {
+            let mut net = unit_net(n);
+            let out = bit_reversal(&mut net, node_data(n, 3));
+            for x in 0..(1u64 << n) {
+                assert_eq!(out[x as usize], vec![bit_reverse(x, n); 3], "n={n} x={x:#b}");
+            }
+            net.finalize();
+        }
+    }
+
+    #[test]
+    fn bit_reversal_round_count() {
+        // ⌊n/2⌋ pair swaps × 2 rounds each.
+        let n = 6;
+        let mut net = unit_net(n);
+        let _ = bit_reversal(&mut net, node_data(n, 1));
+        assert_eq!(net.finalize().rounds, 6);
+    }
+
+    #[test]
+    fn dimension_permutation_matches_apply() {
+        let n = 5;
+        let delta = DimPermutation::new(vec![3, 0, 4, 1, 2]);
+        let mut net = unit_net(n);
+        let (out, steps) = dimension_permutation(&mut net, node_data(n, 2), &delta);
+        assert!(steps <= 3);
+        for x in 0..(1u64 << n) {
+            // Data of x ends at the node y with y_i = x_{δ(i)}.
+            let y = delta.apply(x);
+            assert_eq!(out[y as usize], vec![x; 2], "x={x:#b} → y={y:#b}");
+        }
+        net.finalize();
+    }
+
+    #[test]
+    fn rotation_as_dimension_permutation() {
+        // sh^k as a dimension permutation: data of x ends at sh^k(x).
+        let n = 4;
+        for k in 0..n {
+            let delta = DimPermutation::rotation(n, k);
+            let mut net = unit_net(n);
+            let (out, _) = dimension_permutation(&mut net, node_data(n, 1), &delta);
+            for x in 0..(1u64 << n) {
+                assert_eq!(out[cubeaddr::shuffle(x, k, n) as usize], vec![x]);
+            }
+        }
+    }
+
+    #[test]
+    fn arbitrary_permutation_delivers() {
+        let n = 3;
+        let num = 1usize << n;
+        // A permutation that is not a dimension permutation: add 3 mod N.
+        let perm: Vec<NodeId> = (0..num).map(|x| NodeId(((x + 3) % num) as u64)).collect();
+        let data: Vec<Vec<u64>> =
+            (0..num as u64).map(|x| (0..num as u64 * 2).map(|i| x * 100 + i).collect()).collect();
+        let mut net = SimNet::new(n, MachineParams::unit(PortMode::OnePort));
+        let out = arbitrary_permutation(&mut net, data.clone(), &perm);
+        for x in 0..num {
+            assert_eq!(out[perm[x].index()], data[x], "x={x}");
+        }
+        net.finalize();
+    }
+
+    #[test]
+    fn arbitrary_permutation_time_is_two_all_to_alls() {
+        let n = 4;
+        let num = 1usize << n;
+        let msg = num * 4; // multiple of N → equal pieces
+        let perm: Vec<NodeId> = (0..num).map(|x| NodeId(((x * 5 + 2) % num) as u64)).collect();
+        let data: Vec<Vec<u64>> = (0..num as u64).map(|x| vec![x; msg]).collect();
+        let mut net = SimNet::new(n, MachineParams::unit(PortMode::OnePort));
+        let _ = arbitrary_permutation(&mut net, data, &perm);
+        let r = net.finalize();
+        // Each all-to-all: n rounds of PQ/2N... here per-node msg M = num·4,
+        // pieces of 4: per exchange step M/2 elements: time
+        // 2·n·(M/2 + 1) with unit costs.
+        let expect = 2.0 * n as f64 * ((msg / 2) as f64 + 1.0);
+        assert_eq!(r.time, expect);
+        assert_eq!(r.rounds, 2 * n as usize);
+    }
+
+    #[test]
+    fn ragged_messages_still_arrive() {
+        let n = 2;
+        let num = 4;
+        let perm: Vec<NodeId> = vec![NodeId(2), NodeId(0), NodeId(3), NodeId(1)];
+        let data: Vec<Vec<u64>> = (0..num).map(|x| vec![x as u64; 5]).collect(); // 5 not divisible by 4
+        let mut net = SimNet::new(n, MachineParams::unit(PortMode::OnePort));
+        let out = arbitrary_permutation(&mut net, data.clone(), &perm);
+        for x in 0..num {
+            assert_eq!(out[perm[x].index()], data[x]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn invalid_permutation_rejected() {
+        let mut net: SimNet<BlockMsg<(u64, u64)>> =
+            SimNet::new(1, MachineParams::unit(PortMode::OnePort));
+        let _ = arbitrary_permutation(&mut net, vec![vec![1], vec![2]], &[NodeId(0), NodeId(0)]);
+    }
+
+    #[test]
+    fn empty_arrays_are_noop() {
+        let n = 3;
+        let mut net = unit_net(n);
+        let data: Vec<Vec<u64>> = (0..8).map(|_| Vec::new()).collect();
+        let out = bit_reversal(&mut net, data);
+        assert!(out.iter().all(Vec::is_empty));
+        let r = net.finalize();
+        assert_eq!(r.total_elems, 0);
+    }
+}

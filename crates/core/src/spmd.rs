@@ -1,0 +1,348 @@
+//! SPMD node programs: the paper's algorithms on real threads.
+//!
+//! The simulator ([`cubesim`]) charges the cost model; these programs run
+//! the same algorithms on the [`cuberun`] runtime — one OS thread per
+//! cube node, one channel per link — the way an iPSC node program (or a
+//! thin MPI layer) executes them. Every node derives its entire behaviour
+//! from its own address, exactly like the paper's pseudo-code: there is
+//! no global coordinator.
+//!
+//! The results are bit-identical to the simulator drivers, which the test
+//! suite checks.
+
+use cubelayout::{DistMatrix, Layout, TransposeSpec};
+use cuberun::{run_spmd, RunStats};
+
+/// One routed element in an SPMD message: `(dst_node, dst_local, value)`.
+type Elem<T> = (u64, u64, T);
+
+/// Runs the standard-exchange transposition as an SPMD program: every
+/// node partitions its held elements by the destination's bit in the
+/// scanned dimension and exchanges them with its neighbor, one dimension
+/// per step, highest first (§5's pseudo-code).
+///
+/// Returns the transposed matrix and the runtime statistics.
+///
+/// # Panics
+/// If the layouts disagree with `m`, or on element misrouting.
+pub fn spmd_transpose_exchange<T: Copy + Default + Send + Sync>(
+    m: &DistMatrix<T>,
+    after: &Layout,
+) -> (DistMatrix<T>, RunStats) {
+    let spec = TransposeSpec::with_after(m.layout().clone(), after.clone());
+    let n = after.n();
+    let num = after.num_nodes();
+    let per_after = after.elems_per_node();
+
+    // Precompute each node's initial routed elements (what the node
+    // program would derive from the layout maps).
+    let mut initial: Vec<Vec<Elem<T>>> = (0..num).map(|_| Vec::new()).collect();
+    for mv in spec.moves() {
+        let value = m.node(mv.src)[mv.src_local as usize];
+        initial[mv.src.index()].push((mv.dst.bits(), mv.dst_local, value));
+    }
+
+    let (results, stats) = run_spmd::<Vec<Elem<T>>, _, _>(n, |ctx| {
+        let me = ctx.id().bits();
+        let mut held = initial[ctx.id().index()].clone();
+        for j in (0..n).rev() {
+            let (keep, send): (Vec<_>, Vec<_>) =
+                held.into_iter().partition(|&(dst, _, _)| (dst >> j) & 1 == (me >> j) & 1);
+            held = keep;
+            // Both partners always exchange (possibly empty vectors): the
+            // synchronous exchange keeps every pair in lock step.
+            let incoming = ctx.exchange(j, send);
+            held.extend(incoming);
+        }
+        // Everything held is now ours; place it.
+        let mut local = vec![T::default(); per_after];
+        let mut seen = vec![false; per_after];
+        for (dst, dst_local, value) in held {
+            assert_eq!(dst, me, "element for {dst} stranded at {me}");
+            assert!(!seen[dst_local as usize], "duplicate at local {dst_local}");
+            seen[dst_local as usize] = true;
+            local[dst_local as usize] = value;
+        }
+        assert!(seen.iter().all(|&s| s), "node {me} missing elements");
+        local
+    });
+
+    (DistMatrix::from_buffers(after.clone(), results), stats)
+}
+
+/// Runs the step-by-step SPT two-dimensional transpose as an SPMD
+/// program: every node's whole array travels hop by hop along its SPT
+/// path; every node computes, from addresses alone, whether it must
+/// originate, relay, or absorb an array in each routing step (§6.1.1 /
+/// §8.2.1).
+pub fn spmd_transpose_spt<T: Copy + Default + Send + Sync>(
+    m: &DistMatrix<T>,
+    after: &Layout,
+) -> (DistMatrix<T>, RunStats) {
+    let before = m.layout().clone();
+    let n = before.n();
+    assert!(n.is_multiple_of(2), "SPT needs an even cube dimension");
+    let half = n / 2;
+    let lr = before.local_rows();
+    let lc = before.local_cols();
+    let num = before.num_nodes();
+
+    let buffers: Vec<Vec<T>> =
+        (0..num).map(|x| m.node(cubeaddr::NodeId(x as u64)).to_vec()).collect();
+
+    // Messages are source-tagged: a node may relay several arrays at once
+    // (paths are edge-disjoint, not node-disjoint).
+    let (results, stats) = run_spmd::<(u64, Vec<T>), _, _>(n, |ctx| {
+        let me = ctx.id().bits();
+        // The global schedule: source x's array is at hop `step` of
+        // spt_path(x) at the start of step `step`. Every node scans all
+        // sources and plays its role — purely address arithmetic, no
+        // coordinator.
+        let mut held: std::collections::HashMap<u64, Vec<T>> = std::collections::HashMap::new();
+        if crate::two_dim::h_of(me, half) > 0 {
+            held.insert(me, buffers[me as usize].clone());
+        }
+        let walk = |x: u64, dims: &[u32]| dims.iter().fold(x, |p, &d| p ^ (1 << d));
+        for step in 0..n as usize {
+            let mut recv_dims: Vec<u32> = Vec::new();
+            for x in 0..(1u64 << n) {
+                let path = crate::two_dim::spt_path(x, half);
+                if step < path.len() {
+                    let pos = walk(x, &path[..step]);
+                    if pos == me {
+                        let arr = held.remove(&x).expect("schedule expects x's array here");
+                        ctx.send(path[step], (x, arr));
+                    }
+                    if pos ^ (1 << path[step]) == me {
+                        recv_dims.push(path[step]);
+                    }
+                }
+            }
+            for d in recv_dims {
+                let (x, arr) = ctx.recv(d);
+                held.insert(x, arr);
+            }
+        }
+        // The unique source ending here is tr(me) (me itself when H = 0).
+        let src = crate::two_dim::tr(me, half);
+        let arr = if src == me {
+            buffers[me as usize].clone()
+        } else {
+            held.remove(&src).expect("destination array missing")
+        };
+        assert!(held.is_empty(), "node {me} ended holding stray arrays");
+        crate::local::transpose_flat(&arr, lr, lc)
+    });
+
+    (DistMatrix::from_buffers(after.clone(), results), stats)
+}
+
+/// The §6.3 combined conversion-and-transpose algorithm, transcribed
+/// *verbatim* from the paper's pseudo-code, as an SPMD node program:
+/// rows binary-encoded, columns Gray-encoded, every node deriving its
+/// send/receive/relay role in each iteration from its own address bits
+/// and the two running control flags:
+///
+/// ```text
+/// even-block-row := true; even-parity-block-column := true;
+/// for j := n/2-1 downto 0 do
+///   case (ebr, epbc, bit j+n/2, bit j) of
+///     (TT00),(TT11),(FF01),(FF10): recv(tmp, j+n/2); send(tmp, j);
+///     (TT01),(TT10),(FF00),(FF11),
+///     (TF01),(TF10),(FT00),(FT11): send(buf, j+n/2); recv(buf, j);
+///     (TF00),(TF11),(FT01),(FT10): send(buf, j); recv(buf, j+n/2);
+///   endcase
+///   even-block-row := (bit j+n/2 = 0);
+///   if (bit j = 1) then even-parity-block-column := not epbc;
+/// endfor
+/// ```
+///
+/// The relay case means a node can hold a transiting block while its own
+/// block stays put for the iteration. The test suite checks the result
+/// equals the data-driven [`crate::gray::transpose_combined`] exactly —
+/// i.e. the paper's control table computes the same moves.
+pub fn spmd_transpose_combined_gray<T: Copy + Default + Send + Sync>(
+    spec: &crate::gray::MixedSpec,
+    m: &DistMatrix<T>,
+) -> (DistMatrix<T>, RunStats) {
+    use cubelayout::Encoding;
+    assert_eq!(spec.row_enc, Encoding::Binary, "the pseudo-code assumes binary rows");
+    assert_eq!(spec.col_enc, Encoding::Gray, "the pseudo-code assumes Gray columns");
+    let half = spec.half;
+    let n = 2 * half;
+    let before = spec.before();
+    let after = spec.after();
+    let (lr, lc) = (before.local_rows(), before.local_cols());
+    let num = before.num_nodes();
+    let buffers: Vec<Vec<T>> =
+        (0..num).map(|x| m.node(cubeaddr::NodeId(x as u64)).to_vec()).collect();
+
+    let (results, stats) = run_spmd::<Vec<T>, _, _>(n, |ctx| {
+        let me = ctx.id().bits();
+        let bit = |pos: u32| (me >> pos) & 1 == 1;
+        let mut buf = buffers[ctx.id().index()].clone();
+        let mut ebr = true; // even-block-row
+        let mut epbc = true; // even-parity-block-column
+        for j in (0..half).rev() {
+            let (hi, lo) = (bit(j + half), bit(j));
+            // The three action patterns of the case table.
+            enum Action {
+                Relay,
+                RowFirst,
+                ColFirst,
+            }
+            let action = match (ebr, epbc) {
+                // (TT00),(TT11) relay; (TT01),(TT10) row-first.
+                (true, true) => {
+                    if hi == lo {
+                        Action::Relay
+                    } else {
+                        Action::RowFirst
+                    }
+                }
+                // (FF01),(FF10) relay; (FF00),(FF11) row-first.
+                (false, false) => {
+                    if hi != lo {
+                        Action::Relay
+                    } else {
+                        Action::RowFirst
+                    }
+                }
+                // (TF00),(TF11) col-first; (TF01),(TF10) row-first.
+                (true, false) => {
+                    if hi == lo {
+                        Action::ColFirst
+                    } else {
+                        Action::RowFirst
+                    }
+                }
+                // (FT01),(FT10) col-first; (FT00),(FT11) row-first.
+                (false, true) => {
+                    if hi != lo {
+                        Action::ColFirst
+                    } else {
+                        Action::RowFirst
+                    }
+                }
+            };
+            match action {
+                Action::Relay => {
+                    let tmp = ctx.recv(j + half);
+                    ctx.send(j, tmp);
+                }
+                Action::RowFirst => {
+                    ctx.send(j + half, std::mem::take(&mut buf));
+                    buf = ctx.recv(j);
+                }
+                Action::ColFirst => {
+                    ctx.send(j, std::mem::take(&mut buf));
+                    buf = ctx.recv(j + half);
+                }
+            }
+            ebr = !bit(j + half);
+            if bit(j) {
+                epbc = !epbc;
+            }
+        }
+        crate::local::transpose_flat(&buf, lr, lc)
+    });
+
+    (DistMatrix::from_buffers(after, results), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{assert_transposed, labels};
+    use cubelayout::{Assignment, Direction, Encoding};
+
+    #[test]
+    fn spmd_exchange_matches_simulator() {
+        let before =
+            Layout::one_dim(3, 3, Direction::Rows, 2, Assignment::Consecutive, Encoding::Binary);
+        let after =
+            Layout::one_dim(3, 3, Direction::Rows, 2, Assignment::Consecutive, Encoding::Binary);
+        let m = labels(before.clone());
+        let (out, stats) = spmd_transpose_exchange(&m, &after);
+        assert_transposed(&before, &out);
+        // Every node exchanges once per dimension: N·n messages.
+        assert_eq!(stats.messages, 4 * 2);
+
+        // Identical to the simulator path.
+        let mut net = cubesim::SimNet::new(2, cubesim::MachineParams::unit(cubesim::PortMode::OnePort));
+        let sim = crate::one_dim::transpose_1d_exchange(
+            &m,
+            &after,
+            &mut net,
+            cubecomm::BufferPolicy::Ideal,
+        );
+        assert_eq!(out, sim);
+    }
+
+    #[test]
+    fn spmd_exchange_larger_cube() {
+        let before =
+            Layout::one_dim(4, 4, Direction::Cols, 3, Assignment::Cyclic, Encoding::Binary);
+        let after =
+            Layout::one_dim(4, 4, Direction::Cols, 3, Assignment::Cyclic, Encoding::Binary);
+        let m = labels(before.clone());
+        let (out, _) = spmd_transpose_exchange(&m, &after);
+        assert_transposed(&before, &out);
+    }
+
+    #[test]
+    fn spmd_spt_matches_simulator() {
+        let before = Layout::square(3, 3, 1, Assignment::Consecutive, Encoding::Binary);
+        let after = before.swapped_shape();
+        let m = labels(before.clone());
+        let (out, _) = spmd_transpose_spt(&m, &after);
+        assert_transposed(&before, &out);
+
+        let mut net: cubesim::SimNet<crate::two_dim::Packet<u64>> =
+            cubesim::SimNet::new(2, cubesim::MachineParams::unit(cubesim::PortMode::AllPorts));
+        let sim = crate::two_dim::transpose_spt(&m, &after, &mut net, before.elems_per_node());
+        assert_eq!(out, sim);
+    }
+
+    #[test]
+    fn spmd_spt_four_cube() {
+        let before = Layout::square(3, 3, 2, Assignment::Consecutive, Encoding::Binary);
+        let after = before.swapped_shape();
+        let m = labels(before.clone());
+        let (out, _) = spmd_transpose_spt(&m, &after);
+        assert_transposed(&before, &out);
+    }
+
+    #[test]
+    fn paper_case_table_matches_semantic_combined_transpose() {
+        // The literal §6.3 pseudo-code (control-flag case table, on real
+        // threads) and the data-driven implementation compute identical
+        // results — validating the paper's case analysis.
+        for (p, half) in [(3u32, 2u32), (4, 2), (4, 3), (5, 2)] {
+            let spec = crate::gray::MixedSpec::binary_rows_gray_cols(p, half);
+            let m = labels(spec.before());
+            let (spmd_out, stats) = spmd_transpose_combined_gray(&spec, &m);
+            let mut net: cubesim::SimNet<crate::gray::BlockFlight<u64>> = cubesim::SimNet::new(
+                2 * half,
+                cubesim::MachineParams::unit(cubesim::PortMode::AllPorts),
+            );
+            let semantic = crate::gray::transpose_combined(&spec, &m, &mut net);
+            assert_eq!(spmd_out.gather(), semantic.gather(), "p={p} half={half}");
+            // n/2 iterations, every node sends exactly once per iteration
+            // (each of the three patterns has one send) → N·(n/2)
+            // messages, i.e. n routing steps spread over the machine.
+            assert_eq!(stats.messages, (1u64 << (2 * half)) * half as u64);
+        }
+    }
+
+    #[test]
+    fn spmd_values_roundtrip() {
+        // Double transpose through the SPMD path returns the original.
+        let before =
+            Layout::one_dim(3, 3, Direction::Rows, 2, Assignment::Consecutive, Encoding::Binary);
+        let m = DistMatrix::from_fn(before.clone(), |u, v| (u * 31 + v) as f64);
+        let (t, _) = spmd_transpose_exchange(&m, &before);
+        let (back, _) = spmd_transpose_exchange(&t, &before);
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,703 @@
+//! Two-dimensional-partitioning transposes (§6.1): SPT, DPT and MPT.
+//!
+//! With the same assignment scheme and the same number of processor
+//! dimensions for rows and columns (`n_r = n_c = n/2`), the transpose is
+//! communication between distinct source/destination pairs: node
+//! `x = (x_r ‖ x_c)` sends its entire local array to `tr(x) = (x_c ‖ x_r)`
+//! at Hamming distance `2H(x)`, `H(x) = Hamming(x_r, x_c)`.
+//!
+//! * **SPT** (Single Path Transpose): one pipelined path per node, the
+//!   dimensions routed highest-to-lowest in (row, column) pairs; paths of
+//!   different nodes are edge-disjoint, so packets flow every cycle.
+//! * **DPT** (Dual Paths): a second path with each (row, column) pair
+//!   reversed carries half the data; both paths of all nodes remain
+//!   edge-disjoint.
+//! * **MPT** (Multiple Paths): `2H(x)` edge-disjoint paths per node —
+//!   the rotations of the SPT dimension sequence and their pair-reversed
+//!   mirrors. Nodes in the same `~s` equivalence class share edges but in
+//!   different cycles ((2, 2H)-disjoint, Lemma 14); different classes are
+//!   fully edge-disjoint (Lemma 13). Data goes out in `4kH(x)` packets,
+//!   two per path every `2H(x)` cycles, finishing in `2kH(x) + 1` cycles.
+//!
+//! The simulator enforces the edge-disjointness claims at runtime: any
+//! two messages on one directed link in the same round abort the run.
+
+use cubeaddr::NodeId;
+use cubelayout::{CommPattern, DistMatrix, Layout, TransposeSpec};
+use cubesim::{Payload, SimNet};
+
+/// A pipelined packet: a slice of the source node's local array.
+#[derive(Clone, Debug)]
+pub struct Packet<T> {
+    /// Position of the slice in the source local array.
+    pub offset: usize,
+    /// The elements.
+    pub data: Vec<T>,
+}
+
+impl<T> Payload for Packet<T> {
+    fn elems(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// `tr(x) = (x_c ‖ x_r)` for an `n`-cube with `half = n/2` row and column
+/// dimensions.
+pub fn tr(x: u64, half: u32) -> u64 {
+    let (r, c) = cubeaddr::split(x, half);
+    cubeaddr::concat(c, r, half)
+}
+
+/// `H(x) = Hamming(x_r, x_c)`: half the distance from `x` to `tr(x)`.
+pub fn h_of(x: u64, half: u32) -> u32 {
+    let (r, c) = cubeaddr::split(x, half);
+    cubeaddr::hamming(r, c)
+}
+
+/// The α (row) and β (column) dimension sequences of node `x`, indexed as
+/// the paper's `α_{H-1} … α_0` / `β_{H-1} … β_0`: `alpha[k] = α_k`, so
+/// index `H-1` is the highest differing dimension.
+fn alpha_beta(x: u64, half: u32) -> (Vec<u32>, Vec<u32>) {
+    let (r, c) = cubeaddr::split(x, half);
+    let diff = r ^ c;
+    let beta: Vec<u32> = (0..half).filter(|&i| (diff >> i) & 1 == 1).collect();
+    let alpha: Vec<u32> = beta.iter().map(|&i| i + half).collect();
+    (alpha, beta)
+}
+
+/// Path `p ∈ {0, …, 2H(x)-1}` from `x` to `tr(x)` (§6.1.3): the sequence
+/// of dimensions routed. Path 0 is the SPT path; paths 0 and `H(x)` are
+/// the DPT pair.
+pub fn mpt_path(x: u64, half: u32, p: u32) -> Vec<u32> {
+    let (alpha, beta) = alpha_beta(x, half);
+    let h = alpha.len() as u32;
+    if h == 0 {
+        return Vec::new();
+    }
+    assert!(p < 2 * h, "path {p} out of range for H = {h}");
+    let mut dims = Vec::with_capacity(2 * h as usize);
+    if p < h {
+        for step in 0..h {
+            let k = ((p + h - 1 - step) % h) as usize;
+            dims.push(alpha[k]);
+            dims.push(beta[k]);
+        }
+    } else {
+        let j = p - h;
+        for step in 0..h {
+            let k = ((j + h - 1 - step) % h) as usize;
+            dims.push(beta[k]);
+            dims.push(alpha[k]);
+        }
+    }
+    dims
+}
+
+/// The SPT path of `x`: highest-to-lowest (row, column) dimension pairs.
+pub fn spt_path(x: u64, half: u32) -> Vec<u32> {
+    let h = h_of(x, half);
+    if h == 0 {
+        Vec::new()
+    } else {
+        mpt_path(x, half, 0)
+    }
+}
+
+/// One pipelined flight: a packet, its path, and its injection cycle.
+struct Flight<T> {
+    src: NodeId,
+    path: std::rc::Rc<Vec<u32>>,
+    inject: usize,
+    packet: Packet<T>,
+}
+
+/// Runs all flights to completion, one hop per cycle starting at each
+/// flight's injection cycle, and returns the packets delivered per node.
+///
+/// Panics (inside the simulator) if the flight set ever contends for a
+/// directed link — the runtime check of the edge-disjointness lemmas.
+fn run_flights<T: Clone>(
+    net: &mut SimNet<Packet<T>>,
+    flights: Vec<Flight<T>>,
+) -> Vec<Vec<Packet<T>>> {
+    let num = net.num_nodes();
+    let mut deliveries: Vec<Vec<Packet<T>>> = (0..num).map(|_| Vec::new()).collect();
+    // in_flight: (current node, path, pos, packet) for launched flights.
+    struct Live<T> {
+        at: NodeId,
+        path: std::rc::Rc<Vec<u32>>,
+        pos: usize,
+        packet: Packet<T>,
+    }
+    let mut waiting = flights;
+    let mut live: Vec<Live<T>> = Vec::new();
+    let mut cycle = 0usize;
+    while !waiting.is_empty() || !live.is_empty() {
+        // Launch this cycle's injections.
+        let (launch, rest): (Vec<_>, Vec<_>) = waiting.into_iter().partition(|f| f.inject <= cycle);
+        waiting = rest;
+        for f in launch {
+            debug_assert_eq!(f.inject, cycle, "missed injection cycle");
+            live.push(Live { at: f.src, path: f.path, pos: 0, packet: f.packet });
+        }
+        // Every live packet advances one hop.
+        for l in &live {
+            net.send(l.at, l.path[l.pos], Packet {
+                offset: l.packet.offset,
+                data: l.packet.data.clone(),
+            });
+        }
+        net.finish_round();
+        let mut still = Vec::with_capacity(live.len());
+        for mut l in live {
+            let dim = l.path[l.pos];
+            let next = l.at.neighbor(dim);
+            l.packet = net.recv(next, dim);
+            l.at = next;
+            l.pos += 1;
+            if l.pos == l.path.len() {
+                deliveries[l.at.index()].push(l.packet);
+            } else {
+                still.push(l);
+            }
+        }
+        live = still;
+        cycle += 1;
+    }
+    deliveries
+}
+
+/// Slices `data` into packets of at most `b` elements, tagged with their
+/// offsets.
+fn packetize<T: Clone>(data: &[T], b: usize) -> Vec<Packet<T>> {
+    assert!(b > 0);
+    data.chunks(b)
+        .enumerate()
+        .map(|(i, c)| Packet { offset: i * b, data: c.to_vec() })
+        .collect()
+}
+
+/// Slices `data` into exactly `parts` near-equal packets (sizes differing
+/// by at most one; trailing parts may be empty when `data.len() < parts`).
+fn split_exact<T: Clone>(data: &[T], parts: usize) -> Vec<Packet<T>> {
+    let total = data.len();
+    let base = total / parts;
+    let extra = total % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut offset = 0usize;
+    for k in 0..parts {
+        let take = base + usize::from(k < extra);
+        out.push(Packet { offset, data: data[offset..offset + take].to_vec() });
+        offset += take;
+    }
+    out
+}
+
+/// Shared validation and setup: the spec must be a pairwise exchange with
+/// node map `tr`, and `n` even.
+#[track_caller]
+fn check_pairwise(spec: &TransposeSpec) -> u32 {
+    let n = spec.before.n();
+    assert!(n >= 2 && n.is_multiple_of(2), "need an even cube dimension, got {n}");
+    assert_eq!(
+        spec.before.n_r(),
+        spec.before.n_c(),
+        "SPT/DPT/MPT need equally many row and column processor dimensions"
+    );
+    assert_eq!(
+        spec.classify(),
+        CommPattern::PairwiseExchange,
+        "layouts do not induce a pairwise exchange"
+    );
+    let half = n / 2;
+    let map = spec.node_map().expect("pairwise spec has a node map");
+    for (x, &d) in map.iter().enumerate() {
+        assert_eq!(
+            d.bits(),
+            tr(x as u64, half),
+            "node map is not tr(x); use the generic exchange driver instead"
+        );
+    }
+    half
+}
+
+/// Rebuilds the output matrix: node `tr(x)` received `x`'s entire local
+/// array (as offset-tagged packets); the local 2D array is then
+/// transposed in place (the local step of §6.1), which is exactly
+/// `after`'s storage order.
+fn rebuild<T: Copy + Default>(
+    spec: &TransposeSpec,
+    m: &DistMatrix<T>,
+    mut deliveries: Vec<Vec<Packet<T>>>,
+    half: u32,
+) -> DistMatrix<T> {
+    let before = &spec.before;
+    let after = &spec.after;
+    let per = before.elems_per_node();
+    let mut out = DistMatrix::<T>::zeroed(after.clone());
+    for x in 0..before.num_nodes() as u64 {
+        let dst = NodeId(tr(x, half));
+        // Reassemble the source array at the destination.
+        let mut arr: Vec<Option<T>> = vec![None; per];
+        if dst == NodeId(x) {
+            for (i, v) in m.node(NodeId(x)).iter().enumerate() {
+                arr[i] = Some(*v);
+            }
+        } else {
+            for pkt in deliveries[dst.index()]
+                .extract_if(.., |p| {
+                    // Packets from x are identified by reassembling all
+                    // arrivals; each destination receives from exactly
+                    // one source, so everything here is from x.
+                    let _ = p;
+                    true
+                })
+            {
+                for (i, v) in pkt.data.into_iter().enumerate() {
+                    let slot = pkt.offset + i;
+                    assert!(arr[slot].is_none(), "overlapping packets at {slot}");
+                    arr[slot] = Some(v);
+                }
+            }
+        }
+        let arr: Vec<T> = arr
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| v.unwrap_or_else(|| panic!("node {dst} missing element {i} from {x}")))
+            .collect();
+        // Local transpose: the source array is (local_rows × local_cols);
+        // the destination stores it column-major = its own row-major.
+        let t = crate::local::transpose_flat(&arr, before.local_rows(), before.local_cols());
+        out.node_mut(dst).copy_from_slice(&t);
+    }
+    out
+}
+
+/// Single Path Transpose (§6.1.1): pipelined packets of size `b` along
+/// one edge-disjoint path per node. Total routing steps
+/// `⌈(PQ/N)/b⌉ + n - 1`.
+pub fn transpose_spt<T: Copy + Default>(
+    m: &DistMatrix<T>,
+    after: &Layout,
+    net: &mut SimNet<Packet<T>>,
+    b: usize,
+) -> DistMatrix<T> {
+    let spec = TransposeSpec::with_after(m.layout().clone(), after.clone());
+    let half = check_pairwise(&spec);
+    let mut flights = Vec::new();
+    for x in 0..spec.before.num_nodes() as u64 {
+        if h_of(x, half) == 0 {
+            continue;
+        }
+        let path = std::rc::Rc::new(spt_path(x, half));
+        for (i, pkt) in packetize(m.node(NodeId(x)), b).into_iter().enumerate() {
+            flights.push(Flight { src: NodeId(x), path: path.clone(), inject: i, packet: pkt });
+        }
+    }
+    let deliveries = run_flights(net, flights);
+    rebuild(&spec, m, deliveries, half)
+}
+
+/// The iPSC step-by-step SPT (§8.2.1): the whole local array as a single
+/// message per routing step (fragmented into `B_m` packets by the cost
+/// model), plus the two local rearrangement copies.
+pub fn transpose_spt_stepwise<T: Copy + Default>(
+    m: &DistMatrix<T>,
+    after: &Layout,
+    net: &mut SimNet<Packet<T>>,
+) -> DistMatrix<T> {
+    let per = m.layout().elems_per_node();
+    // Pre-send rearrangement of the 2D local array into a 1D buffer.
+    for x in 0..m.layout().num_nodes() as u64 {
+        net.local_copy(NodeId(x), per);
+    }
+    let out = transpose_spt(m, after, net, per);
+    // Post-receive rearrangement.
+    for x in 0..m.layout().num_nodes() as u64 {
+        net.local_copy(NodeId(x), per);
+    }
+    net.finish_round();
+    out
+}
+
+/// Dual Paths Transpose (§6.1.2): the data split in two halves pipelined
+/// over the SPT path and its pair-reversed mirror.
+pub fn transpose_dpt<T: Copy + Default>(
+    m: &DistMatrix<T>,
+    after: &Layout,
+    net: &mut SimNet<Packet<T>>,
+    b: usize,
+) -> DistMatrix<T> {
+    let spec = TransposeSpec::with_after(m.layout().clone(), after.clone());
+    let half = check_pairwise(&spec);
+    let mut flights = Vec::new();
+    for x in 0..spec.before.num_nodes() as u64 {
+        let h = h_of(x, half);
+        if h == 0 {
+            continue;
+        }
+        let data = m.node(NodeId(x));
+        let mid = data.len() / 2;
+        for (path_id, range) in [(0u32, 0..mid), (h, mid..data.len())] {
+            let path = std::rc::Rc::new(mpt_path(x, half, path_id));
+            let slice = &data[range.clone()];
+            for (i, mut pkt) in packetize(slice, b).into_iter().enumerate() {
+                pkt.offset += range.start;
+                flights.push(Flight { src: NodeId(x), path: path.clone(), inject: i, packet: pkt });
+            }
+        }
+    }
+    let deliveries = run_flights(net, flights);
+    rebuild(&spec, m, deliveries, half)
+}
+
+/// Multiple Paths Transpose (§6.1.3): `4kH(x)` packets over the `2H(x)`
+/// edge-disjoint paths, two per path every `2H(x)` cycles; completes in
+/// `2kH(x) + 1` cycles per class.
+///
+/// ```
+/// use cubelayout::{Assignment, Encoding, Layout};
+/// use cubesim::{MachineParams, PortMode, SimNet};
+/// use cubetranspose::{transpose_mpt, two_dim::Packet, verify};
+///
+/// let before = Layout::square(4, 4, 2, Assignment::Consecutive, Encoding::Binary);
+/// let after = before.swapped_shape();
+/// let matrix = verify::labels(before.clone());
+/// let mut net: SimNet<Packet<u64>> =
+///     SimNet::new(4, MachineParams::unit(PortMode::AllPorts));
+/// let out = transpose_mpt(&matrix, &after, &mut net, 1);
+/// verify::assert_transposed(&before, &out);
+/// assert_eq!(net.finalize().rounds, 5); // 2·k·(n/2) + 1
+/// ```
+pub fn transpose_mpt<T: Copy + Default>(
+    m: &DistMatrix<T>,
+    after: &Layout,
+    net: &mut SimNet<Packet<T>>,
+    k: u32,
+) -> DistMatrix<T> {
+    assert!(k >= 1);
+    let spec = TransposeSpec::with_after(m.layout().clone(), after.clone());
+    let half = check_pairwise(&spec);
+    let mut flights = Vec::new();
+    for x in 0..spec.before.num_nodes() as u64 {
+        let h = h_of(x, half);
+        if h == 0 {
+            continue;
+        }
+        let data = m.node(NodeId(x));
+        // Classes with small H split into more bursts so every class's
+        // packet size stays near PQ/(4·k·(n/2)·N) and all classes finish
+        // within 2·k·(n/2) + 1 cycles (the paper's ⌊(n/2)/H⌋·4H packets).
+        let k_h = (k * half / h).max(1);
+        let n_packets = (4 * k_h * h) as usize;
+        let packets = split_exact(data, n_packets);
+        let paths: Vec<std::rc::Rc<Vec<u32>>> =
+            (0..2 * h).map(|p| std::rc::Rc::new(mpt_path(x, half, p))).collect();
+        // Packet ordinal o on path p: o-th of the path's 2·k_h packets,
+        // injected at cycle 2H·(o/2) + (o mod 2) — two packets per path
+        // every 2H cycles, the (2, 2H)-disjoint schedule of Lemma 14.
+        for (idx, pkt) in packets.into_iter().enumerate() {
+            if pkt.data.is_empty() {
+                continue;
+            }
+            let p = idx % (2 * h as usize);
+            let o = idx / (2 * h as usize);
+            let inject = 2 * h as usize * (o / 2) + (o % 2);
+            flights.push(Flight {
+                src: NodeId(x),
+                path: paths[p].clone(),
+                inject,
+                packet: pkt,
+            });
+        }
+    }
+    let deliveries = run_flights(net, flights);
+    rebuild(&spec, m, deliveries, half)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{assert_transposed, labels};
+    use cubelayout::{Assignment, Encoding};
+    use cubesim::{MachineParams, PortMode};
+    use std::collections::HashSet;
+
+    fn square(p: u32, half: u32, scheme: Assignment, enc: Encoding) -> (Layout, Layout) {
+        let before = Layout::square(p, p, half, scheme, enc);
+        let after = before.swapped_shape();
+        (before, after)
+    }
+
+    fn net(n: u32) -> SimNet<Packet<u64>> {
+        SimNet::new(n, MachineParams::unit(PortMode::AllPorts))
+    }
+
+    #[test]
+    fn paper_example_paths() {
+        // x = (1001 ‖ 0100): the six paths listed in §6.1.3.
+        let x = 0b1001_0100;
+        let half = 4;
+        assert_eq!(h_of(x, half), 3);
+        assert_eq!(tr(x, half), 0b0100_1001);
+        assert_eq!(mpt_path(x, half, 0), vec![7, 3, 6, 2, 4, 0]);
+        assert_eq!(mpt_path(x, half, 1), vec![4, 0, 7, 3, 6, 2]);
+        assert_eq!(mpt_path(x, half, 2), vec![6, 2, 4, 0, 7, 3]);
+        assert_eq!(mpt_path(x, half, 3), vec![3, 7, 2, 6, 0, 4]);
+        assert_eq!(mpt_path(x, half, 4), vec![0, 4, 3, 7, 2, 6]);
+        assert_eq!(mpt_path(x, half, 5), vec![2, 6, 0, 4, 3, 7]);
+    }
+
+    #[test]
+    fn figure4_paths_from_000111() {
+        // Figure 4: 6 edge-disjoint paths from x = (000 ‖ 111) to
+        // tr(x) = (111 ‖ 000) on a 6-cube.
+        let x = 0b000_111;
+        let half = 3;
+        assert_eq!(tr(x, half), 0b111_000);
+        let mut edges = HashSet::new();
+        for p in 0..6 {
+            let path = mpt_path(x, half, p);
+            assert_eq!(path.len(), 6);
+            let mut cur = x;
+            for d in path {
+                let next = cur ^ (1 << d);
+                assert!(edges.insert((cur, next)), "edge reused on path {p}");
+                cur = next;
+            }
+            assert_eq!(cur, 0b111_000, "path {p} misses the destination");
+        }
+        assert_eq!(edges.len(), 36);
+    }
+
+    #[test]
+    fn lemma9_paths_edge_disjoint_per_node() {
+        let half = 3;
+        for x in 0..(1u64 << 6) {
+            let h = h_of(x, half);
+            let mut edges = HashSet::new();
+            for p in 0..2 * h {
+                let mut cur = x;
+                for d in mpt_path(x, half, p) {
+                    let next = cur ^ (1 << d);
+                    assert!(edges.insert((cur, next)), "x={x:#b} path {p}");
+                    cur = next;
+                }
+                assert_eq!(cur, tr(x, half));
+            }
+        }
+    }
+
+    #[test]
+    fn lemma13_distinct_classes_disjoint() {
+        // x' ≁s x'' ⇒ Paths(x') ∩ Paths(x'') = ∅.
+        let half = 2;
+        let class = |x: u64| {
+            let (r, c) = cubeaddr::split(x, half);
+            (r + c, x ^ tr(x, half)) // (~ad anti-diagonal, ⊕ signature)
+        };
+        let all_edges = |x: u64| -> HashSet<(u64, u64)> {
+            let mut e = HashSet::new();
+            for p in 0..2 * h_of(x, half) {
+                let mut cur = x;
+                for d in mpt_path(x, half, p) {
+                    let next = cur ^ (1 << d);
+                    e.insert((cur, next));
+                    cur = next;
+                }
+            }
+            e
+        };
+        for x1 in 0..(1u64 << 4) {
+            for x2 in 0..(1u64 << 4) {
+                if x1 != x2 && class(x1) != class(x2) {
+                    let shared: Vec<_> = all_edges(x1).intersection(&all_edges(x2)).copied().collect();
+                    assert!(shared.is_empty(), "x'={x1:#b} x''={x2:#b} share {shared:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spt_transposes_binary_and_gray() {
+        for enc in [Encoding::Binary, Encoding::Gray] {
+            for scheme in [Assignment::Consecutive, Assignment::Cyclic] {
+                let (before, after) = square(3, 2, scheme, enc);
+                let m = labels(before.clone());
+                let mut net = net(4);
+                let out = transpose_spt(&m, &after, &mut net, 4);
+                assert_transposed(&before, &out);
+                net.finalize();
+            }
+        }
+    }
+
+    #[test]
+    fn spt_round_count_matches_pipeline_formula() {
+        // rounds = ⌈(PQ/N)/B⌉ + n - 1.
+        let (before, after) = square(4, 2, Assignment::Consecutive, Encoding::Binary);
+        let m = labels(before.clone());
+        let b = 4;
+        let per = before.elems_per_node();
+        let mut net = net(4);
+        let _ = transpose_spt(&m, &after, &mut net, b);
+        let r = net.finalize();
+        assert_eq!(r.rounds, per.div_ceil(b) + 4 - 1);
+    }
+
+    #[test]
+    fn spt_time_matches_model() {
+        let (before, after) = square(4, 2, Assignment::Consecutive, Encoding::Binary);
+        let m = labels(before.clone());
+        let params = MachineParams::unit(PortMode::AllPorts);
+        let b = 8;
+        let mut net = SimNet::new(4, params.clone());
+        let _ = transpose_spt(&m, &after, &mut net, b);
+        let r = net.finalize();
+        let expect = cubemodel::two_dim::spt(1 << 8, 4, b as u64, &params);
+        assert!((r.time - expect).abs() < 1e-9, "{} vs {expect}", r.time);
+    }
+
+    #[test]
+    fn dpt_transposes_and_halves_transfer() {
+        let (before, after) = square(4, 2, Assignment::Consecutive, Encoding::Binary);
+        let m = labels(before.clone());
+        let b = 2;
+        let mut net1 = net(4);
+        let _ = transpose_spt(&m, &after, &mut net1, b);
+        let r1 = net1.finalize();
+        let mut net2 = net(4);
+        let out = transpose_dpt(&m, &after, &mut net2, b);
+        assert_transposed(&before, &out);
+        let r2 = net2.finalize();
+        // Same packet size: DPT needs about half the rounds for large data.
+        assert!(
+            r2.rounds < r1.rounds,
+            "DPT rounds {} not below SPT rounds {}",
+            r2.rounds,
+            r1.rounds
+        );
+    }
+
+    #[test]
+    fn mpt_transposes_all_k() {
+        for k in 1..=3u32 {
+            let (before, after) = square(3, 2, Assignment::Consecutive, Encoding::Binary);
+            let m = labels(before.clone());
+            let mut net = net(4);
+            let out = transpose_mpt(&m, &after, &mut net, k);
+            assert_transposed(&before, &out);
+            net.finalize();
+        }
+    }
+
+    #[test]
+    fn mpt_rounds_match_2kh_plus_1() {
+        // Max class H = n/2: rounds = 2·k·(n/2) + 1 = k·n + 1.
+        let (before, after) = square(4, 2, Assignment::Consecutive, Encoding::Binary);
+        let m = labels(before.clone());
+        for k in 1..=2u32 {
+            let mut net = net(4);
+            let _ = transpose_mpt(&m, &after, &mut net, k);
+            let r = net.finalize();
+            assert_eq!(r.rounds, (k * 4 + 1) as usize, "k={k}");
+        }
+    }
+
+    #[test]
+    fn mpt_beats_spt_time_for_big_data() {
+        let (before, after) = square(6, 2, Assignment::Consecutive, Encoding::Binary);
+        let m = labels(before.clone());
+        let params = MachineParams::unit(PortMode::AllPorts);
+        let pq = 1u64 << 12;
+        let b_opt = cubemodel::two_dim::spt_b_opt(pq, 4, &params).round().max(1.0) as usize;
+        let mut net1 = SimNet::new(4, params.clone());
+        let _ = transpose_spt(&m, &after, &mut net1, b_opt);
+        let r1 = net1.finalize();
+        let mut net2 = SimNet::new(4, params);
+        let _ = transpose_mpt(&m, &after, &mut net2, 2);
+        let r2 = net2.finalize();
+        assert!(r2.time < r1.time, "MPT {} vs SPT {}", r2.time, r1.time);
+    }
+
+    #[test]
+    fn stepwise_matches_ipsc_estimate() {
+        let (before, after) = square(4, 2, Assignment::Consecutive, Encoding::Binary);
+        let m = labels(before.clone());
+        let params = MachineParams::intel_ipsc().with_ports(PortMode::AllPorts);
+        let mut net = SimNet::new(4, params.clone());
+        let _ = transpose_spt_stepwise(&m, &after, &mut net);
+        let r = net.finalize();
+        let expect = cubemodel::two_dim::spt_ipsc_step_by_step(1 << 8, 4, &params);
+        assert!((r.time - expect).abs() < 1e-9, "{} vs {expect}", r.time);
+    }
+
+    #[test]
+    fn anti_diagonal_identity_nodes_keep_data() {
+        // Nodes with x_r = x_c never communicate.
+        let (before, after) = square(3, 2, Assignment::Consecutive, Encoding::Binary);
+        let m = labels(before.clone());
+        let mut net = net(4);
+        let out = transpose_spt(&m, &after, &mut net, 16);
+        assert_transposed(&before, &out);
+        let r = net.finalize();
+        // 4 of 16 nodes have H = 0; total volume = 12 nodes × 16 elems ×
+        // path lengths ≥ 2 — just check those 4 contributed nothing.
+        assert!(r.total_messages > 0);
+    }
+
+    #[test]
+    fn rectangular_cyclic_matrix_pairwise() {
+        // p ≠ q still yields a pairwise exchange under cyclic square
+        // partitioning ("for N < PQ, the argument applies to matrix
+        // blocks instead of matrix elements" — rectangular blocks here).
+        let before = Layout::square(4, 3, 1, Assignment::Cyclic, Encoding::Binary);
+        let after = before.swapped_shape();
+        let m = labels(before.clone());
+        let mut net = net(2);
+        let out = transpose_spt(&m, &after, &mut net, 8);
+        assert_transposed(&before, &out);
+        assert_ne!(before.local_rows(), before.local_cols());
+    }
+
+    #[test]
+    fn single_packet_equals_whole_array() {
+        // B ≥ PQ/N: one packet per node, rounds = n.
+        let (before, after) = square(3, 2, Assignment::Consecutive, Encoding::Binary);
+        let m = labels(before.clone());
+        let per = before.elems_per_node();
+        let mut net = net(4);
+        let _ = transpose_spt(&m, &after, &mut net, per * 2);
+        assert_eq!(net.finalize().rounds, 4);
+    }
+
+    #[test]
+    fn dpt_odd_sized_arrays_split_cleanly() {
+        // Ragged packets (8 elements in packets of 3) on a rectangular
+        // matrix; offsets must still reassemble exactly.
+        let before = Layout::square(3, 4, 2, Assignment::Cyclic, Encoding::Binary);
+        let after = before.swapped_shape();
+        let m = labels(before.clone());
+        let mut net = net(4);
+        let out = transpose_dpt(&m, &after, &mut net, 3);
+        assert_transposed(&before, &out);
+    }
+
+    #[test]
+    #[should_panic(expected = "pairwise")]
+    fn non_pairwise_layout_rejected() {
+        // Mixed schemes (consecutive rows / cyclic columns with enough
+        // virtual dims) give all-to-all, which SPT cannot route.
+        let before = Layout::two_dim(
+            4,
+            4,
+            (1, Assignment::Consecutive, Encoding::Binary),
+            (1, Assignment::Cyclic, Encoding::Binary),
+        );
+        let after = before.swapped_shape();
+        let m = labels(before.clone());
+        let mut net: SimNet<Packet<u64>> =
+            SimNet::new(2, MachineParams::unit(PortMode::AllPorts));
+        let _ = transpose_spt(&m, &after, &mut net, 4);
+    }
+}

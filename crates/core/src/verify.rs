@@ -1,0 +1,85 @@
+//! Verification helpers: label-tracked transposition checks.
+//!
+//! Every transpose algorithm in this crate is tested by running it on the
+//! *label matrix* — element `(u, v)` carries the value `(u << q) | v` —
+//! and checking that position `(v, u)` of the result holds that label.
+//! Any misrouted element is then immediately identifiable: the label says
+//! exactly which element it is and where it started.
+
+use cubelayout::{DistMatrix, Layout};
+
+/// Builds the label matrix for a layout: element `(u, v)` holds
+/// `(u << q) | v`.
+pub fn labels(layout: Layout) -> DistMatrix<u64> {
+    cubelayout::dist::label_matrix(layout)
+}
+
+/// Asserts that `result` (a matrix laid out as `A^T`) holds the transpose
+/// of the label matrix built on `before`.
+///
+/// # Panics
+/// With a diagnostic naming the first misplaced element.
+#[track_caller]
+pub fn assert_transposed(before: &Layout, result: &DistMatrix<u64>) {
+    if let Some((u, v, found)) = cubelayout::dist::check_transposed_labels(before, result) {
+        panic!(
+            "transpose failed: a^T({v}, {u}) should hold label {} (= element ({u}, {v}) of A) \
+             but holds {found} (= element ({}, {}))",
+            (u << before.q()) | v,
+            found >> before.q(),
+            found & cubeaddr::mask(before.q()),
+        );
+    }
+}
+
+/// Checks that a dense gathering of `result` equals the mathematical
+/// transpose of a dense gathering of `input` (for arbitrary value types).
+#[track_caller]
+pub fn assert_dense_transposed<T: Copy + PartialEq + std::fmt::Debug>(
+    input: &DistMatrix<T>,
+    result: &DistMatrix<T>,
+) {
+    let a = input.gather();
+    let b = result.gather();
+    assert_eq!(a.len(), b.first().map_or(0, Vec::len), "shape mismatch");
+    for (r, row) in b.iter().enumerate() {
+        for (c, val) in row.iter().enumerate() {
+            assert_eq!(*val, a[c][r], "result[{r}][{c}] ≠ input[{c}][{r}]");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubelayout::{Assignment, DistMatrix, Encoding};
+
+    fn layout() -> Layout {
+        Layout::square(2, 2, 1, Assignment::Consecutive, Encoding::Binary)
+    }
+
+    #[test]
+    fn accepts_correct_transpose() {
+        let before = layout();
+        let after = before.swapped_shape();
+        let good = DistMatrix::from_fn(after, |r, c| (c << 2) | r);
+        assert_transposed(&before, &good);
+    }
+
+    #[test]
+    #[should_panic(expected = "transpose failed")]
+    fn rejects_identity() {
+        let before = layout();
+        let after = before.swapped_shape();
+        let bad = DistMatrix::from_fn(after, |r, c| (r << 2) | c);
+        assert_transposed(&before, &bad);
+    }
+
+    #[test]
+    fn dense_check() {
+        let before = layout();
+        let input = DistMatrix::from_fn(before.clone(), |u, v| (u, v));
+        let result = DistMatrix::from_fn(before.swapped_shape(), |r, c| (c, r));
+        assert_dense_transposed(&input, &result);
+    }
+}

@@ -1,0 +1,390 @@
+//! Dimension permutations and parallel swapping (paper §7, Definitions
+//! 17–18, Lemma 15).
+//!
+//! A *dimension permutation* sends the data of processor
+//! `(x_{n-1} … x_0)` to processor `(x_{δ(n-1)} … x_{δ(0)})` for a
+//! permutation `δ` of `{0, …, n-1}`. Shuffles, bit-reversal and the
+//! matrix-transpose processor permutation (for `n_r = n_c`) are all
+//! dimension permutations. A *parallel swapping* is a dimension permutation
+//! whose `δ` is an involution (`δ(δ(i)) = i`); it is realizable by one pass
+//! of the general exchange algorithm in which all transposed dimension
+//! pairs are exchanged concurrently.
+//!
+//! Lemma 15: any dimension permutation on `n` dimensions factors into at
+//! most `⌈log₂ n⌉` parallel swappings. [`DimPermutation::parallel_swap_factors`]
+//! constructs such a factorization.
+
+use crate::check_dims;
+
+/// A permutation `δ` of the cube dimensions `{0, 1, …, n-1}`.
+///
+/// Applied to an address, destination bit `i` receives source bit `δ(i)`:
+/// `apply(x)_i = x_{δ(i)}`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DimPermutation {
+    /// `delta[i] = δ(i)`.
+    delta: Vec<u32>,
+}
+
+impl DimPermutation {
+    /// The identity permutation on `n` dimensions.
+    pub fn identity(n: u32) -> Self {
+        check_dims(n);
+        DimPermutation { delta: (0..n).collect() }
+    }
+
+    /// Builds a permutation from the map `delta[i] = δ(i)`.
+    ///
+    /// # Panics
+    /// If `delta` is not a permutation of `0..delta.len()`.
+    #[track_caller]
+    pub fn new(delta: Vec<u32>) -> Self {
+        let n = delta.len();
+        check_dims(n as u32);
+        let mut seen = vec![false; n];
+        for &d in &delta {
+            assert!(
+                (d as usize) < n && !seen[d as usize],
+                "{delta:?} is not a permutation of 0..{n}"
+            );
+            seen[d as usize] = true;
+        }
+        DimPermutation { delta }
+    }
+
+    /// The `k`-step left-rotation permutation, matching the shuffle
+    /// operator: `apply(x) = sh^k(x)`.
+    ///
+    /// `sh^k` moves source bit `i` to position `i + k (mod n)`, so
+    /// destination bit `i` receives source bit `i - k (mod n)`.
+    pub fn rotation(n: u32, k: u32) -> Self {
+        check_dims(n);
+        if n == 0 {
+            return Self::identity(0);
+        }
+        let k = k % n;
+        DimPermutation { delta: (0..n).map(|i| (i + n - k) % n).collect() }
+    }
+
+    /// The bit-reversal permutation `δ(i) = n - 1 - i`.
+    pub fn bit_reversal(n: u32) -> Self {
+        check_dims(n);
+        DimPermutation { delta: (0..n).rev().collect() }
+    }
+
+    /// The transpose permutation for a square two-dimensional processor
+    /// array with `n/2` row and `n/2` column dimensions:
+    /// `tr(x_r || x_c) = (x_c || x_r)`, i.e. `δ(i) = i + n/2 (mod n)`.
+    ///
+    /// # Panics
+    /// If `n` is odd.
+    #[track_caller]
+    pub fn transpose(n: u32) -> Self {
+        assert!(n.is_multiple_of(2), "transpose permutation requires an even number of dimensions");
+        Self::rotation(n, n / 2)
+    }
+
+    /// Number of dimensions.
+    pub fn n(&self) -> u32 {
+        self.delta.len() as u32
+    }
+
+    /// `δ(i)`.
+    #[inline]
+    pub fn delta(&self, i: u32) -> u32 {
+        self.delta[i as usize]
+    }
+
+    /// Access to the full map.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.delta
+    }
+
+    /// Applies the permutation to an address: bit `i` of the result is bit
+    /// `δ(i)` of `x`.
+    pub fn apply(&self, x: u64) -> u64 {
+        debug_assert_eq!(x & !crate::mask(self.n()), 0);
+        let mut y = 0u64;
+        for (i, &d) in self.delta.iter().enumerate() {
+            y |= ((x >> d) & 1) << i;
+        }
+        y
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Self {
+        let mut inv = vec![0u32; self.delta.len()];
+        for (i, &d) in self.delta.iter().enumerate() {
+            inv[d as usize] = i as u32;
+        }
+        DimPermutation { delta: inv }
+    }
+
+    /// Composition such that `a.then(b).apply(x) == b.apply(a.apply(x))`.
+    ///
+    /// With `apply(x)_i = x_{δ(i)}`, the composed map is
+    /// `(a ∘ b)(i) = a(b(i))`.
+    #[track_caller]
+    pub fn then(&self, next: &DimPermutation) -> Self {
+        assert_eq!(self.n(), next.n());
+        let delta = (0..self.n()).map(|i| self.delta(next.delta(i))).collect();
+        DimPermutation { delta }
+    }
+
+    /// True when `δ` is an involution, i.e. a *parallel swapping*
+    /// (Definition 18).
+    pub fn is_parallel_swapping(&self) -> bool {
+        self.delta
+            .iter()
+            .enumerate()
+            .all(|(i, &d)| self.delta[d as usize] == i as u32)
+    }
+
+    /// True when `δ` is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.delta.iter().enumerate().all(|(i, &d)| d == i as u32)
+    }
+
+    /// The transposed pairs `(i, j)` with `i < j`, `δ(i) = j` of a parallel
+    /// swapping.
+    ///
+    /// # Panics
+    /// If the permutation is not an involution.
+    #[track_caller]
+    pub fn swap_pairs(&self) -> Vec<(u32, u32)> {
+        assert!(self.is_parallel_swapping(), "not a parallel swapping: {:?}", self.delta);
+        self.delta
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &d)| if (i as u32) < d { Some((i as u32, d)) } else { None })
+            .collect()
+    }
+
+    /// Factors the permutation into at most `⌈log₂ n⌉` parallel swappings
+    /// (Lemma 15).
+    ///
+    /// ```
+    /// use cubeaddr::DimPermutation;
+    /// let delta = DimPermutation::new(vec![2, 0, 3, 1]);
+    /// let factors = delta.parallel_swap_factors();
+    /// assert!(factors.len() <= 2); // ⌈log₂ 4⌉
+    /// let composed = factors.iter().fold(0b0110, |x, f| f.apply(x));
+    /// assert_eq!(composed, delta.apply(0b0110));
+    /// ```
+    ///
+    /// The returned factors `[σ_1, σ_2, …, σ_t]` satisfy
+    /// `apply = σ_t.apply ∘ … ∘ σ_1.apply`, i.e. the first factor is the
+    /// first swapping executed on the data. Identity factors are omitted,
+    /// so the result can be shorter than `⌈log₂ n⌉` (and is empty for the
+    /// identity permutation).
+    pub fn parallel_swap_factors(&self) -> Vec<DimPermutation> {
+        let n = self.n();
+        if n <= 1 {
+            return Vec::new();
+        }
+        // Work on a padded power-of-two dimension count, per the lemma's
+        // proof ("add virtual elements"): pad with fixed points.
+        let padded = (n as usize).next_power_of_two() as u32;
+        let mut rho: Vec<u32> = self.delta.clone();
+        rho.extend(n..padded);
+
+        // Active blocks at the current level; each block is a contiguous
+        // range of *positions* in a working index array. We instead track
+        // blocks as sets of dimension indices, halving each level.
+        let mut blocks: Vec<Vec<u32>> = vec![(0..padded).collect()];
+        let mut factors = Vec::new();
+
+        while blocks[0].len() > 1 {
+            // Build one parallel swapping σ that makes ρ block-diagonal on
+            // each block's two halves, then ρ ← σ ∘ ρ (σ applied to values).
+            let mut sigma: Vec<u32> = (0..padded).collect();
+            let mut next_blocks = Vec::with_capacity(blocks.len() * 2);
+            for block in &blocks {
+                let half = block.len() / 2;
+                let (a, b) = block.split_at(half);
+                let a_set: std::collections::HashSet<u32> = a.iter().copied().collect();
+                // Values that must cross from B's value-side into A and
+                // vice versa: positions i∈A with ρ(i)∈B contribute value
+                // ρ(i) (in B); positions j∈B with ρ(j)∈A contribute ρ(j)
+                // (in A). Pair them up and swap.
+                let mut stranded_in_b: Vec<u32> = a
+                    .iter()
+                    .filter(|&&i| !a_set.contains(&rho[i as usize]))
+                    .map(|&i| rho[i as usize])
+                    .collect();
+                let mut stranded_in_a: Vec<u32> = b
+                    .iter()
+                    .filter(|&&j| a_set.contains(&rho[j as usize]))
+                    .map(|&j| rho[j as usize])
+                    .collect();
+                debug_assert_eq!(stranded_in_a.len(), stranded_in_b.len());
+                // Deterministic pairing for reproducibility.
+                stranded_in_a.sort_unstable();
+                stranded_in_b.sort_unstable();
+                for (&x, &y) in stranded_in_a.iter().zip(&stranded_in_b) {
+                    sigma[x as usize] = y;
+                    sigma[y as usize] = x;
+                }
+                next_blocks.push(a.to_vec());
+                next_blocks.push(b.to_vec());
+            }
+            // ρ' = σ ∘ ρ  (σ applied to the values of ρ).
+            for v in rho.iter_mut() {
+                *v = sigma[*v as usize];
+            }
+            // Padded dimensions are fixed points of ρ and never cross, so σ
+            // only ever swaps real dimensions and truncating to n is safe.
+            debug_assert!(sigma[n as usize..].iter().enumerate().all(|(i, &d)| d == n + i as u32));
+            let sigma = DimPermutation { delta: sigma[..n as usize].to_vec() };
+            if !sigma.is_identity() {
+                factors.push(sigma);
+            }
+            blocks = next_blocks;
+        }
+        debug_assert!(rho.iter().enumerate().all(|(i, &d)| d == i as u32));
+        factors
+    }
+}
+
+impl std::fmt::Display for DimPermutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "δ = [")?;
+        for (i, d) in self.delta.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{i}←{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bit_reverse, shuffle};
+
+    #[test]
+    fn rotation_matches_shuffle() {
+        for n in 1..=10u32 {
+            for k in 0..n {
+                let p = DimPermutation::rotation(n, k);
+                for x in 0..(1u64 << n) {
+                    assert_eq!(p.apply(x), shuffle(x, k, n), "n={n} k={k} x={x:#b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bit_reversal_matches() {
+        for n in 1..=10u32 {
+            let p = DimPermutation::bit_reversal(n);
+            for x in 0..(1u64 << n) {
+                assert_eq!(p.apply(x), bit_reverse(x, n));
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_halves() {
+        let p = DimPermutation::transpose(6);
+        // x = (x_r || x_c) with 3+3 bits; apply = (x_c || x_r).
+        assert_eq!(p.apply(0b101_010), 0b010_101);
+        assert!(p.is_parallel_swapping());
+        assert_eq!(p.swap_pairs(), vec![(0, 3), (1, 4), (2, 5)]);
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = DimPermutation::new(vec![2, 0, 3, 1, 4]);
+        assert!(p.then(&p.inverse()).is_identity());
+        assert!(p.inverse().then(&p).is_identity());
+    }
+
+    #[test]
+    fn then_order() {
+        let a = DimPermutation::rotation(4, 1);
+        let b = DimPermutation::rotation(4, 2);
+        let c = a.then(&b);
+        for x in 0..16u64 {
+            assert_eq!(c.apply(x), b.apply(a.apply(x)));
+            assert_eq!(c.apply(x), shuffle(x, 3, 4));
+        }
+    }
+
+    fn check_factorization(p: &DimPermutation) {
+        let factors = p.parallel_swap_factors();
+        let n = p.n();
+        let bound = (n.max(1) as usize).next_power_of_two().trailing_zeros();
+        assert!(
+            factors.len() as u32 <= bound,
+            "{} factors exceed ceil(log2 {n}) = {bound}",
+            factors.len()
+        );
+        for f in &factors {
+            assert!(f.is_parallel_swapping(), "factor {f:?} not an involution");
+        }
+        for x in 0..(1u64 << n.min(12)) {
+            let mut y = x;
+            for f in &factors {
+                y = f.apply(y);
+            }
+            assert_eq!(y, p.apply(x), "factorization wrong for {p:?} at x={x:#b}");
+        }
+    }
+
+    #[test]
+    fn lemma15_rotations_and_reversals() {
+        for n in 1..=9u32 {
+            for k in 0..n {
+                check_factorization(&DimPermutation::rotation(n, k));
+            }
+            check_factorization(&DimPermutation::bit_reversal(n));
+            check_factorization(&DimPermutation::identity(n));
+        }
+    }
+
+    #[test]
+    fn lemma15_exhaustive_small() {
+        // All permutations of 4 dimensions.
+        fn perms(n: usize) -> Vec<Vec<u32>> {
+            if n == 0 {
+                return vec![vec![]];
+            }
+            let mut out = Vec::new();
+            for p in perms(n - 1) {
+                for pos in 0..=p.len() {
+                    let mut q = p.clone();
+                    q.insert(pos, (n - 1) as u32);
+                    out.push(q);
+                }
+            }
+            out
+        }
+        for delta in perms(4) {
+            check_factorization(&DimPermutation::new(delta));
+        }
+    }
+
+    #[test]
+    fn lemma15_figure8_example() {
+        // Figure 8 permutes 8 dimensions in 3 parallel-swap steps; verify
+        // that an arbitrary 8-dimension permutation needs at most 3.
+        let p = DimPermutation::new(vec![3, 7, 0, 5, 6, 1, 2, 4]);
+        let factors = p.parallel_swap_factors();
+        assert!(factors.len() <= 3);
+        check_factorization(&p);
+    }
+
+    #[test]
+    fn identity_has_no_factors() {
+        assert!(DimPermutation::identity(8).parallel_swap_factors().is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn new_rejects_non_permutation() {
+        DimPermutation::new(vec![0, 0, 1]);
+    }
+}

@@ -1,0 +1,236 @@
+//! Sets of cube dimensions and subcube enumeration.
+//!
+//! The paper partitions the `m`-dimensional address space of the matrix
+//! into the dimensions used for *real processors* (`R`) and for *virtual
+//! processors* (`V`), with `R ∩ V = ∅`, `R ∪ V = {0, …, m-1}`. The sets
+//! `R_b` and `R_a` of real dimensions before and after a transposition, and
+//! their intersection `I = R_b ∩ R_a`, classify the communication pattern
+//! (all-to-all when `I = ∅` and `|R_b| = |R_a|`, pairwise when
+//! `I = R_b = R_a`, …).
+
+use crate::{check_dims, mask};
+
+/// An immutable set of dimension indices, stored as a bit mask.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct DimSet(pub u64);
+
+impl DimSet {
+    /// The empty set.
+    pub const EMPTY: DimSet = DimSet(0);
+
+    /// The set `{0, 1, …, m-1}` of all dimensions of an `m`-bit field.
+    pub fn all(m: u32) -> Self {
+        DimSet(mask(m))
+    }
+
+    /// The contiguous range `{lo, lo+1, …, hi-1}`.
+    #[track_caller]
+    pub fn range(lo: u32, hi: u32) -> Self {
+        assert!(lo <= hi, "empty-producing reversed range {lo}..{hi}");
+        check_dims(hi);
+        DimSet(mask(hi) & !mask(lo))
+    }
+
+    /// Builds a set from an iterator of dimension indices.
+    pub fn from_dims<I: IntoIterator<Item = u32>>(dims: I) -> Self {
+        let mut bits = 0u64;
+        for d in dims {
+            check_dims(d + 1);
+            bits |= 1 << d;
+        }
+        DimSet(bits)
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, d: u32) -> bool {
+        (self.0 >> d) & 1 == 1
+    }
+
+    /// Number of dimensions in the set.
+    #[inline]
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// True when the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(self, other: DimSet) -> DimSet {
+        DimSet(self.0 | other.0)
+    }
+
+    /// Set intersection — e.g. `I = R_b ∩ R_a`.
+    #[inline]
+    pub fn intersect(self, other: DimSet) -> DimSet {
+        DimSet(self.0 & other.0)
+    }
+
+    /// Set difference.
+    #[inline]
+    pub fn difference(self, other: DimSet) -> DimSet {
+        DimSet(self.0 & !other.0)
+    }
+
+    /// Complement within an `m`-dimensional field — e.g. `V = {0,…,m-1} \ R`.
+    #[inline]
+    pub fn complement(self, m: u32) -> DimSet {
+        DimSet(mask(m) & !self.0)
+    }
+
+    /// True when the two sets are disjoint.
+    #[inline]
+    pub fn is_disjoint(self, other: DimSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Iterates the member dimensions in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = u32> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let d = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(d)
+            }
+        })
+    }
+
+    /// Iterates the member dimensions in descending order.
+    pub fn iter_desc(self) -> impl Iterator<Item = u32> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let d = 63 - bits.leading_zeros();
+                bits &= !(1u64 << d);
+                Some(d)
+            }
+        })
+    }
+
+    /// Extracts the bits of `w` at the member dimensions, packed into the
+    /// low `len()` bits (lowest member dimension → bit 0).
+    ///
+    /// This is the "address within the subfield" used when a subset of the
+    /// matrix-address dimensions forms a (real or virtual) processor
+    /// address field.
+    pub fn extract(self, w: u64) -> u64 {
+        let mut out = 0u64;
+        for (i, d) in self.iter().enumerate() {
+            out |= ((w >> d) & 1) << i;
+        }
+        out
+    }
+
+    /// Inverse of [`DimSet::extract`]: scatters the low `len()` bits of
+    /// `packed` to the member dimensions.
+    pub fn deposit(self, packed: u64) -> u64 {
+        let mut out = 0u64;
+        for (i, d) in self.iter().enumerate() {
+            out |= ((packed >> i) & 1) << d;
+        }
+        out
+    }
+
+    /// Enumerates all `2^len()` settings of the member bits (the *subcube*
+    /// spanned by the set, based at address 0).
+    ///
+    /// Combined with a fixed setting of the complementary bits this
+    /// enumerates the nodes of a subcube: the paper's some-to-all analysis
+    /// runs concurrently "in `2^l` distinct subcubes … of dimension `k`".
+    pub fn subcube(self) -> impl Iterator<Item = u64> {
+        let n = self.len();
+        (0..(1u64 << n)).map(move |packed| self.deposit(packed))
+    }
+}
+
+impl std::fmt::Debug for DimSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DimSet{{")?;
+        for (i, d) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        assert_eq!(DimSet::all(4).0, 0b1111);
+        assert_eq!(DimSet::range(2, 5).0, 0b11100);
+        assert_eq!(DimSet::range(3, 3).0, 0);
+        assert_eq!(DimSet::from_dims([0, 2, 5]).0, 0b100101);
+    }
+
+    #[test]
+    fn algebra() {
+        let a = DimSet::from_dims([0, 1, 4]);
+        let b = DimSet::from_dims([1, 2]);
+        assert_eq!(a.union(b), DimSet::from_dims([0, 1, 2, 4]));
+        assert_eq!(a.intersect(b), DimSet::from_dims([1]));
+        assert_eq!(a.difference(b), DimSet::from_dims([0, 4]));
+        assert_eq!(a.complement(5), DimSet::from_dims([2, 3]));
+        assert!(!a.is_disjoint(b));
+        assert!(a.is_disjoint(DimSet::from_dims([2, 3])));
+    }
+
+    #[test]
+    fn iteration_orders() {
+        let s = DimSet::from_dims([1, 3, 6]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 3, 6]);
+        assert_eq!(s.iter_desc().collect::<Vec<_>>(), vec![6, 3, 1]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn extract_deposit_roundtrip() {
+        let s = DimSet::from_dims([1, 3, 6]);
+        for packed in 0..8u64 {
+            let scattered = s.deposit(packed);
+            assert_eq!(s.extract(scattered), packed);
+            // Non-member bits untouched.
+            assert_eq!(scattered & !s.0, 0);
+        }
+        assert_eq!(s.extract(0b100_1010), 0b111);
+        assert_eq!(s.extract(0b000_1010), 0b011);
+    }
+
+    #[test]
+    fn extract_ignores_non_members() {
+        let s = DimSet::from_dims([0, 2]);
+        assert_eq!(s.extract(0b111), s.extract(0b101));
+    }
+
+    #[test]
+    fn subcube_enumerates_all_corners() {
+        let s = DimSet::from_dims([1, 4]);
+        let corners: Vec<u64> = s.subcube().collect();
+        assert_eq!(corners, vec![0b00000, 0b00010, 0b10000, 0b10010]);
+    }
+
+    #[test]
+    fn complement_partition() {
+        let m = 8;
+        let r = DimSet::from_dims([0, 3, 5]);
+        let v = r.complement(m);
+        assert!(r.is_disjoint(v));
+        assert_eq!(r.union(v), DimSet::all(m));
+        assert_eq!(r.len() + v.len(), m);
+    }
+}

@@ -1,0 +1,104 @@
+//! Proximity-preserving embeddings of rings and meshes into Boolean
+//! cubes.
+//!
+//! The paper's introduction leans on the fact that "multi-dimensional
+//! arrays can be embedded in Boolean cubes preserving proximity" (its
+//! refs \[13, 14\]): a ring of `2^m` elements maps onto the cube by the
+//! binary-reflected Gray code, and a multi-dimensional mesh by a product
+//! of Gray codes over disjoint dimension fields. These embeddings are
+//! what make the *consecutive, Gray-encoded* matrix layouts neighborly —
+//! adjacent stripes or blocks sit on adjacent processors.
+
+use crate::gray::gray;
+use crate::{check_dims, concat, hamming, NodeId};
+
+/// The node hosting ring position `i` of a `2^m`-element ring embedded by
+/// the Gray code: consecutive ring positions are cube neighbors, as is
+/// the wrap-around pair.
+pub fn ring_node(i: u64, m: u32) -> NodeId {
+    check_dims(m);
+    NodeId(gray(i & crate::mask(m)))
+}
+
+/// A `2^a × 2^b` mesh embedded into an `(a+b)`-cube by the product of
+/// Gray codes: position `(r, c)` maps to `(G(r) ‖ G(c))`.
+///
+/// Horizontal and vertical mesh neighbors land on cube neighbors; with
+/// the wrap-around links included this embeds the torus.
+pub fn mesh_node(r: u64, c: u64, a: u32, b: u32) -> NodeId {
+    check_dims(a + b);
+    NodeId(concat(gray(r & crate::mask(a)), gray(c & crate::mask(b)), b))
+}
+
+/// Dilation of an embedding edge: the cube distance between the images
+/// of two adjacent guest nodes (1 for a proximity-preserving embedding).
+pub fn dilation(x: NodeId, y: NodeId) -> u32 {
+    hamming(x.bits(), y.bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_embedding_has_dilation_one() {
+        for m in 1..=10u32 {
+            let len = 1u64 << m;
+            for i in 0..len {
+                let here = ring_node(i, m);
+                let next = ring_node((i + 1) % len, m);
+                assert_eq!(dilation(here, next), 1, "m={m} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_embedding_is_bijective() {
+        let m = 8;
+        let mut seen = vec![false; 1 << m];
+        for i in 0..(1u64 << m) {
+            let x = ring_node(i, m).index();
+            assert!(!seen[x]);
+            seen[x] = true;
+        }
+    }
+
+    #[test]
+    fn mesh_embedding_dilation_one_both_axes() {
+        let (a, b) = (3u32, 4u32);
+        for r in 0..(1u64 << a) {
+            for c in 0..(1u64 << b) {
+                let here = mesh_node(r, c, a, b);
+                let right = mesh_node(r, (c + 1) % (1 << b), a, b);
+                let down = mesh_node((r + 1) % (1 << a), c, a, b);
+                assert_eq!(dilation(here, right), 1, "({r},{c}) →");
+                assert_eq!(dilation(here, down), 1, "({r},{c}) ↓");
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_embedding_is_bijective() {
+        let (a, b) = (3u32, 3u32);
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..(1u64 << a) {
+            for c in 0..(1u64 << b) {
+                assert!(seen.insert(mesh_node(r, c, a, b)));
+            }
+        }
+        assert_eq!(seen.len(), 1 << (a + b));
+    }
+
+    #[test]
+    fn mesh_matches_gray_consecutive_layout_blocks() {
+        // The mesh embedding is exactly where a consecutive Gray 2D
+        // layout puts its block (r, c): the layout's node for a block is
+        // (G(r) ‖ G(c)).
+        let (a, b) = (2u32, 2u32);
+        for r in 0..4u64 {
+            for c in 0..4u64 {
+                assert_eq!(mesh_node(r, c, a, b).bits(), (gray(r) << 2) | gray(c));
+            }
+        }
+    }
+}

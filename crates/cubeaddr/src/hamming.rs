@@ -1,0 +1,66 @@
+//! Hamming distance and parity (paper Definition 4).
+
+/// `Hamming(w, z) = Σ_i (w_i ⊕ z_i)` — the number of bit positions in which
+/// `w` and `z` differ.
+#[inline]
+pub fn hamming(w: u64, z: u64) -> u32 {
+    (w ^ z).count_ones()
+}
+
+/// Parity of an address: `true` when the number of one bits is odd.
+///
+/// Used by the combined Gray-code/transpose algorithm of paper §6.3, where
+/// column operations are controlled by the parity of the block-column
+/// index.
+#[inline]
+pub fn parity(w: u64) -> bool {
+    w.count_ones() % 2 == 1
+}
+
+/// Population count restricted to the low `m` bits.
+#[inline]
+pub fn weight(w: u64, m: u32) -> u32 {
+    (w & crate::mask(m)).count_ones()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_basic() {
+        assert_eq!(hamming(0, 0), 0);
+        assert_eq!(hamming(0b1010, 0b0101), 4);
+        assert_eq!(hamming(0b1010, 0b1000), 1);
+        assert_eq!(hamming(u64::MAX, 0), 64);
+    }
+
+    #[test]
+    fn hamming_symmetric_triangle() {
+        let cases = [0u64, 1, 0b1010, 0b1111, 0xdead_beef];
+        for &a in &cases {
+            for &b in &cases {
+                assert_eq!(hamming(a, b), hamming(b, a));
+                for &c in &cases {
+                    assert!(hamming(a, c) <= hamming(a, b) + hamming(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parity_basic() {
+        assert!(!parity(0));
+        assert!(parity(1));
+        assert!(!parity(0b11));
+        assert!(parity(0b111));
+        assert!(!parity(0b1111_0000_1111_0000));
+    }
+
+    #[test]
+    fn weight_masks_high_bits() {
+        assert_eq!(weight(0b1111, 2), 2);
+        assert_eq!(weight(u64::MAX, 10), 10);
+        assert_eq!(weight(0b1000, 3), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Necklace (cyclic-rotation) utilities for spanning balanced *n*-tree
+//! routing.
+//!
+//! The SBnT transpose algorithm of the paper labels each relative address
+//! `j ≠ 0` with its *base*: "the minimum number of right rotations of `j`
+//! which yields the minimum value among all rotations of `j`". Messages for
+//! destination `j` leave the source on port `base(j)`, which splits the
+//! node set into `n` approximately equal subtrees. Forwarding then moves
+//! along the 1-bits of the relative address, cyclically.
+
+use crate::{check_dims, shuffle::shuffle, unshuffle};
+
+/// The minimum value among all cyclic rotations of the `n`-bit string `j`
+/// (the *necklace representative*).
+pub fn necklace_min(j: u64, n: u32) -> u64 {
+    check_dims(n);
+    (0..n).map(|k| unshuffle(j, k, n)).min().unwrap_or(j)
+}
+
+/// `base(j)`: the minimum number of right rotations of `j` that yields
+/// [`necklace_min`] (paper's SBnT algorithm).
+///
+/// `base(0)` is defined as 0.
+pub fn base(j: u64, n: u32) -> u32 {
+    check_dims(n);
+    let mut best = (j, 0);
+    for k in 1..n {
+        let r = unshuffle(j, k, n);
+        if r < best.0 {
+            best = (r, k);
+        }
+    }
+    best.1
+}
+
+/// The number of distinct cyclic rotations of `j` (its cyclic period).
+///
+/// Subtree sizes of the spanning balanced *n*-tree are governed by how many
+/// addresses share each necklace; full-period necklaces contribute one node
+/// to each of the `n` subtrees.
+pub fn cyclic_period(j: u64, n: u32) -> u32 {
+    check_dims(n);
+    for p in 1..=n {
+        if n.is_multiple_of(p) && shuffle(j, p, n) == j {
+            return p;
+        }
+    }
+    n.max(1)
+}
+
+/// The position of the 1-bit of `w` nearest to the left of bit `i`,
+/// cyclically (paper's SBnT forwarding rule: "the bit position of
+/// relative-addr which is the nearest 1-bit to the left of the j-th bit
+/// cyclically").
+///
+/// Returns `None` when `w` has no 1-bit.
+pub fn nearest_one_left_cyclic(w: u64, i: u32, n: u32) -> Option<u32> {
+    check_dims(n);
+    if w == 0 {
+        return None;
+    }
+    for step in 1..=n {
+        let d = (i + step) % n;
+        if (w >> d) & 1 == 1 {
+            return Some(d);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn necklace_min_examples() {
+        // Rotations of 0b0110 (n=4): 0110, 0011, 1001, 1100 → min 0011.
+        assert_eq!(necklace_min(0b0110, 4), 0b0011);
+        assert_eq!(necklace_min(0b1000, 4), 0b0001);
+        assert_eq!(necklace_min(0, 4), 0);
+        assert_eq!(necklace_min(0b1111, 4), 0b1111);
+    }
+
+    #[test]
+    fn base_reaches_min() {
+        for n in 1..=8u32 {
+            for j in 0..(1u64 << n) {
+                let b = base(j, n);
+                assert_eq!(unshuffle(j, b, n), necklace_min(j, n), "n={n} j={j:#b}");
+                // Minimality of rotation count.
+                for k in 0..b {
+                    assert!(unshuffle(j, k, n) > necklace_min(j, n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn base_splits_nodes_into_balanced_classes() {
+        // Over all j≠0 of an n-cube, the port assignment base(j) puts at
+        // most ceil((2^n - 1)/n) + (number of short-period necklaces)
+        // nodes on any port; for the paper's purposes we just check rough
+        // balance: max class ≤ 2 × min class for n ≥ 3 where every class is
+        // nonempty.
+        for n in 3..=9u32 {
+            let mut counts = vec![0usize; n as usize];
+            for j in 1..(1u64 << n) {
+                counts[base(j, n) as usize] += 1;
+            }
+            let (mn, mx) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+            assert!(*mn > 0, "empty port class at n={n}");
+            assert!(*mx <= 2 * *mn, "unbalanced SBnT port classes at n={n}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn cyclic_period_divides_n() {
+        for n in 1..=9u32 {
+            for j in 0..(1u64 << n) {
+                let p = cyclic_period(j, n);
+                assert_eq!(n % p, 0);
+                assert_eq!(shuffle(j, p, n), j);
+            }
+        }
+        assert_eq!(cyclic_period(0, 6), 1);
+        assert_eq!(cyclic_period(0b010101, 6), 2);
+        assert_eq!(cyclic_period(0b011011, 6), 3);
+        assert_eq!(cyclic_period(0b000001, 6), 6);
+    }
+
+    #[test]
+    fn nearest_one_left() {
+        // w = 0b0101, n = 4: left of bit 0 is bit 2; left of bit 2 is bit 0
+        // (cyclically); left of bit 1 is bit 2; left of bit 3 is bit 0.
+        let w = 0b0101;
+        assert_eq!(nearest_one_left_cyclic(w, 0, 4), Some(2));
+        assert_eq!(nearest_one_left_cyclic(w, 1, 4), Some(2));
+        assert_eq!(nearest_one_left_cyclic(w, 2, 4), Some(0));
+        assert_eq!(nearest_one_left_cyclic(w, 3, 4), Some(0));
+        assert_eq!(nearest_one_left_cyclic(0, 2, 4), None);
+        // Self-bit is skipped: starts strictly to the left.
+        assert_eq!(nearest_one_left_cyclic(0b0100, 2, 4), Some(2));
+    }
+}

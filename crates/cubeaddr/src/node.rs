@@ -1,0 +1,233 @@
+//! Node addresses on a Boolean *n*-cube.
+//!
+//! A Boolean *n*-cube has `N = 2^n` nodes. Node `x` is connected to the `n`
+//! nodes whose addresses differ from `x` in exactly one bit (paper
+//! Definition 5). The diameter is `n` and the number of (undirected) links
+//! is `n·N/2`.
+
+use crate::{check_dims, hamming, mask};
+
+/// Address of a node in a Boolean *n*-cube.
+///
+/// A `NodeId` is an *n*-bit binary string. The type does not carry `n`
+/// itself — the cube dimension is supplied by the structures that own node
+/// collections — but every operation that needs `n` takes it explicitly and
+/// debug-asserts that the address fits.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct NodeId(pub u64);
+
+impl NodeId {
+    /// The node with all-zero address (conventional root for spanning
+    /// trees).
+    pub const ZERO: NodeId = NodeId(0);
+
+    /// Creates a node id, checking that it fits an `n`-dimensional cube.
+    #[inline]
+    #[track_caller]
+    pub fn new(addr: u64, n: u32) -> Self {
+        check_dims(n);
+        assert_eq!(addr & !mask(n), 0, "address {addr:#b} out of range for an {n}-cube");
+        NodeId(addr)
+    }
+
+    /// The raw address bits.
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// The neighbor across dimension `d` (bit `d` complemented).
+    #[inline]
+    pub fn neighbor(self, d: u32) -> NodeId {
+        NodeId(self.0 ^ (1 << d))
+    }
+
+    /// Value of address bit `d`.
+    #[inline]
+    pub fn bit(self, d: u32) -> bool {
+        (self.0 >> d) & 1 == 1
+    }
+
+    /// Hamming distance to `other` — the length of a shortest path in the
+    /// cube.
+    #[inline]
+    pub fn distance(self, other: NodeId) -> u32 {
+        hamming(self.0, other.0)
+    }
+
+    /// True when `other` is a cube neighbor (distance exactly one).
+    #[inline]
+    pub fn is_neighbor(self, other: NodeId) -> bool {
+        (self.0 ^ other.0).count_ones() == 1
+    }
+
+    /// The dimension connecting `self` to neighbor `other`.
+    ///
+    /// # Panics
+    /// If `other` is not a neighbor of `self`.
+    #[inline]
+    #[track_caller]
+    pub fn dim_to(self, other: NodeId) -> u32 {
+        let diff = self.0 ^ other.0;
+        assert_eq!(diff.count_ones(), 1, "{self:?} and {other:?} are not cube neighbors");
+        diff.trailing_zeros()
+    }
+
+    /// Iterator over all `n` neighbors, in ascending dimension order.
+    pub fn neighbors(self, n: u32) -> impl Iterator<Item = NodeId> {
+        (0..n).map(move |d| self.neighbor(d))
+    }
+
+    /// Iterator over every node of an `n`-cube in address order.
+    pub fn all(n: u32) -> impl Iterator<Item = NodeId> {
+        check_dims(n);
+        (0..(1u64 << n)).map(NodeId)
+    }
+
+    /// Translation of this node by `s` (bitwise exclusive or).
+    ///
+    /// The paper uses translations to relate spanning trees rooted at
+    /// different nodes: the tree rooted at `s` is the tree rooted at 0 with
+    /// every address XORed by `s`.
+    #[inline]
+    pub fn translate(self, s: NodeId) -> NodeId {
+        NodeId(self.0 ^ s.0)
+    }
+
+    /// Index usable for array storage (`usize` form of the address).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NodeId({:#b})", self.0)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(v: u64) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Number of nodes of an `n`-cube.
+#[inline]
+pub fn cube_size(n: u32) -> usize {
+    check_dims(n);
+    1usize << n
+}
+
+/// Number of undirected links of an `n`-cube: `n·N/2`.
+#[inline]
+pub fn link_count(n: u32) -> usize {
+    if n == 0 {
+        0
+    } else {
+        (n as usize) << (n - 1)
+    }
+}
+
+/// Enumerates the `Hamming(x, y)` shortest paths' first-step dimensions:
+/// the set of dimensions in which `x` and `y` differ, ascending.
+pub fn differing_dims(x: NodeId, y: NodeId) -> impl Iterator<Item = u32> {
+    let mut diff = x.0 ^ y.0;
+    std::iter::from_fn(move || {
+        if diff == 0 {
+            None
+        } else {
+            let d = diff.trailing_zeros();
+            diff &= diff - 1;
+            Some(d)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbor_relation() {
+        let x = NodeId::new(0b1010, 4);
+        assert_eq!(x.neighbor(0), NodeId(0b1011));
+        assert_eq!(x.neighbor(3), NodeId(0b0010));
+        assert!(x.is_neighbor(x.neighbor(2)));
+        assert!(!x.is_neighbor(x));
+        assert!(!x.is_neighbor(NodeId(0b0110)));
+    }
+
+    #[test]
+    fn neighbor_involution() {
+        for x in NodeId::all(5) {
+            for d in 0..5 {
+                assert_eq!(x.neighbor(d).neighbor(d), x);
+                assert_eq!(x.dim_to(x.neighbor(d)), d);
+            }
+        }
+    }
+
+    #[test]
+    fn counts() {
+        assert_eq!(cube_size(0), 1);
+        assert_eq!(cube_size(6), 64);
+        assert_eq!(link_count(0), 0);
+        assert_eq!(link_count(1), 1);
+        assert_eq!(link_count(3), 12);
+        // n·N/2 with n=6: 6·64/2 = 192.
+        assert_eq!(link_count(6), 192);
+    }
+
+    #[test]
+    fn all_nodes_have_n_neighbors() {
+        let n = 4;
+        for x in NodeId::all(n) {
+            let nbrs: Vec<_> = x.neighbors(n).collect();
+            assert_eq!(nbrs.len(), n as usize);
+            for y in &nbrs {
+                assert_eq!(x.distance(*y), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn differing_dims_matches_distance() {
+        let x = NodeId(0b110100);
+        let y = NodeId(0b011001);
+        let dims: Vec<_> = differing_dims(x, y).collect();
+        assert_eq!(dims.len() as u32, x.distance(y));
+        assert_eq!(dims, vec![0, 2, 3, 5]);
+    }
+
+    #[test]
+    fn translation_preserves_adjacency() {
+        let n = 4;
+        let s = NodeId(0b0110);
+        for x in NodeId::all(n) {
+            for d in 0..n {
+                let y = x.neighbor(d);
+                assert!(x.translate(s).is_neighbor(y.translate(s)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn new_rejects_out_of_range() {
+        NodeId::new(0b10000, 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dim_to_rejects_non_neighbor() {
+        NodeId(0).dim_to(NodeId(0b11));
+    }
+}

@@ -1,0 +1,181 @@
+//! Shuffle operators on address fields (paper Definition 3, Lemmas 1–3).
+//!
+//! A *shuffle* `sh^1` on an `m`-bit address field is a one-step left cyclic
+//! shift: `loc(w_{m-1} w_{m-2} … w_0) ← loc(w_{m-2} … w_0 w_{m-1})`. In
+//! terms of the value stored at an address, the element at address `w`
+//! moves to address `sh(w)` where `sh` rotates the bits left. An *unshuffle*
+//! `sh^{-1}` is the right cyclic shift. `sh^p` applied to the `(u||v)`
+//! address of a `2^p × 2^q` matrix element realizes the transpose
+//! (Lemma 1).
+
+use crate::{check_dims, mask};
+
+/// Left cyclic shift of the low `m` bits of `w` by `k` steps: `sh^k(w)`.
+///
+/// Bits above position `m` must be zero and remain zero.
+#[inline]
+#[track_caller]
+pub fn shuffle(w: u64, k: u32, m: u32) -> u64 {
+    check_dims(m);
+    debug_assert_eq!(w & !mask(m), 0, "address {w:#b} exceeds {m} bits");
+    if m == 0 {
+        return 0;
+    }
+    let k = k % m;
+    if k == 0 {
+        return w;
+    }
+    ((w << k) | (w >> (m - k))) & mask(m)
+}
+
+/// Right cyclic shift of the low `m` bits of `w` by `k` steps: `sh^{-k}(w)`.
+#[inline]
+pub fn unshuffle(w: u64, k: u32, m: u32) -> u64 {
+    if m == 0 {
+        return 0;
+    }
+    shuffle(w, m - (k % m), m)
+}
+
+/// Greatest common divisor (for the Lemma 2 closed form).
+pub(crate) fn gcd(a: u32, b: u32) -> u32 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// The maximum over all `m`-bit `w` of `Hamming(w, sh^k(w))` (paper
+/// Lemma 2):
+///
+/// ```text
+/// max_w Hamming(w, sh^k w) = m            if m / gcd(m,k) is even
+///                          = m - gcd(m,k) if m / gcd(m,k) is odd
+/// ```
+///
+/// For `k = 0` (identity) the maximum is 0, consistent with
+/// `m - gcd(m, 0) = 0`.
+pub fn max_hamming_shuffle(m: u32, k: u32) -> u32 {
+    check_dims(m);
+    if m == 0 {
+        return 0;
+    }
+    let k = k % m;
+    if k == 0 {
+        return 0;
+    }
+    let g = gcd(m, k);
+    if (m / g).is_multiple_of(2) {
+        m
+    } else {
+        m - g
+    }
+}
+
+/// A witness address achieving [`max_hamming_shuffle`] for `k = 1`
+/// (the constructive part of Lemma 2's proof): `0101…01` for even `m`,
+/// `0101…010` for odd `m`.
+pub fn max_hamming_witness_sh1(m: u32) -> u64 {
+    check_dims(m);
+    let alternating = 0x5555_5555_5555_5555u64; // …010101
+    if m.is_multiple_of(2) {
+        alternating & mask(m)
+    } else {
+        (alternating << 1) & mask(m) // …0101010
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hamming;
+
+    #[test]
+    fn shuffle_rotates() {
+        assert_eq!(shuffle(0b1000, 1, 4), 0b0001);
+        assert_eq!(shuffle(0b0011, 1, 4), 0b0110);
+        assert_eq!(shuffle(0b0011, 2, 4), 0b1100);
+        assert_eq!(shuffle(0b0011, 4, 4), 0b0011);
+    }
+
+    #[test]
+    fn unshuffle_inverts_shuffle() {
+        for m in 1..10u32 {
+            for w in 0..(1u64 << m) {
+                for k in 0..2 * m {
+                    assert_eq!(unshuffle(shuffle(w, k, m), k, m), w);
+                    assert_eq!(shuffle(unshuffle(w, k, m), k, m), w);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sh_k_equals_sh_neg_m_minus_k() {
+        // sh^k(w) = sh^{-(m-k)}(w).
+        let m = 7;
+        for w in 0..(1u64 << m) {
+            for k in 0..m {
+                assert_eq!(shuffle(w, k, m), unshuffle(w, m - k, m));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_width_field() {
+        assert_eq!(shuffle(0, 3, 0), 0);
+        assert_eq!(unshuffle(0, 3, 0), 0);
+    }
+
+    /// Brute-force verification of Lemma 2 for all m ≤ 12 and all k.
+    #[test]
+    fn lemma2_max_hamming_exact() {
+        for m in 1..=12u32 {
+            for k in 0..m {
+                let brute = (0..(1u64 << m))
+                    .map(|w| hamming(w, shuffle(w, k, m)))
+                    .max()
+                    .unwrap();
+                assert_eq!(
+                    brute,
+                    max_hamming_shuffle(m, k),
+                    "lemma 2 mismatch at m={m} k={k}"
+                );
+            }
+        }
+    }
+
+    /// Lemma 3: for 0 ≤ k < m, max_w Hamming(w, sh^k w) ≥ k.
+    #[test]
+    fn lemma3_lower_bound() {
+        for m in 1..=32u32 {
+            for k in 1..m {
+                assert!(
+                    max_hamming_shuffle(m, k) >= k,
+                    "lemma 3 violated at m={m} k={k}"
+                );
+            }
+        }
+    }
+
+    /// Corollary 2: for even m, the half-rotation attains Hamming distance m.
+    #[test]
+    fn corollary2_half_rotation() {
+        for m in (2..=16u32).step_by(2) {
+            assert_eq!(max_hamming_shuffle(m, m / 2), m);
+        }
+    }
+
+    #[test]
+    fn witness_attains_lemma2_for_k1() {
+        for m in 1..=16u32 {
+            let w = max_hamming_witness_sh1(m);
+            assert_eq!(
+                hamming(w, shuffle(w, 1, m)),
+                max_hamming_shuffle(m, 1),
+                "witness fails at m={m}"
+            );
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the addressing primitives.
+
+use cubeaddr::necklace::{base, cyclic_period, necklace_min};
+use cubeaddr::{
+    bit_reverse, concat, gray, gray_inverse, hamming, mask, parity, shuffle, split, unshuffle,
+    DimPermutation, DimSet,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn concat_split_inverse(q in 0u32..32, u in 0u64..(1 << 20), v_raw in 0u64..(1 << 20)) {
+        let v = v_raw & mask(q);
+        let u = u & mask(20);
+        let w = concat(u, v, q);
+        prop_assert_eq!(split(w, q), (u, v));
+    }
+
+    #[test]
+    fn gray_is_involution_composed_with_inverse(w in any::<u64>()) {
+        prop_assert_eq!(gray_inverse(gray(w)), w);
+        prop_assert_eq!(gray(gray_inverse(w)), w);
+    }
+
+    #[test]
+    fn gray_parity_alternates(w in 0u64..(u64::MAX - 1)) {
+        // gray(w) and gray(w+1) differ in one bit, so parities alternate.
+        prop_assert_ne!(parity(gray(w)), parity(gray(w + 1)));
+    }
+
+    #[test]
+    fn shuffle_composition(m in 1u32..32, k1 in 0u32..64, k2 in 0u32..64, w_raw in any::<u64>()) {
+        let w = w_raw & mask(m);
+        prop_assert_eq!(
+            shuffle(shuffle(w, k1, m), k2, m),
+            shuffle(w, (k1 + k2) % m.max(1), m)
+        );
+        prop_assert_eq!(unshuffle(shuffle(w, k1, m), k1, m), w);
+    }
+
+    #[test]
+    fn shuffle_preserves_weight(m in 1u32..32, k in 0u32..32, w_raw in any::<u64>()) {
+        let w = w_raw & mask(m);
+        prop_assert_eq!(w.count_ones(), shuffle(w, k, m).count_ones());
+    }
+
+    #[test]
+    fn bit_reverse_involution(m in 1u32..40, w_raw in any::<u64>()) {
+        let w = w_raw & mask(m);
+        prop_assert_eq!(bit_reverse(bit_reverse(w, m), m), w);
+        prop_assert_eq!(w.count_ones(), bit_reverse(w, m).count_ones());
+    }
+
+    #[test]
+    fn hamming_metric(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        prop_assert_eq!(hamming(a, b), hamming(b, a));
+        prop_assert!(hamming(a, c) <= hamming(a, b) + hamming(b, c));
+        prop_assert_eq!(hamming(a, a), 0);
+    }
+
+    #[test]
+    fn necklace_base_reaches_minimum(n in 1u32..16, j_raw in any::<u64>()) {
+        let j = j_raw & mask(n);
+        let b = base(j, n);
+        prop_assert!(b < n.max(1));
+        prop_assert_eq!(unshuffle(j, b, n), necklace_min(j, n));
+        // The necklace minimum is invariant under rotation.
+        prop_assert_eq!(necklace_min(shuffle(j, 3, n), n), necklace_min(j, n));
+    }
+
+    #[test]
+    fn cyclic_period_consistency(n in 1u32..16, j_raw in any::<u64>()) {
+        let j = j_raw & mask(n);
+        let p = cyclic_period(j, n);
+        prop_assert_eq!(n % p, 0);
+        prop_assert_eq!(shuffle(j, p, n), j);
+        for q in 1..p {
+            prop_assert_ne!(shuffle(j, q, n), j);
+        }
+    }
+
+    #[test]
+    fn dimset_extract_deposit(bits in any::<u64>(), w in any::<u64>()) {
+        let s = DimSet(bits & mask(40));
+        let packed = s.extract(w);
+        prop_assert!(packed < (1u64 << s.len()));
+        prop_assert_eq!(s.extract(s.deposit(packed)), packed);
+    }
+
+    #[test]
+    fn dimperm_inverse_roundtrip(n in 1u32..10, seed in any::<u64>()) {
+        let mut delta: Vec<u32> = (0..n).collect();
+        let mut s = seed | 1;
+        for i in (1..n as usize).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            delta.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let p = DimPermutation::new(delta);
+        let inv = p.inverse();
+        for x_raw in [seed, seed >> 7, !seed] {
+            let x = x_raw & mask(n);
+            prop_assert_eq!(inv.apply(p.apply(x)), x);
+        }
+    }
+}

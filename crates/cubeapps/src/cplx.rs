@@ -1,0 +1,126 @@
+//! A minimal complex-number type (kept local to avoid a dependency; only
+//! what the FFT needs).
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Cplx {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Cplx {
+    /// Zero.
+    pub const ZERO: Cplx = Cplx { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Cplx = Cplx { re: 1.0, im: 0.0 };
+
+    /// Creates a complex number.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Cplx { re, im }
+    }
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Self {
+        Cplx { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// The principal root of unity power `ω_n^k = e^{-2πik/n}` (the FFT's
+    /// forward-transform convention).
+    pub fn omega(n: usize, k: usize) -> Self {
+        Self::cis(-2.0 * std::f64::consts::PI * (k % n) as f64 / n as f64)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Cplx { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        Cplx { re: self.re * s, im: self.im * s }
+    }
+}
+
+impl Add for Cplx {
+    type Output = Cplx;
+    fn add(self, o: Cplx) -> Cplx {
+        Cplx { re: self.re + o.re, im: self.im + o.im }
+    }
+}
+
+impl AddAssign for Cplx {
+    fn add_assign(&mut self, o: Cplx) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl Sub for Cplx {
+    type Output = Cplx;
+    fn sub(self, o: Cplx) -> Cplx {
+        Cplx { re: self.re - o.re, im: self.im - o.im }
+    }
+}
+
+impl Mul for Cplx {
+    type Output = Cplx;
+    fn mul(self, o: Cplx) -> Cplx {
+        Cplx { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
+    }
+}
+
+impl Neg for Cplx {
+    type Output = Cplx;
+    fn neg(self) -> Cplx {
+        Cplx { re: -self.re, im: -self.im }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Cplx::new(1.0, 2.0);
+        let b = Cplx::new(3.0, -1.0);
+        assert_eq!(a + b, Cplx::new(4.0, 1.0));
+        assert_eq!(a - b, Cplx::new(-2.0, 3.0));
+        assert_eq!(a * b, Cplx::new(5.0, 5.0)); // (1+2i)(3-i) = 5+5i
+        assert_eq!(-a, Cplx::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn roots_of_unity() {
+        let w = Cplx::omega(4, 1);
+        assert!((w - Cplx::new(0.0, -1.0)).abs() < 1e-12);
+        // ω_n^n = 1.
+        let mut acc = Cplx::ONE;
+        for _ in 0..8 {
+            acc = acc * Cplx::omega(8, 1);
+        }
+        assert!((acc - Cplx::ONE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = Cplx::new(3.0, 4.0);
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        assert!((a * a.conj() - Cplx::new(25.0, 0.0)).abs() < 1e-12);
+    }
+}

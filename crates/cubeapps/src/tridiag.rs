@@ -1,0 +1,188 @@
+//! Tridiagonal system solvers.
+//!
+//! The paper's companion work solves tridiagonal systems on ensemble
+//! architectures (its refs \[11, 13\]); ADI and FACR reduce to many
+//! independent tridiagonal solves once the transpose has made the lines
+//! local. Two kernels:
+//!
+//! * [`thomas`] — the sequential `O(n)` LU sweep (numerically fine for
+//!   the diagonally dominant systems these solvers produce);
+//! * [`cyclic_reduction`] — odd-even cyclic reduction, the
+//!   parallel-friendly `O(n log n)`-work variant the paper's ref \[11\]
+//!   maps onto the cube.
+
+/// A constant-coefficient tridiagonal system
+/// `a·x_{i-1} + b·x_i + c·x_{i+1} = d_i` with implied zero boundaries.
+#[derive(Clone, Copy, Debug)]
+pub struct ConstTridiag {
+    /// Subdiagonal coefficient.
+    pub a: f64,
+    /// Diagonal coefficient.
+    pub b: f64,
+    /// Superdiagonal coefficient.
+    pub c: f64,
+}
+
+impl ConstTridiag {
+    /// Multiplies the system matrix by `x` (for residual checks).
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let n = x.len();
+        (0..n)
+            .map(|i| {
+                let lo = if i > 0 { self.a * x[i - 1] } else { 0.0 };
+                let hi = if i + 1 < n { self.c * x[i + 1] } else { 0.0 };
+                lo + self.b * x[i] + hi
+            })
+            .collect()
+    }
+}
+
+/// Thomas algorithm for a constant-coefficient tridiagonal system.
+///
+/// # Panics
+/// On an empty right-hand side.
+pub fn thomas(sys: ConstTridiag, d: &[f64]) -> Vec<f64> {
+    let n = d.len();
+    assert!(n > 0);
+    let mut cp = vec![0.0; n];
+    let mut dp = vec![0.0; n];
+    cp[0] = sys.c / sys.b;
+    dp[0] = d[0] / sys.b;
+    for i in 1..n {
+        let m = sys.b - sys.a * cp[i - 1];
+        cp[i] = sys.c / m;
+        dp[i] = (d[i] - sys.a * dp[i - 1]) / m;
+    }
+    let mut x = vec![0.0; n];
+    x[n - 1] = dp[n - 1];
+    for i in (0..n - 1).rev() {
+        x[i] = dp[i] - cp[i] * x[i + 1];
+    }
+    x
+}
+
+/// Odd-even cyclic reduction for a constant-coefficient tridiagonal
+/// system of size `2^k - 1` (the natural size for the method; other
+/// sizes are padded internally with identity rows).
+///
+/// Each reduction level eliminates the odd-indexed unknowns; after
+/// `log n` levels a single equation remains, then back-substitution
+/// unwinds. On a cube each level is one nearest-neighbor exchange — the
+/// structure the paper's ref \[11\] maps to ensemble architectures; here
+/// it serves as an independent check of [`thomas`] and as the local
+/// kernel for the FACR solver.
+pub fn cyclic_reduction(sys: ConstTridiag, d: &[f64]) -> Vec<f64> {
+    let n = d.len();
+    assert!(n > 0);
+    // Pad to 2^k - 1 with identity rows (b = 1, d = 0) that don't couple;
+    // indices 0 and full+1 are zero sentinels.
+    let full = (n + 1).next_power_of_two() - 1;
+    let mut a = vec![0.0; full + 2];
+    let mut b = vec![1.0; full + 2];
+    let mut c = vec![0.0; full + 2];
+    let mut f = vec![0.0; full + 2];
+    for i in 0..n {
+        a[i + 1] = if i > 0 { sys.a } else { 0.0 };
+        b[i + 1] = sys.b;
+        c[i + 1] = if i + 1 < n { sys.c } else { 0.0 };
+        f[i + 1] = d[i];
+    }
+
+    let levels = (full + 1).trailing_zeros();
+    // Forward elimination: at each level the rows at odd multiples of the
+    // stride are eliminated into their even neighbors; a row's
+    // coefficients are never touched after the level that eliminates it,
+    // so the arrays hold exactly what back-substitution needs.
+    let mut stride = 1usize;
+    for _ in 0..levels.saturating_sub(1) {
+        let step = stride * 2;
+        let mut i = step;
+        while i <= full {
+            let alpha = -a[i] / b[i - stride];
+            let beta = -c[i] / b[i + stride];
+            let a_new = alpha * a[i - stride];
+            let c_new = beta * c[i + stride];
+            b[i] += alpha * c[i - stride] + beta * a[i + stride];
+            f[i] += alpha * f[i - stride] + beta * f[i + stride];
+            a[i] = a_new;
+            c[i] = c_new;
+            i += step;
+        }
+        stride = step;
+    }
+
+    // Single remaining equation, then unwind level by level.
+    let mid = full.div_ceil(2);
+    let mut x = vec![0.0; full + 2];
+    x[mid] = f[mid] / b[mid];
+    stride = mid / 2;
+    while stride >= 1 {
+        let step = stride * 2;
+        let mut i = stride;
+        while i <= full {
+            x[i] = (f[i] - a[i] * x[i - stride] - c[i] * x[i + stride]) / b[i];
+            i += step;
+        }
+        stride /= 2;
+        if stride == 0 {
+            break;
+        }
+    }
+    x[1..=n].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(sys: ConstTridiag, x: &[f64], d: &[f64]) -> f64 {
+        sys.apply(x)
+            .iter()
+            .zip(d)
+            .map(|(l, r)| (l - r).abs())
+            .fold(0.0, f64::max)
+    }
+
+    fn laplacian() -> ConstTridiag {
+        ConstTridiag { a: -1.0, b: 2.5, c: -1.0 }
+    }
+
+    #[test]
+    fn thomas_solves_laplacian_like() {
+        let sys = laplacian();
+        for n in [1usize, 2, 5, 16, 33, 100] {
+            let d: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+            let x = thomas(sys, &d);
+            assert!(residual(sys, &x, &d) < 1e-10, "n={n}");
+        }
+    }
+
+    #[test]
+    fn cyclic_reduction_matches_thomas() {
+        let sys = laplacian();
+        for n in [1usize, 3, 7, 15, 31, 20, 25, 64] {
+            let d: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).cos()).collect();
+            let a = thomas(sys, &d);
+            let b = cyclic_reduction(sys, &d);
+            let max_diff =
+                a.iter().zip(&b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max);
+            assert!(max_diff < 1e-9, "n={n}: max diff {max_diff}");
+        }
+    }
+
+    #[test]
+    fn cyclic_reduction_residual_direct() {
+        let sys = ConstTridiag { a: 1.0, b: -4.0, c: 1.0 };
+        let n = 63;
+        let d: Vec<f64> = (0..n).map(|i| ((i * i) % 7) as f64 - 3.0).collect();
+        let x = cyclic_reduction(sys, &d);
+        assert!(residual(sys, &x, &d) < 1e-9);
+    }
+
+    #[test]
+    fn apply_is_consistent() {
+        let sys = laplacian();
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(sys.apply(&x), vec![2.5 - 2.0, -1.0 + 5.0 - 3.0, -2.0 + 7.5]);
+    }
+}

@@ -1,0 +1,33 @@
+//! Generic personalized-communication algorithms on Boolean *n*-cubes
+//! (paper §3).
+//!
+//! Everything here moves *source-tagged blocks* ([`block::Block`]) between
+//! nodes of a simulated cube ([`cubesim::SimNet`]), charging the paper's
+//! cost model while really moving the data:
+//!
+//! * [`sbt`] — spanning binomial trees: standard, translated, rotated and
+//!   reflected variants (Definitions 8–9).
+//! * [`one_to_all`] — one-to-all personalized communication: SBT routing
+//!   for one-port, `n` rotated SBTs for n-port.
+//! * [`exchange`] — the standard exchange algorithm for all-to-all
+//!   personalized communication (one-port), with the unbuffered, buffered
+//!   and idealized send policies of §8.1.
+//! * [`sbnt`] — spanning balanced *n*-tree routing: path generation by the
+//!   paper's `base`/nearest-one forwarding rule and an n-port all-to-all
+//!   built on it.
+//! * [`some_to_all`] — some-to-all / all-to-some personalized
+//!   communication as `k` splitting (or accumulation) steps composed with
+//!   `l` all-to-all steps in the order of Theorem 1.
+//! * [`ecube`] — a dimension-ordered store-and-forward router, the
+//!   "routing logic" baseline of the experiments.
+
+pub mod block;
+pub mod ecube;
+pub mod exchange;
+pub mod one_to_all;
+pub mod sbnt;
+pub mod sbt;
+pub mod some_to_all;
+
+pub use block::{Block, BlockMsg};
+pub use exchange::BufferPolicy;

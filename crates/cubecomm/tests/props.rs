@@ -1,0 +1,150 @@
+//! Property-based tests for the personalized-communication algorithms:
+//! random block matrices, random machines, random dimension splits.
+
+use cubeaddr::{DimSet, NodeId};
+use cubecomm::exchange::{all_to_all_exchange, BufferPolicy};
+use cubecomm::one_to_all::{one_to_all_rotated_sbts, one_to_all_sbt};
+use cubecomm::sbnt::all_to_all_sbnt;
+use cubecomm::some_to_all::some_to_all;
+use cubesim::{MachineParams, PortMode, SimNet};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random block sizes from a seed: blocks[s][d] has
+/// `hash(s, d, seed) % max_b` elements (zeros allowed — virtual
+/// elements).
+fn random_blocks(n: u32, seed: u64, max_b: u64) -> Vec<Vec<Vec<u64>>> {
+    let num = 1usize << n;
+    (0..num as u64)
+        .map(|s| {
+            (0..num as u64)
+                .map(|d| {
+                    let h = (s
+                        .wrapping_mul(0x9E3779B97F4A7C15)
+                        .wrapping_add(d)
+                        .wrapping_mul(seed | 1))
+                        >> 33;
+                    let len = h % (max_b + 1);
+                    (0..len).map(|i| s * 1_000_000 + d * 1000 + i).collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn check_delivery(n: u32, blocks: &[Vec<Vec<u64>>], result: &[Vec<cubecomm::Block<u64>>]) {
+    let num = 1usize << n;
+    for d in 0..num {
+        let mut got: Vec<(u64, Vec<u64>)> = result[d]
+            .iter()
+            .map(|b| {
+                assert_eq!(b.dst.index(), d);
+                (b.src.bits(), b.data.clone())
+            })
+            .collect();
+        got.sort();
+        let mut want: Vec<(u64, Vec<u64>)> = (0..num as u64)
+            .filter(|&s| !blocks[s as usize][d].is_empty())
+            .map(|s| (s, blocks[s as usize][d].clone()))
+            .collect();
+        want.sort();
+        assert_eq!(got, want, "destination {d}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The exchange algorithm delivers arbitrary (ragged, sparse) block
+    /// matrices under every buffering policy, and its time respects the
+    /// all-to-all lower bound computed from the actual critical volume.
+    #[test]
+    fn exchange_random_blocks(n in 1u32..5, seed in any::<u64>(), max_b in 0u64..6) {
+        let blocks = random_blocks(n, seed, max_b);
+        for policy in [
+            BufferPolicy::Ideal,
+            BufferPolicy::Unbuffered,
+            BufferPolicy::Buffered { min_direct: 2 },
+        ] {
+            let mut net = SimNet::new(n, MachineParams::unit(PortMode::OnePort));
+            let result = all_to_all_exchange(&mut net, blocks.clone(), policy);
+            check_delivery(n, &blocks, &result);
+            let r = net.finalize();
+            prop_assert!(r.time >= r.critical_elems as f64);
+        }
+    }
+
+    /// SBnT routing delivers the same random block matrices (n-port).
+    #[test]
+    fn sbnt_random_blocks(n in 1u32..5, seed in any::<u64>(), max_b in 0u64..6) {
+        let blocks = random_blocks(n, seed, max_b);
+        let mut net = SimNet::new(n, MachineParams::unit(PortMode::AllPorts));
+        let result = all_to_all_sbnt(&mut net, blocks.clone());
+        check_delivery(n, &blocks, &result);
+        net.finalize();
+    }
+
+    /// Exchange and SBnT agree on total delivered volume.
+    #[test]
+    fn exchange_and_sbnt_agree(n in 1u32..5, seed in any::<u64>()) {
+        let blocks = random_blocks(n, seed, 4);
+        let run_elems = |result: Vec<Vec<cubecomm::Block<u64>>>| -> usize {
+            result.iter().flatten().map(|b| b.data.len()).sum()
+        };
+        let mut net1 = SimNet::new(n, MachineParams::unit(PortMode::OnePort));
+        let a = run_elems(all_to_all_exchange(&mut net1, blocks.clone(), BufferPolicy::Ideal));
+        let mut net2 = SimNet::new(n, MachineParams::unit(PortMode::AllPorts));
+        let b = run_elems(all_to_all_sbnt(&mut net2, blocks));
+        prop_assert_eq!(a, b);
+    }
+
+    /// One-to-all delivers random per-destination payloads through both
+    /// the SBT and the rotated-SBT family, from any root.
+    #[test]
+    fn one_to_all_random(n in 1u32..6, root_raw in any::<u64>(), len in 0usize..9) {
+        let root = NodeId(root_raw & cubeaddr::mask(n));
+        let blocks: Vec<Vec<u64>> = (0..(1u64 << n))
+            .map(|d| (0..(len as u64 + d % 3)).map(|i| d * 100 + i).collect())
+            .collect();
+        let mut net1 = SimNet::new(n, MachineParams::unit(PortMode::OnePort));
+        let a = one_to_all_sbt(&mut net1, root, blocks.clone());
+        prop_assert_eq!(&a, &blocks);
+        net1.finalize();
+        let mut net2 = SimNet::new(n, MachineParams::unit(PortMode::AllPorts));
+        let b = one_to_all_rotated_sbts(&mut net2, root, blocks.clone());
+        prop_assert_eq!(&b, &blocks);
+        net2.finalize();
+    }
+
+    /// Some-to-all with a random split of the cube dimensions into l and
+    /// k sets delivers everything, whatever the subset shape.
+    #[test]
+    fn some_to_all_random_split(n in 1u32..5, mask_raw in any::<u64>(), seed in any::<u64>()) {
+        let l_dims = DimSet(mask_raw & cubeaddr::mask(n));
+        let k_dims = l_dims.complement(n);
+        let sources = 1usize << l_dims.len();
+        let num = 1usize << n;
+        let blocks: Vec<Vec<Vec<u64>>> = (0..sources as u64)
+            .map(|i| {
+                (0..num as u64)
+                    .map(|d| {
+                        let len = ((i + d + seed) % 4) as usize;
+                        vec![i * 100 + d; len]
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut net = SimNet::new(n, MachineParams::unit(PortMode::OnePort));
+        let result = some_to_all(&mut net, l_dims, k_dims, blocks.clone(), BufferPolicy::Ideal);
+        // Every nonempty block arrived at its destination.
+        let mut total = 0usize;
+        for (d, blks) in result.iter().enumerate() {
+            for b in blks {
+                prop_assert_eq!(b.dst.index(), d);
+                total += b.data.len();
+            }
+        }
+        let want: usize = blocks.iter().flatten().map(Vec::len).sum();
+        prop_assert_eq!(total, want);
+        net.finalize();
+    }
+}

@@ -1,0 +1,228 @@
+//! Processor-address subfields of a row or column index.
+//!
+//! A [`SubField`] picks the index bits that form the real-processor part of
+//! a row (or column) index and states how each contiguous group is encoded.
+//! A single group covers the paper's cyclic, consecutive and contiguous
+//! combined assignments; multiple groups cover the split ("non-contiguous")
+//! combined assignments of Table 2, where e.g. the `s` highest and
+//! `n - s` lowest index bits are Gray-coded *separately*:
+//! `(G(u_{p-1} … u_{p-s}) G(u_{n-s-1} … u_0))`.
+
+use crate::scheme::{Assignment, Encoding};
+use cubeaddr::DimSet;
+
+/// One contiguous-in-the-processor-address group of index dimensions with
+/// its encoding.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FieldGroup {
+    /// The index dimensions (bit positions within the row/column index)
+    /// captured by this group.
+    pub dims: DimSet,
+    /// Encoding applied to the extracted group value.
+    pub encoding: Encoding,
+}
+
+impl FieldGroup {
+    /// Creates a group.
+    pub fn new(dims: DimSet, encoding: Encoding) -> Self {
+        FieldGroup { dims, encoding }
+    }
+}
+
+/// The real-processor subfield of one index direction (rows or columns).
+///
+/// Groups are ordered from the *high-order* end of the processor address
+/// to the low-order end. The processor sub-address contributed by this
+/// field is the concatenation of each group's encoded extracted value.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SubField {
+    groups: Vec<FieldGroup>,
+}
+
+impl SubField {
+    /// A field using no dimensions (the direction is entirely local).
+    pub fn empty() -> Self {
+        SubField { groups: Vec::new() }
+    }
+
+    /// Single-group field from explicit dimensions.
+    pub fn from_dims(dims: DimSet, encoding: Encoding) -> Self {
+        if dims.is_empty() {
+            Self::empty()
+        } else {
+            SubField { groups: vec![FieldGroup::new(dims, encoding)] }
+        }
+    }
+
+    /// Multi-group field (highest-order group first).
+    ///
+    /// # Panics
+    /// If the groups' dimension sets overlap.
+    #[track_caller]
+    pub fn from_groups(groups: Vec<FieldGroup>) -> Self {
+        let mut seen = DimSet::EMPTY;
+        for g in &groups {
+            assert!(seen.is_disjoint(g.dims), "overlapping field groups");
+            seen = seen.union(g.dims);
+        }
+        SubField { groups: groups.into_iter().filter(|g| !g.dims.is_empty()).collect() }
+    }
+
+    /// Cyclic assignment over an index of `width` bits with `n` processor
+    /// dimensions: the `n` lowest-order index bits.
+    #[track_caller]
+    pub fn assigned(scheme: Assignment, width: u32, n: u32, encoding: Encoding) -> Self {
+        assert!(n <= width, "cannot use {n} processor dims on a {width}-bit index");
+        let dims = match scheme {
+            Assignment::Cyclic => DimSet::range(0, n),
+            Assignment::Consecutive => DimSet::range(width - n, width),
+        };
+        Self::from_dims(dims, encoding)
+    }
+
+    /// Contiguous *combined* assignment: `n` processor dims taken at bit
+    /// offset `lo` (`{lo, …, lo+n-1}`), as in Table 2's
+    /// `(u_{p-i} … u_{p-i-n+1})` column.
+    #[track_caller]
+    pub fn contiguous_at(lo: u32, n: u32, width: u32, encoding: Encoding) -> Self {
+        assert!(lo + n <= width);
+        Self::from_dims(DimSet::range(lo, lo + n), encoding)
+    }
+
+    /// Split *combined* assignment of Table 2: the `s` highest-order index
+    /// bits and the `n - s` bits below position `n - s`, each group encoded
+    /// independently: `(u_{p-1} … u_{p-s} u_{n-s-1} … u_0)`.
+    #[track_caller]
+    pub fn split_high_low(width: u32, n: u32, s: u32, encoding: Encoding) -> Self {
+        assert!(s <= n && n <= width);
+        assert!(width - s >= n - s, "fields overlap");
+        Self::from_groups(vec![
+            FieldGroup::new(DimSet::range(width - s, width), encoding),
+            FieldGroup::new(DimSet::range(0, n - s), encoding),
+        ])
+    }
+
+    /// Number of processor dimensions contributed by this field.
+    pub fn width(&self) -> u32 {
+        self.groups.iter().map(|g| g.dims.len()).sum()
+    }
+
+    /// All index dimensions used by this field.
+    pub fn dims(&self) -> DimSet {
+        self.groups
+            .iter()
+            .fold(DimSet::EMPTY, |acc, g| acc.union(g.dims))
+    }
+
+    /// The groups (highest-order first).
+    pub fn groups(&self) -> &[FieldGroup] {
+        &self.groups
+    }
+
+    /// Extracts and encodes the processor sub-address from index value
+    /// `idx`.
+    pub fn to_proc(&self, idx: u64) -> u64 {
+        let mut out = 0u64;
+        for g in &self.groups {
+            let val = g.encoding.encode(g.dims.extract(idx));
+            out = (out << g.dims.len()) | val;
+        }
+        out
+    }
+
+    /// Decodes a processor sub-address back into the index bits it
+    /// determines (the virtual bits of the result are zero). Inverse of
+    /// [`SubField::to_proc`] on the field's dimensions.
+    pub fn from_proc(&self, proc_bits: u64) -> u64 {
+        let mut out = 0u64;
+        let mut rem = proc_bits;
+        // Groups are packed high-to-low; peel from the low end in reverse.
+        for g in self.groups.iter().rev() {
+            let w = g.dims.len();
+            let val = rem & cubeaddr::mask(w);
+            rem >>= w;
+            out |= g.dims.deposit(g.encoding.decode(val));
+        }
+        debug_assert_eq!(rem, 0, "processor sub-address wider than field");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclic_uses_low_bits() {
+        let f = SubField::assigned(Assignment::Cyclic, 6, 2, Encoding::Binary);
+        assert_eq!(f.dims(), DimSet::range(0, 2));
+        assert_eq!(f.to_proc(0b110110), 0b10);
+        assert_eq!(f.from_proc(0b10), 0b000010);
+    }
+
+    #[test]
+    fn consecutive_uses_high_bits() {
+        let f = SubField::assigned(Assignment::Consecutive, 6, 2, Encoding::Binary);
+        assert_eq!(f.dims(), DimSet::range(4, 6));
+        assert_eq!(f.to_proc(0b110110), 0b11);
+        assert_eq!(f.from_proc(0b11), 0b110000);
+    }
+
+    #[test]
+    fn gray_encoding_applied() {
+        let f = SubField::assigned(Assignment::Consecutive, 4, 3, Encoding::Gray);
+        // index 0b1010 → high 3 bits = 0b101 = 5 → G(5) = 0b111.
+        assert_eq!(f.to_proc(0b1010), 0b111);
+        assert_eq!(f.from_proc(0b111) >> 1, 0b101);
+    }
+
+    #[test]
+    fn roundtrip_all_schemes() {
+        for scheme in [Assignment::Cyclic, Assignment::Consecutive] {
+            for enc in [Encoding::Binary, Encoding::Gray] {
+                let f = SubField::assigned(scheme, 5, 3, enc);
+                for proc_bits in 0..8u64 {
+                    let idx = f.from_proc(proc_bits);
+                    assert_eq!(f.to_proc(idx), proc_bits);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_field_matches_table2() {
+        // width p=8, n=5, s=2: groups {7,6} and {2,1,0}.
+        let f = SubField::split_high_low(8, 5, 2, Encoding::Binary);
+        assert_eq!(f.width(), 5);
+        assert_eq!(f.dims(), DimSet::from_dims([0, 1, 2, 6, 7]));
+        // idx = u7 u6 ..... u2 u1 u0 = 10 xxx 011 → proc = 10 011.
+        assert_eq!(f.to_proc(0b10_111_011), 0b10_011);
+    }
+
+    #[test]
+    fn split_field_gray_groups_independent() {
+        let f = SubField::split_high_low(8, 5, 2, Encoding::Gray);
+        // high group value 0b10 → G = 0b11; low group 0b011 → G = 0b010.
+        assert_eq!(f.to_proc(0b10_000_011), 0b11_010);
+        for proc_bits in 0..32u64 {
+            assert_eq!(f.to_proc(f.from_proc(proc_bits)), proc_bits);
+        }
+    }
+
+    #[test]
+    fn empty_field() {
+        let f = SubField::empty();
+        assert_eq!(f.width(), 0);
+        assert_eq!(f.to_proc(0b1011), 0);
+        assert_eq!(f.from_proc(0), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlapping_groups_rejected() {
+        SubField::from_groups(vec![
+            FieldGroup::new(DimSet::range(0, 3), Encoding::Binary),
+            FieldGroup::new(DimSet::range(2, 4), Encoding::Binary),
+        ]);
+    }
+}

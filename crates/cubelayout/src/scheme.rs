@@ -1,0 +1,95 @@
+//! Assignment schemes and encodings (paper Definition 6, Tables 1–2).
+
+/// How a row/column index subfield is chosen for real processor addresses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Assignment {
+    /// Row `u` goes to processor `u mod N`: the `n` *lowest*-order index
+    /// bits are the processor address (Corollary 3).
+    Cyclic,
+    /// Row `u` goes to processor `⌊u / (P/N)⌋`: the `n` *highest*-order
+    /// index bits are the processor address.
+    Consecutive,
+}
+
+impl Assignment {
+    /// Short name used in table output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Assignment::Cyclic => "cyclic",
+            Assignment::Consecutive => "consecutive",
+        }
+    }
+}
+
+/// How the selected processor subfield is encoded onto cube dimensions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Encoding {
+    /// Direct binary encoding (no re-encoding).
+    Binary,
+    /// Binary-reflected Gray code: consecutive stripes/blocks land on
+    /// neighboring processors.
+    Gray,
+}
+
+impl Encoding {
+    /// Applies the encoding to an index value.
+    #[inline]
+    pub fn encode(self, w: u64) -> u64 {
+        match self {
+            Encoding::Binary => w,
+            Encoding::Gray => cubeaddr::gray(w),
+        }
+    }
+
+    /// Inverts the encoding.
+    #[inline]
+    pub fn decode(self, g: u64) -> u64 {
+        match self {
+            Encoding::Binary => g,
+            Encoding::Gray => cubeaddr::gray_inverse(g),
+        }
+    }
+
+    /// Short name used in table output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Encoding::Binary => "binary",
+            Encoding::Gray => "Gray",
+        }
+    }
+}
+
+/// Matrix direction of a one-dimensional partitioning.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Direction {
+    /// Partition by block rows (each processor owns whole rows).
+    Rows,
+    /// Partition by block columns.
+    Cols,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_roundtrip() {
+        for enc in [Encoding::Binary, Encoding::Gray] {
+            for w in 0..256u64 {
+                assert_eq!(enc.decode(enc.encode(w)), w);
+            }
+        }
+    }
+
+    #[test]
+    fn gray_encoding_is_gray() {
+        assert_eq!(Encoding::Gray.encode(5), 0b111);
+        assert_eq!(Encoding::Binary.encode(5), 5);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Assignment::Cyclic.name(), "cyclic");
+        assert_eq!(Encoding::Gray.name(), "Gray");
+    }
+}

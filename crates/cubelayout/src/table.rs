@@ -1,0 +1,190 @@
+//! Textual rendering of address fields — regenerates the paper's Tables 1
+//! and 2 and the address-field diagrams of §2 and §6.
+
+use crate::field::SubField;
+use crate::layout::Layout;
+use crate::scheme::{Assignment, Encoding};
+
+/// Renders an index subscript run like `u_{p-1}u_{p-2}…u_{p-n}`, using the
+/// symbolic letter and the concrete bit positions.
+fn render_run(letter: char, dims_desc: &[u32]) -> String {
+    let mut s = String::new();
+    for d in dims_desc {
+        s.push_str(&format!("{letter}{d} "));
+    }
+    s.trim_end().to_string()
+}
+
+/// Renders a [`SubField`] the way the paper's tables write processor
+/// addresses, e.g. `(G(u4 u3 u2))` for a Gray-coded consecutive field of a
+/// 5-bit row index.
+pub fn render_subfield(field: &SubField, letter: char) -> String {
+    if field.groups().is_empty() {
+        return "()".to_string();
+    }
+    let mut s = String::from("(");
+    for (i, g) in field.groups().iter().enumerate() {
+        if i > 0 {
+            s.push(' ');
+        }
+        let dims: Vec<u32> = g.dims.iter_desc().collect();
+        match g.encoding {
+            Encoding::Binary => s.push_str(&render_run(letter, &dims)),
+            Encoding::Gray => {
+                s.push_str("G(");
+                s.push_str(&render_run(letter, &dims));
+                s.push(')');
+            }
+        }
+    }
+    s.push(')');
+    s
+}
+
+/// Renders the full `(u || v)` address field of a layout with `rp`/`vp`
+/// annotations, as in the paper's displayed address partitions.
+pub fn render_address_field(layout: &Layout) -> String {
+    let p = layout.p();
+    let q = layout.q();
+    let row_real = layout.row_field().dims();
+    let col_real = layout.col_field().dims();
+    let mut parts: Vec<String> = Vec::new();
+    for d in (0..p).rev() {
+        let tag = if row_real.contains(d) { "rp" } else { "vp" };
+        parts.push(format!("u{d}[{tag}]"));
+    }
+    for d in (0..q).rev() {
+        let tag = if col_real.contains(d) { "rp" } else { "vp" };
+        parts.push(format!("v{d}[{tag}]"));
+    }
+    format!("({})", parts.join(" "))
+}
+
+/// One row of Table 1: the processor address for the given
+/// encoding/assignment, for an index of `width` bits and `n` processor
+/// dimensions.
+pub fn table1_entry(
+    letter: char,
+    width: u32,
+    n: u32,
+    scheme: Assignment,
+    encoding: Encoding,
+) -> String {
+    let f = SubField::assigned(scheme, width, n, encoding);
+    render_subfield(&f, letter)
+}
+
+/// The full Table 1 as formatted text (one line per row of the paper's
+/// table), for a `2^p × 2^q` matrix on an `n`-cube.
+pub fn table1(p: u32, q: u32, n: u32) -> String {
+    let mut out = String::new();
+    out.push_str("Enc./Part.      | Consecutive                | Cyclic\n");
+    for (enc, enc_name) in [(Encoding::Binary, "Binary"), (Encoding::Gray, "Gray")] {
+        for (letter, width, dir) in [('u', p, "Row"), ('v', q, "Column")] {
+            out.push_str(&format!(
+                "{enc_name:>6}, {dir:<6} | {:<26} | {}\n",
+                table1_entry(letter, width, n, Assignment::Consecutive, enc),
+                table1_entry(letter, width, n, Assignment::Cyclic, enc),
+            ));
+        }
+    }
+    out
+}
+
+/// The full Table 2: combined encodings. `i` is the contiguous-field
+/// offset (field `{p-i, …, p-i-n+1}`); `s` is the split between the high
+/// and low groups of the non-contiguous form.
+pub fn table2(p: u32, q: u32, n: u32, i: u32, s: u32) -> String {
+    let mut out = String::new();
+    out.push_str("Enc./Part.      | Combined contiguous        | Combined non-contiguous\n");
+    for (enc, enc_name) in [(Encoding::Binary, "Binary"), (Encoding::Gray, "Gray")] {
+        for (letter, width, dir) in [('u', p, "Row"), ('v', q, "Column")] {
+            let contiguous = SubField::contiguous_at(width - i - n, n, width, enc);
+            let split = SubField::split_high_low(width, n, s, enc);
+            out.push_str(&format!(
+                "{enc_name:>6}, {dir:<6} | {:<26} | {}\n",
+                render_subfield(&contiguous, letter),
+                render_subfield(&split, letter),
+            ));
+        }
+    }
+    out
+}
+
+/// ASCII picture of which processor owns each matrix element (Figures 1
+/// and 2): a `2^p × 2^q` grid of node ids.
+pub fn render_ownership_grid(layout: &Layout) -> String {
+    let width = (layout.num_nodes() - 1).max(1).to_string().len();
+    let mut out = String::new();
+    for u in 0..(1u64 << layout.p()) {
+        for v in 0..(1u64 << layout.q()) {
+            let node = layout.place(u, v).node;
+            out.push_str(&format!("P{:<width$} ", node.bits(), width = width));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::Direction;
+
+    #[test]
+    fn table1_entries_match_paper_forms() {
+        // Paper Table 1 with p = q = 6, n = 3.
+        assert_eq!(
+            table1_entry('u', 6, 3, Assignment::Consecutive, Encoding::Binary),
+            "(u5 u4 u3)"
+        );
+        assert_eq!(table1_entry('u', 6, 3, Assignment::Cyclic, Encoding::Binary), "(u2 u1 u0)");
+        assert_eq!(
+            table1_entry('v', 6, 3, Assignment::Consecutive, Encoding::Gray),
+            "(G(v5 v4 v3))"
+        );
+        assert_eq!(table1_entry('v', 6, 3, Assignment::Cyclic, Encoding::Gray), "(G(v2 v1 v0))");
+    }
+
+    #[test]
+    fn table2_split_form() {
+        let f = SubField::split_high_low(8, 5, 2, Encoding::Gray);
+        assert_eq!(render_subfield(&f, 'u'), "(G(u7 u6) G(u2 u1 u0))");
+    }
+
+    #[test]
+    fn tables_render_all_rows() {
+        let t1 = table1(6, 6, 3);
+        assert_eq!(t1.lines().count(), 5);
+        let t2 = table2(8, 8, 5, 1, 2);
+        assert_eq!(t2.lines().count(), 5);
+        assert!(t2.contains("G(u"));
+    }
+
+    #[test]
+    fn address_field_annotates_rp_vp() {
+        let l = Layout::one_dim(2, 3, Direction::Cols, 2, Assignment::Cyclic, Encoding::Binary);
+        let s = render_address_field(&l);
+        assert_eq!(s, "(u1[vp] u0[vp] v2[vp] v1[rp] v0[rp])");
+    }
+
+    #[test]
+    fn ownership_grid_matches_figure1_style() {
+        // 4×4 matrix, 1D cyclic by rows on 4 processors: rows repeat P0..P3.
+        let l = Layout::one_dim(2, 2, Direction::Rows, 2, Assignment::Cyclic, Encoding::Binary);
+        let g = render_ownership_grid(&l);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines[0].trim(), "P0 P0 P0 P0");
+        assert_eq!(lines[1].trim(), "P1 P1 P1 P1");
+        assert_eq!(lines[3].trim(), "P3 P3 P3 P3");
+    }
+
+    #[test]
+    fn ownership_grid_consecutive_blocks() {
+        let l = Layout::square(2, 2, 1, Assignment::Consecutive, Encoding::Binary);
+        let g = render_ownership_grid(&l);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines[0].trim(), "P0 P0 P1 P1");
+        assert_eq!(lines[2].trim(), "P2 P2 P3 P3");
+    }
+}

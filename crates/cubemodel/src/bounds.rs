@@ -1,0 +1,138 @@
+//! Lower bounds and the one- vs two-dimensional comparison (Theorem 3,
+//! §9).
+
+use cubesim::MachineParams;
+
+/// Theorem 3: matrix transposition (square two-dimensional partitioning)
+/// takes at least `max(n·τ, PQ/(2N)·t_c)` — `n` start-ups for the
+/// anti-diagonal nodes, and the bisection argument on the upper-right
+/// quadrant for the transfer term.
+pub fn transpose_lower_bound(pq: u64, n: u32, m: &MachineParams) -> f64 {
+    let big_n = 1u64 << n;
+    (n as f64 * m.tau).max(pq as f64 / (2.0 * big_n as f64) * m.t_c)
+}
+
+/// §9's n-port comparison: `(T^{1d}_{min}, T^{2d}_{min})` — the
+/// SBnT-routed one-dimensional transpose versus the MPT two-dimensional
+/// transpose. `n` must be even.
+///
+/// In this copy-free model the one-dimensional partitioning yields a
+/// lower or equal complexity for `n ≥ √(PQ·t_c/Nτ)` and for
+/// `n ≤ √(PQ·t_c/2Nτ)`, with only a marginal difference (about one
+/// start-up plus `PQ/(2nN)·t_c`) in between — the paper's concluding
+/// inequality chain.
+pub fn compare_1d_2d_all_port(pq: u64, n: u32, m: &MachineParams) -> (f64, f64) {
+    (crate::one_dim::all_port_min(pq, n, m), crate::mpt::mpt_min(pq, n, m))
+}
+
+/// §9's one-port comparison with copy time — the regime of Figure 19:
+/// the optimally buffered exchange-algorithm 1D transpose versus the
+/// step-by-step SPT 2D transpose on iPSC-like constants.
+pub fn compare_1d_2d_one_port(pq: u64, n: u32, m: &MachineParams) -> (f64, f64) {
+    (crate::one_dim::buffered_opt(pq, n, m), crate::two_dim::spt_ipsc_step_by_step(pq, n, m))
+}
+
+/// The even cube dimensions (with at least one element per node) where
+/// the *one-port* two-dimensional transpose has lower model time than
+/// the one-dimensional one: "if the copy time is included then the
+/// two-dimensional partitioning yields a lower complexity for a
+/// sufficiently large cube" (§9).
+pub fn two_dim_winning_band(pq: u64, m: &MachineParams) -> Vec<u32> {
+    let mut wins = Vec::new();
+    let mut n = 2;
+    while (1u64 << n) <= pq && n <= 40 {
+        let (t1, t2) = compare_1d_2d_one_port(pq, n, m);
+        if t2 < t1 {
+            wins.push(n);
+        }
+        n += 2;
+    }
+    wins
+}
+
+/// §9's break-even estimate: `N ≈ c·r/log₂²r` with `r = PQ·t_c/τ` and
+/// `½ < c < 1`. Returns the estimate for `c = ¾`.
+pub fn break_even_nodes_estimate(pq: u64, m: &MachineParams) -> f64 {
+    let r = pq as f64 * m.t_c / m.tau;
+    0.75 * r / r.log2().powi(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubesim::PortMode;
+
+    fn unit() -> MachineParams {
+        MachineParams::unit(PortMode::OnePort)
+    }
+
+    #[test]
+    fn lower_bound_pieces() {
+        let m = unit();
+        // Start-up-bound regime.
+        assert_eq!(transpose_lower_bound(64, 6, &m), 6.0);
+        // Transfer-bound regime: PQ/2N = 2^20/2^7 = 8192.
+        assert_eq!(transpose_lower_bound(1 << 20, 6, &m), 8192.0);
+    }
+
+    #[test]
+    fn all_port_one_dim_wins_at_extremes() {
+        // n above √(PQ/N) and below √(PQ/2N): 1D strictly lower.
+        let m = unit();
+        let pq = 1u64 << 22;
+        for n in (2u32..=20).step_by(2) {
+            let (t1, t2) = compare_1d_2d_all_port(pq, n, &m);
+            let nu = pq as f64 / (1u64 << n) as f64;
+            if (n as f64) >= nu.sqrt() || (n as f64) <= (nu / 2.0).sqrt() {
+                assert!(t1 <= t2 + 1e-9, "n={n}: 1D {t1} vs 2D {t2}");
+            }
+            // Everywhere, the 2D penalty is bounded by a couple of
+            // start-ups plus PQ/(2nN)·t_c (the paper: "about one
+            // start-up unless the cube is very small").
+            let slack = 4.0 * m.tau + nu / (2.0 * n as f64) * m.t_c + nu * m.t_c;
+            assert!(t2 <= t1 + slack, "n={n}: {t2} vs {t1} + {slack}");
+        }
+    }
+
+    #[test]
+    fn one_port_two_dim_wins_for_large_cubes() {
+        // Figure 19's crossover on iPSC constants: the winning band is a
+        // suffix (large cubes).
+        let m = cubesim::MachineParams::intel_ipsc();
+        let pq = 1u64 << 16;
+        let band = two_dim_winning_band(pq, &m);
+        assert!(!band.is_empty(), "expected 2D to win for large cubes");
+        let smallest = band[0];
+        // The band extends to the largest feasible n.
+        let max_n = band[band.len() - 1];
+        assert_eq!(
+            band,
+            (smallest..=max_n).step_by(2).collect::<Vec<_>>(),
+            "winning band not contiguous"
+        );
+        // Small cubes favor 1D.
+        let (t1, t2) = compare_1d_2d_one_port(pq, 4, &m);
+        assert!(t1 < t2, "small cube should favor 1D: {t1} vs {t2}");
+    }
+
+    #[test]
+    fn copy_free_one_port_favors_one_dim() {
+        // "If the copy time is ignored and communication is restricted to
+        // one port at a time, then the one-dimensional partitioning
+        // always yields a lower complexity."
+        let m = unit(); // t_copy = 0
+        let pq = 1u64 << 18;
+        for n in (2u32..=16).step_by(2) {
+            let (t1, t2) = compare_1d_2d_one_port(pq, n, &m);
+            assert!(t1 <= t2 + 1e-9, "n={n}: {t1} vs {t2}");
+        }
+    }
+
+    #[test]
+    fn break_even_estimate_positive_and_growing() {
+        let m = unit();
+        let a = break_even_nodes_estimate(1 << 16, &m);
+        let b = break_even_nodes_estimate(1 << 20, &m);
+        assert!(a > 0.0 && b > a);
+    }
+}

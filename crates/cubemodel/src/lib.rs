@@ -1,0 +1,45 @@
+//! Closed-form communication-complexity models from the paper.
+//!
+//! Every `T = …` expression in the paper is implemented here as a pure
+//! function of the problem size (`PQ` elements over `N = 2^n` nodes) and
+//! the machine constants (`τ`, `t_c`, `B_m`, `t_copy` from
+//! [`cubesim::MachineParams`]). The simulator's measured times are checked
+//! against these models in the test suites and the figure harness:
+//!
+//! * [`one_to_all`] — SBT / rotated-SBT / SBnT one-to-all personalized
+//!   communication (§3.1) and its lower bounds;
+//! * [`all_to_all`] — the exchange algorithm and the n-port bound (§3.2);
+//! * [`some_to_all`] — Table 3;
+//! * [`one_dim`] — the §8.1 unbuffered/buffered one-dimensional transpose
+//!   expressions and the §9 `T^{1d}`;
+//! * [`two_dim`] — SPT and DPT complexities (§6.1.1–6.1.2) and the §9
+//!   `T^{2d}` iPSC estimate;
+//! * [`mpt`] — the Multiple Paths Transpose: Theorem 2's piecewise
+//!   minimum time and optimal packet size;
+//! * [`bounds`] — Theorem 3's transpose lower bound and the §9 break-even
+//!   analysis.
+
+pub mod all_to_all;
+pub mod bounds;
+pub mod mpt;
+pub mod one_dim;
+pub mod one_to_all;
+pub mod some_to_all;
+pub mod two_dim;
+
+/// Convenience: `⌈a/b⌉` on positive floats used by the paper's
+/// `⌈PQ/(B_m·…)⌉` terms (computed in exact integer arithmetic).
+pub(crate) fn ceil_div(a: u64, b: u64) -> u64 {
+    debug_assert!(b > 0);
+    a.div_ceil(b)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ceil_div_basic() {
+        assert_eq!(super::ceil_div(10, 3), 4);
+        assert_eq!(super::ceil_div(9, 3), 3);
+        assert_eq!(super::ceil_div(1, 256), 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! One-to-all personalized communication models (§3.1).
+
+use crate::ceil_div;
+use cubesim::MachineParams;
+
+/// SBT routing, one-port, scheduling all data for a subtree at once:
+/// `T = (1 - 1/N)·PQ·t_c + Σ_{i=1}^{n} ⌈PQ / (2^i·B_m)⌉·τ`.
+pub fn sbt_one_port(pq: u64, n: u32, m: &MachineParams) -> f64 {
+    let big_n = 1u64 << n;
+    let transfer = (1.0 - 1.0 / big_n as f64) * pq as f64 * m.t_c;
+    let startups: u64 = (1..=n)
+        .map(|i| ceil_div(pq, (1u64 << i).saturating_mul(m.max_packet.min(u32::MAX as usize) as u64).max(1)))
+        .sum();
+    transfer + startups as f64 * m.tau
+}
+
+/// The minimum of [`sbt_one_port`], attained for `B_m ≥ PQ/2`:
+/// `T_min = (1 - 1/N)·PQ·t_c + n·τ`.
+pub fn sbt_one_port_min(pq: u64, n: u32, m: &MachineParams) -> f64 {
+    let big_n = 1u64 << n;
+    (1.0 - 1.0 / big_n as f64) * pq as f64 * m.t_c + n as f64 * m.tau
+}
+
+/// One-port lower bound:
+/// `T ≥ max((1 - 1/N)·PQ·t_c, n·τ) ≥ ½·((1 - 1/N)·PQ·t_c + n·τ)`.
+pub fn one_port_lower_bound(pq: u64, n: u32, m: &MachineParams) -> f64 {
+    let big_n = 1u64 << n;
+    let transfer = (1.0 - 1.0 / big_n as f64) * pq as f64 * m.t_c;
+    transfer.max(n as f64 * m.tau)
+}
+
+/// n rotated SBTs (or SBnT with reverse-breadth-first scheduling),
+/// n-port: `T_min = (1/n)(1 - 1/N)·PQ·t_c + n·τ`, attained for
+/// `B_m ≳ √(2/π)·PQ/n^{3/2}`.
+pub fn rotated_sbts_all_port_min(pq: u64, n: u32, m: &MachineParams) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let big_n = 1u64 << n;
+    (1.0 / n as f64) * (1.0 - 1.0 / big_n as f64) * pq as f64 * m.t_c + n as f64 * m.tau
+}
+
+/// n-port lower bound:
+/// `T ≥ max((1/n)(1 - 1/N)·PQ·t_c, n·τ)`.
+pub fn all_port_lower_bound(pq: u64, n: u32, m: &MachineParams) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let big_n = 1u64 << n;
+    let transfer = (1.0 / n as f64) * (1.0 - 1.0 / big_n as f64) * pq as f64 * m.t_c;
+    transfer.max(n as f64 * m.tau)
+}
+
+/// The packet size minimizing the n-port rotated-SBT time:
+/// `B_m ≥ √(2/π)·PQ/n^{3/2}` (the maximum subtree slice).
+pub fn rotated_sbts_b_opt(pq: u64, n: u32) -> f64 {
+    (2.0 / std::f64::consts::PI).sqrt() * pq as f64 / (n as f64).powf(1.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubesim::PortMode;
+
+    fn unit() -> MachineParams {
+        MachineParams::unit(PortMode::OnePort)
+    }
+
+    #[test]
+    fn sbt_min_is_infimum_over_packet_sizes() {
+        let pq = 1 << 12;
+        let n = 5;
+        let unlimited = unit();
+        assert!((sbt_one_port(pq, n, &unlimited) - sbt_one_port_min(pq, n, &unlimited)).abs() < 1e-9);
+        // Restricting B_m only adds start-ups.
+        for bm in [16usize, 64, 256] {
+            let m = unit().with_max_packet(bm);
+            assert!(sbt_one_port(pq, n, &m) >= sbt_one_port_min(pq, n, &m) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn sbt_within_factor_two_of_lower_bound() {
+        for n in 1..=10u32 {
+            for pq_log in 4..=20 {
+                let pq = 1u64 << pq_log;
+                let m = unit();
+                let t = sbt_one_port_min(pq, n, &m);
+                let lb = one_port_lower_bound(pq, n, &m);
+                assert!(t <= 2.0 * lb + 1e-9, "n={n} pq={pq}: {t} vs 2×{lb}");
+                assert!(t >= lb - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn n_port_speedup_factor_n_on_transfer() {
+        let pq = 1 << 16;
+        let n = 6;
+        let m = unit();
+        let one = sbt_one_port_min(pq, n, &m) - n as f64 * m.tau;
+        let all = rotated_sbts_all_port_min(pq, n, &m) - n as f64 * m.tau;
+        assert!((one / all - n as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_port_min_within_factor_two_of_bound() {
+        for n in 1..=10u32 {
+            let pq = 1u64 << 18;
+            let m = unit();
+            let t = rotated_sbts_all_port_min(pq, n, &m);
+            let lb = all_port_lower_bound(pq, n, &m);
+            assert!(t <= 2.0 * lb + 1e-9);
+        }
+    }
+
+    #[test]
+    fn b_opt_shrinks_with_n() {
+        assert!(rotated_sbts_b_opt(1 << 20, 8) < rotated_sbts_b_opt(1 << 20, 4));
+    }
+}

@@ -1,0 +1,116 @@
+//! Some-to-all / all-to-some personalized communication models
+//! (§3.3, Table 3).
+//!
+//! `k` splitting (accumulation) steps and `l` all-to-all steps over a
+//! `(k+l)`-cube holding `PQ` elements in total. The splitting phase runs
+//! first (Theorem 1), so splitting step `i ∈ {0, …, k-1}` transfers
+//! `PQ/2^{k+l-i}` elements and each of the `l` all-to-all steps transfers
+//! `PQ/2^{k+l+1}`.
+
+use crate::ceil_div;
+use cubesim::MachineParams;
+
+/// Table 3, one-port row:
+/// `T = (l·PQ/2^{k+l+1} + Σ_{i=0}^{k-1} PQ/2^{k+l-i})·t_c
+///    + (l·⌈PQ/(B_m·2^{k+l+1})⌉ + Σ_{i=0}^{k-1} ⌈PQ/(B_m·2^{k+l-i})⌉)·τ`.
+pub fn one_port(pq: u64, k: u32, l: u32, m: &MachineParams) -> f64 {
+    let bm = m.max_packet as u64;
+    let n = k + l;
+    let a2a_elems = pq as f64 / (1u64 << (n + 1)) as f64;
+    let a2a_pkts = ceil_div((pq >> (n + 1)).max(1), bm);
+    let mut transfer = l as f64 * a2a_elems;
+    let mut startups = l as u64 * a2a_pkts;
+    for i in 0..k {
+        let elems = pq >> (n - i);
+        transfer += elems as f64;
+        startups += ceil_div(elems.max(1), bm);
+    }
+    transfer * m.t_c + startups as f64 * m.tau
+}
+
+/// Table 3, n-port row: the splitting data is pipelined over `k` ports
+/// and the all-to-all data over `l` ports:
+/// `T = (PQ/2^{k+l+1} + (1/k)·Σ_{i=0}^{k-1} PQ/2^{k+l-i})·t_c
+///    + (l·⌈PQ/(l·B_m·2^{k+l+1})⌉ + Σ_{i=0}^{k-1} ⌈PQ/(k·B_m·2^{k+l-i})⌉)·τ`.
+pub fn all_port(pq: u64, k: u32, l: u32, m: &MachineParams) -> f64 {
+    let bm = m.max_packet as u64;
+    let n = k + l;
+    let mut transfer = 0.0;
+    let mut startups = 0u64;
+    if l > 0 {
+        transfer += pq as f64 / (1u64 << (n + 1)) as f64;
+        startups += l as u64 * ceil_div((pq >> (n + 1)).max(1), (l as u64).saturating_mul(bm));
+    }
+    if k > 0 {
+        let mut split = 0.0;
+        for i in 0..k {
+            let elems = pq >> (n - i);
+            split += elems as f64;
+            startups += ceil_div(elems.max(1), (k as u64).saturating_mul(bm));
+        }
+        transfer += split / k as f64;
+    }
+    transfer * m.t_c + startups as f64 * m.tau
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubesim::{MachineParams, PortMode};
+
+    fn unit() -> MachineParams {
+        MachineParams::unit(PortMode::OnePort)
+    }
+
+    #[test]
+    fn degenerate_pure_all_to_all() {
+        // k = 0, l = n reduces to the exchange algorithm's time.
+        let (pq, n) = (1u64 << 12, 4u32);
+        let t = one_port(pq, 0, n, &unit());
+        let expect = crate::all_to_all::exchange_one_port_min(pq, n, &unit());
+        assert!((t - expect).abs() < 1e-9, "{t} vs {expect}");
+    }
+
+    #[test]
+    fn degenerate_pure_one_to_all() {
+        // l = 0, k = n reduces to the SBT one-to-all time.
+        let (pq, n) = (1u64 << 12, 4u32);
+        let t = one_port(pq, n, 0, &unit());
+        let expect = crate::one_to_all::sbt_one_port_min(pq, n, &unit());
+        assert!((t - expect).abs() < 1e-9, "{t} vs {expect}");
+    }
+
+    #[test]
+    fn splitting_dominates_transfer() {
+        // The k splitting steps move the bulk: with k+l fixed, moving a
+        // dimension from l to k increases transfer time.
+        let pq = 1u64 << 14;
+        for k in 0..4u32 {
+            let a = one_port(pq, k, 4 - k, &unit());
+            let b = one_port(pq, k + 1, 4 - k - 1, &unit());
+            assert!(b > a, "k={k}: {b} ≤ {a}");
+        }
+    }
+
+    #[test]
+    fn all_port_never_slower_than_one_port() {
+        let pq = 1u64 << 16;
+        for k in 0..=5u32 {
+            for l in 0..=5u32 {
+                if k + l == 0 {
+                    continue;
+                }
+                let ap = all_port(pq, k, l, &unit());
+                let op = one_port(pq, k, l, &unit());
+                assert!(ap <= op + 1e-9, "k={k} l={l}: {ap} > {op}");
+            }
+        }
+    }
+
+    #[test]
+    fn packets_fragment_with_small_bm() {
+        let pq = 1u64 << 12;
+        let small = unit().with_max_packet(16);
+        assert!(one_port(pq, 2, 2, &small) > one_port(pq, 2, 2, &unit()));
+    }
+}

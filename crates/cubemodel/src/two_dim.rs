@@ -1,0 +1,131 @@
+//! Two-dimensional-partitioning transpose models: SPT and DPT
+//! (§6.1.1–6.1.2) and the iPSC step-by-step estimate (§8.2.1, §9).
+
+use crate::ceil_div;
+use cubesim::MachineParams;
+
+/// Single Path Transpose with pipelining, packet size `B`:
+/// `T = (⌈PQ/(B·N)⌉ + n - 1)·(B·t_c + τ)`.
+pub fn spt(pq: u64, n: u32, b: u64, m: &MachineParams) -> f64 {
+    let big_n = 1u64 << n;
+    let packets = ceil_div(pq / big_n, b.max(1));
+    (packets + n as u64 - 1) as f64 * (b as f64 * m.t_c + m.tau)
+}
+
+/// The optimal SPT packet size `B_opt = √(PQ·τ / (N·(n-1)·t_c))`.
+pub fn spt_b_opt(pq: u64, n: u32, m: &MachineParams) -> f64 {
+    let big_n = 1u64 << n;
+    (pq as f64 * m.tau / (big_n as f64 * (n as f64 - 1.0) * m.t_c)).sqrt()
+}
+
+/// The SPT minimum time `T_min = (√(PQ/N·t_c) + √((n-1)·τ))²`.
+pub fn spt_min(pq: u64, n: u32, m: &MachineParams) -> f64 {
+    let big_n = 1u64 << n;
+    let a = (pq as f64 / big_n as f64 * m.t_c).sqrt();
+    let b = ((n as f64 - 1.0) * m.tau).sqrt();
+    (a + b) * (a + b)
+}
+
+/// Dual Paths Transpose: the data is split over two edge-disjoint paths,
+/// `T = (⌈PQ/(2·B·N)⌉ + n - 1)·(B·t_c + τ)`.
+pub fn dpt(pq: u64, n: u32, b: u64, m: &MachineParams) -> f64 {
+    let big_n = 1u64 << n;
+    let packets = ceil_div(pq / (2 * big_n), b.max(1));
+    (packets + n as u64 - 1) as f64 * (b as f64 * m.t_c + m.tau)
+}
+
+/// The DPT minimum time `T_min = (√(PQ/2N·t_c) + √((n-1)·τ))²`
+/// (speedup ≈ 2 over SPT when transfer dominates).
+pub fn dpt_min(pq: u64, n: u32, m: &MachineParams) -> f64 {
+    let big_n = 1u64 << n;
+    let a = (pq as f64 / (2.0 * big_n as f64) * m.t_c).sqrt();
+    let b = ((n as f64 - 1.0) * m.tau).sqrt();
+    (a + b) * (a + b)
+}
+
+/// The DPT optimal packet size `B_opt = √(PQ·τ / (2N(n-1)·t_c))`.
+pub fn dpt_b_opt(pq: u64, n: u32, m: &MachineParams) -> f64 {
+    let big_n = 1u64 << n;
+    (pq as f64 * m.tau / (2.0 * big_n as f64 * (n as f64 - 1.0) * m.t_c)).sqrt()
+}
+
+/// The iPSC step-by-step SPT implementation (no pipelining; §8.2.1):
+/// `T = (PQ/N·t_c + ⌈PQ/(B_m·N)⌉·τ)·n + 2·PQ/N·t_copy`
+/// — the two copy terms are the pre-send rearrangement of the
+/// two-dimensional local array into a contiguous buffer and the inverse
+/// at the receiver.
+pub fn spt_ipsc_step_by_step(pq: u64, n: u32, m: &MachineParams) -> f64 {
+    let big_n = 1u64 << n;
+    let per = pq as f64 / big_n as f64;
+    (per * m.t_c + ceil_div(pq / big_n, m.max_packet as u64) as f64 * m.tau) * n as f64
+        + 2.0 * per * m.t_copy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubesim::PortMode;
+
+    fn unit() -> MachineParams {
+        MachineParams::unit(PortMode::OnePort)
+    }
+
+    #[test]
+    fn spt_min_is_minimum_over_b() {
+        let (pq, n) = (1u64 << 16, 6u32);
+        let m = unit();
+        let t_min = spt_min(pq, n, &m);
+        let b_opt = spt_b_opt(pq, n, &m);
+        // Continuous optimum: nearby integer packet sizes come close.
+        for b in [b_opt * 0.5, b_opt, b_opt * 2.0] {
+            let t = spt(pq, n, b.round().max(1.0) as u64, &m);
+            assert!(t >= t_min - 1e-6, "B={b}: {t} < {t_min}");
+        }
+        let t_at_opt = spt(pq, n, b_opt.round() as u64, &m);
+        assert!(t_at_opt <= t_min * 1.05, "{t_at_opt} vs {t_min}");
+    }
+
+    #[test]
+    fn dpt_speedup_about_two_when_transfer_dominates() {
+        // PQ/N·t_c ≫ n·τ.
+        let (pq, n) = (1u64 << 24, 4u32);
+        let m = unit();
+        let ratio = spt_min(pq, n, &m) / dpt_min(pq, n, &m);
+        assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn dpt_never_slower_than_spt() {
+        let m = unit();
+        for n in [2u32, 4, 6, 8] {
+            for pq_log in 8..22 {
+                let pq = 1u64 << pq_log;
+                assert!(dpt_min(pq, n, &m) <= spt_min(pq, n, &m) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn ipsc_estimate_scales_linearly_in_matrix() {
+        let m = MachineParams::intel_ipsc();
+        let n = 4;
+        let t1 = spt_ipsc_step_by_step(1 << 14, n, &m);
+        let t2 = spt_ipsc_step_by_step(1 << 15, n, &m);
+        // "The growth rate is proportional to the number of matrix
+        // elements" once transfers dominate start-ups.
+        assert!(t2 / t1 > 1.8 && t2 / t1 < 2.2, "ratio {}", t2 / t1);
+    }
+
+    #[test]
+    fn spt_respects_theorem3_bound() {
+        let m = unit();
+        for n in [2u32, 4, 6] {
+            for pq_log in 10..20 {
+                let pq = 1u64 << pq_log;
+                let lb = crate::bounds::transpose_lower_bound(pq, n, &m);
+                assert!(spt_min(pq, n, &m) >= lb - 1e-9);
+                assert!(dpt_min(pq, n, &m) >= lb - 1e-9);
+            }
+        }
+    }
+}

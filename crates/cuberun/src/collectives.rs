@@ -1,0 +1,151 @@
+//! Collective operations as SPMD node-program building blocks.
+//!
+//! These are the runtime-level counterparts of the `cubecomm` simulator
+//! algorithms: the spanning-binomial-tree broadcast/gather and the
+//! dimension-scan all-to-all, written against [`NodeCtx`] so any node
+//! program can call them mid-flight. Every collective is synchronous
+//! across the cube (all nodes must call it together, like MPI
+//! collectives).
+
+use crate::runtime::NodeCtx;
+use cubeaddr::NodeId;
+
+/// Broadcast from `root`: every node returns the root's value.
+///
+/// SBT structure, logical dimensions ascending: after step `j`, the
+/// value is present on every node whose relative address uses only the
+/// low `j+1` dimensions.
+pub fn broadcast<T: Clone>(ctx: &NodeCtx<Option<T>>, root: NodeId, value: Option<T>) -> T {
+    let n = ctx.n();
+    let rel = ctx.id().bits() ^ root.bits();
+    let mut held: Option<T> = if rel == 0 {
+        Some(value.expect("the root must supply the broadcast value"))
+    } else {
+        None
+    };
+    for j in 0..n {
+        // Nodes with rel using only dims < j hold the value and send it
+        // across dim j; their partners (rel bit j set, higher bits clear)
+        // receive.
+        let low_mask = (1u64 << j) - 1;
+        if rel & !low_mask == 0 {
+            ctx.send(j, held.clone());
+        } else if rel & !(low_mask | (1 << j)) == 0 && rel & (1 << j) != 0 {
+            held = ctx.recv(j);
+        }
+    }
+    held.expect("broadcast did not reach this node")
+}
+
+/// All-to-all personalized exchange: `blocks[d]` is this node's payload
+/// for node `d`; returns `result[s]` = the payload node `s` sent here.
+///
+/// The standard exchange algorithm (§3.2), dimensions descending; each
+/// message carries `(origin, dest, payload)` triples.
+pub fn all_to_all<T: Clone + Send>(ctx: &NodeCtx<Vec<(u64, u64, T)>>, blocks: Vec<T>) -> Vec<T>
+where
+    T: 'static,
+{
+    let n = ctx.n();
+    let num = ctx.num_nodes();
+    assert_eq!(blocks.len(), num, "one block per destination");
+    let me = ctx.id().bits();
+    let mut held: Vec<(u64, u64, T)> = blocks
+        .into_iter()
+        .enumerate()
+        .map(|(d, b)| (me, d as u64, b))
+        .collect();
+    for j in (0..n).rev() {
+        let (keep, send): (Vec<_>, Vec<_>) =
+            held.into_iter().partition(|&(_, d, _)| (d >> j) & 1 == (me >> j) & 1);
+        held = keep;
+        held.extend(ctx.exchange(j, send));
+    }
+    let mut out: Vec<Option<T>> = (0..num).map(|_| None).collect();
+    for (s, d, b) in held {
+        assert_eq!(d, me, "block for {d} stranded at {me}");
+        assert!(out[s as usize].is_none(), "duplicate block from {s}");
+        out[s as usize] = Some(b);
+    }
+    out.into_iter()
+        .enumerate()
+        .map(|(s, b)| b.unwrap_or_else(|| panic!("missing block from {s}")))
+        .collect()
+}
+
+/// Gather to `root`: the root returns every node's value in node order;
+/// other nodes return `None`. (Reverse SBT flow.)
+pub fn gather<T: Clone>(
+    ctx: &NodeCtx<Vec<(u64, T)>>,
+    root: NodeId,
+    value: T,
+) -> Option<Vec<T>> {
+    let n = ctx.n();
+    let rel = ctx.id().bits() ^ root.bits();
+    let mut held: Vec<(u64, T)> = vec![(ctx.id().bits(), value)];
+    // Reverse of the broadcast: dimensions descending, the upper half of
+    // each relative subcube folds into the lower half.
+    for j in (0..n).rev() {
+        let low_mask = (1u64 << j) - 1;
+        if rel & !(low_mask | (1 << j)) == 0 && rel & (1 << j) != 0 {
+            ctx.send(j, std::mem::take(&mut held));
+        } else if rel & !low_mask == 0 {
+            held.extend(ctx.recv(j));
+        }
+    }
+    if rel == 0 {
+        let mut all = held;
+        all.sort_by_key(|&(s, _)| s);
+        Some(all.into_iter().map(|(_, v)| v).collect())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::run_spmd;
+
+    #[test]
+    fn broadcast_reaches_all_from_any_root() {
+        for root in [0u64, 5, 7] {
+            let (results, _) = run_spmd(3, |ctx| {
+                let mine =
+                    (ctx.id().bits() == root).then(|| format!("hello from {root}"));
+                broadcast(ctx, NodeId(root), mine)
+            });
+            assert!(results.iter().all(|r| r == &format!("hello from {root}")));
+        }
+    }
+
+    #[test]
+    fn all_to_all_delivers_everything() {
+        let n = 3;
+        let (results, _) = run_spmd(n, |ctx| {
+            let me = ctx.id().bits();
+            let blocks: Vec<u64> = (0..ctx.num_nodes() as u64).map(|d| me * 100 + d).collect();
+            all_to_all(ctx, blocks)
+        });
+        for (d, got) in results.iter().enumerate() {
+            for (s, &v) in got.iter().enumerate() {
+                assert_eq!(v, (s * 100 + d) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_node_order() {
+        for root in [0u64, 6] {
+            let (results, _) = run_spmd(3, |ctx| gather(ctx, NodeId(root), ctx.id().bits() * 2));
+            for (x, r) in results.iter().enumerate() {
+                if x as u64 == root {
+                    assert_eq!(r.as_ref().unwrap(), &(0..16).step_by(2).collect::<Vec<u64>>());
+                } else {
+                    assert!(r.is_none());
+                }
+            }
+        }
+    }
+
+}

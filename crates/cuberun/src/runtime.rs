@@ -1,0 +1,279 @@
+//! Thread-per-node execution with channel-per-link message passing.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use cubeaddr::NodeId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// How long a blocking receive waits before declaring the node program
+/// deadlocked. Algorithms on these cube sizes complete in milliseconds;
+/// half a minute of silence is a bug, and a diagnostic panic beats a hung
+/// test suite.
+const RECV_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Aggregate statistics of one SPMD run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Total messages sent over all links.
+    pub messages: u64,
+    /// Total global barrier episodes (as counted by node 0).
+    pub barriers: u64,
+}
+
+/// The per-node handle a node program runs against: its identity plus its
+/// `n` communication ports.
+pub struct NodeCtx<T> {
+    id: NodeId,
+    n: u32,
+    /// `tx[d]` sends to `id.neighbor(d)`.
+    tx: Vec<Sender<T>>,
+    /// `rx[d]` receives what `id.neighbor(d)` sent across dimension `d`.
+    rx: Vec<Receiver<T>>,
+    barrier: Arc<Barrier>,
+    messages: Arc<AtomicU64>,
+    barriers: Arc<AtomicU64>,
+}
+
+impl<T> NodeCtx<T> {
+    /// This node's cube address.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The cube dimension `n`.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of nodes `2^n`.
+    pub fn num_nodes(&self) -> usize {
+        1 << self.n
+    }
+
+    /// Sends `msg` to the neighbor across dimension `dim` (non-blocking;
+    /// links are buffered).
+    #[track_caller]
+    pub fn send(&self, dim: u32, msg: T) {
+        assert!(dim < self.n, "dimension {dim} out of range on node {}", self.id);
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        // Receivers outlive the scoped threads, so failure means a peer
+        // panicked; propagate.
+        self.tx[dim as usize].send(msg).expect("peer node terminated");
+    }
+
+    /// Receives the next message from the neighbor across dimension
+    /// `dim`, blocking until it arrives.
+    ///
+    /// # Panics
+    /// After 30 s of silence (deadlocked node program), or if the peer
+    /// panicked.
+    #[track_caller]
+    pub fn recv(&self, dim: u32) -> T {
+        assert!(dim < self.n, "dimension {dim} out of range on node {}", self.id);
+        self.rx[dim as usize].recv_timeout(RECV_TIMEOUT).unwrap_or_else(|e| {
+            panic!("node {} recv on dim {dim}: {e} (deadlocked node program?)", self.id)
+        })
+    }
+
+    /// Bidirectional exchange across `dim`: sends `msg` and returns the
+    /// neighbor's message (full-duplex links — one exchange costs one
+    /// send on the paper's machines).
+    pub fn exchange(&self, dim: u32, msg: T) -> T {
+        self.send(dim, msg);
+        self.recv(dim)
+    }
+
+    /// Global barrier over all nodes.
+    pub fn barrier(&self) {
+        if self.barrier.wait().is_leader() {
+            self.barriers.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl<T: Clone> NodeCtx<T> {
+    /// All-reduce by dimension scan: every node contributes `value`; after
+    /// `n` exchange steps every node holds the fold of all `2^n`
+    /// contributions (`combine` must be associative and commutative).
+    ///
+    /// This is the classic hypercube reduction the paper's machines used
+    /// for global sums and synchronization predicates.
+    pub fn all_reduce(&self, value: T, mut combine: impl FnMut(T, T) -> T) -> T {
+        let mut acc = value;
+        for d in 0..self.n {
+            let other = self.exchange(d, acc.clone());
+            acc = combine(acc, other);
+        }
+        acc
+    }
+}
+
+/// Runs `program` on every node of an `n`-cube concurrently (one OS
+/// thread per node, one channel pair per link) and returns the per-node
+/// results in node order plus run statistics.
+///
+/// The program receives a [`NodeCtx`] for its node. Message type `T` and
+/// result type `R` are arbitrary `Send` types.
+pub fn run_spmd<T, R, F>(n: u32, program: F) -> (Vec<R>, RunStats)
+where
+    T: Send,
+    R: Send,
+    F: Fn(&NodeCtx<T>) -> R + Sync,
+{
+    cubeaddr::check_dims(n);
+    let num = 1usize << n;
+    assert!(n <= 10, "refusing to spawn {num} threads; use the simulator for giant cubes");
+
+    // links[x][d] = channel whose sender is held by x's neighbor across d
+    // and whose receiver is held by x.
+    let mut senders: Vec<Vec<Option<Sender<T>>>> = (0..num).map(|_| vec![None; n as usize]).collect();
+    let mut receivers: Vec<Vec<Option<Receiver<T>>>> =
+        (0..num).map(|_| vec![None; n as usize]).collect();
+    for x in 0..num {
+        for d in 0..n as usize {
+            let peer = NodeId(x as u64).neighbor(d as u32).index();
+            let (tx, rx) = unbounded();
+            // x sends to peer on dim d; peer receives on dim d.
+            senders[x][d] = Some(tx);
+            receivers[peer][d] = Some(rx);
+        }
+    }
+
+    let barrier = Arc::new(Barrier::new(num));
+    let messages = Arc::new(AtomicU64::new(0));
+    let barriers = Arc::new(AtomicU64::new(0));
+
+    let mut ctxs: Vec<NodeCtx<T>> = senders
+        .into_iter()
+        .zip(receivers)
+        .enumerate()
+        .map(|(x, (tx, rx))| NodeCtx {
+            id: NodeId(x as u64),
+            n,
+            tx: tx.into_iter().map(Option::unwrap).collect(),
+            rx: rx.into_iter().map(Option::unwrap).collect(),
+            barrier: Arc::clone(&barrier),
+            messages: Arc::clone(&messages),
+            barriers: Arc::clone(&barriers),
+        })
+        .collect();
+
+    let program = &program;
+    let results: Vec<R> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ctxs
+            .drain(..)
+            .map(|ctx| scope.spawn(move || program(&ctx)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("node program panicked")).collect()
+    });
+
+    (
+        results,
+        RunStats {
+            messages: messages.load(Ordering::Relaxed),
+            barriers: barriers.load(Ordering::Relaxed),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchange_swaps_neighbors() {
+        let (results, stats) = run_spmd(3, |ctx| ctx.exchange(2, ctx.id().bits()));
+        let expect: Vec<u64> = (0..8).map(|x| x ^ 0b100).collect();
+        assert_eq!(results, expect);
+        assert_eq!(stats.messages, 8);
+    }
+
+    #[test]
+    fn single_node_cube_runs() {
+        let (results, _) = run_spmd::<u64, _, _>(0, |ctx| ctx.id().bits() + 41);
+        assert_eq!(results, vec![41]);
+    }
+
+    #[test]
+    fn dimension_scan_accumulates_all_ids() {
+        // Classic all-reduce by dimension scan: after exchanging partial
+        // sums across every dimension, every node holds Σ ids.
+        let (results, _) = run_spmd(4, |ctx| {
+            let mut acc = ctx.id().bits();
+            for d in 0..ctx.n() {
+                acc += ctx.exchange(d, acc);
+            }
+            acc
+        });
+        let total: u64 = (0..16).sum();
+        assert!(results.iter().all(|&r| r == total), "{results:?}");
+    }
+
+    #[test]
+    fn all_reduce_sum_and_max() {
+        let (sums, _) = run_spmd(4, |ctx| ctx.all_reduce(ctx.id().bits(), |a, b| a + b));
+        let total: u64 = (0..16).sum();
+        assert!(sums.iter().all(|&s| s == total));
+        let (maxes, _) = run_spmd(3, |ctx| ctx.all_reduce(ctx.id().bits(), u64::max));
+        assert!(maxes.iter().all(|&m| m == 7));
+    }
+
+    #[test]
+    fn barrier_counts_episodes() {
+        let (_, stats) = run_spmd::<u64, _, _>(2, |ctx| {
+            ctx.barrier();
+            ctx.barrier();
+        });
+        assert_eq!(stats.barriers, 2);
+    }
+
+    #[test]
+    fn store_and_forward_chain() {
+        // Node 0 sends a token around dims 0,1,2; final holder is node 7.
+        let (results, _) = run_spmd(3, |ctx| {
+            let x = ctx.id().bits();
+            match x {
+                0 => {
+                    ctx.send(0, vec![99u64]);
+                    None
+                }
+                1 => {
+                    let t = ctx.recv(0);
+                    ctx.send(1, t);
+                    None
+                }
+                3 => {
+                    let t = ctx.recv(1);
+                    ctx.send(2, t);
+                    None
+                }
+                7 => Some(ctx.recv(2)),
+                _ => None,
+            }
+        });
+        assert_eq!(results[7], Some(vec![99]));
+        assert!(results[..7].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn messages_preserve_order_per_link() {
+        let (results, _) = run_spmd(1, |ctx| {
+            if ctx.id().bits() == 0 {
+                for i in 0..100u64 {
+                    ctx.send(0, i);
+                }
+                Vec::new()
+            } else {
+                (0..100).map(|_| ctx.recv(0)).collect::<Vec<u64>>()
+            }
+        });
+        assert_eq!(results[1], (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to spawn")]
+    fn giant_cube_rejected() {
+        let _ = run_spmd::<u64, _, _>(11, |_| ());
+    }
+}

@@ -1,0 +1,506 @@
+//! The round-synchronous cube network simulator.
+
+use crate::params::{MachineParams, PortMode};
+use crate::report::CommReport;
+use cubeaddr::NodeId;
+use std::collections::HashMap;
+
+/// A message payload with a size measured in *matrix elements* — the unit
+/// the cost model charges for.
+///
+/// `Vec<T>` counts its length; composite messages (e.g. a batch of
+/// source-tagged blocks in an all-to-all exchange) implement this to count
+/// only their data elements, not their headers.
+pub trait Payload {
+    /// Number of cost-model elements carried.
+    fn elems(&self) -> usize;
+}
+
+impl<T> Payload for Vec<T> {
+    fn elems(&self) -> usize {
+        self.len()
+    }
+}
+
+/// A simulated Boolean `n`-cube network carrying payloads of type `P`.
+///
+/// Execution alternates between *send phases* and round boundaries:
+///
+/// ```text
+/// net.send(src, dim, data);   // any number of sends (and local_copy calls)
+/// net.finish_round();         // cost accounting + delivery
+/// let data = net.recv(dst, dim);  // drain everything delivered
+/// net.send(...);              // next round's sends may interleave with recvs
+/// net.finish_round();
+/// ...
+/// let report = net.finalize();
+/// ```
+///
+/// Legality rules enforced (panicking with a diagnostic on violation,
+/// since a violation is a bug in the routing algorithm under test):
+///
+/// * `send` targets a neighbor by construction (`src` + dimension);
+/// * a directed link carries at most one message per round;
+/// * in [`PortMode::OnePort`], a node uses at most one dimension per round
+///   (counting both its outgoing and incoming message, which may share the
+///   link — a bidirectional exchange);
+/// * every delivered message must be `recv`ed before the next round ends —
+///   store-and-forward algorithms must explicitly pick messages up;
+/// * nothing may remain in flight at [`SimNet::finalize`].
+///
+/// The round's communication time is `τ·(max packets over links) +
+/// t_c·(max elements over links)`; for the uniform-message rounds of all
+/// the paper's algorithms this equals the maximum per-link cost. Local
+/// work charged with [`SimNet::local_copy`] adds
+/// `t_copy·(max per-node copied elements)`.
+///
+/// ```
+/// use cubesim::{MachineParams, PortMode, SimNet};
+/// use cubeaddr::NodeId;
+///
+/// let mut net: SimNet<Vec<u32>> = SimNet::new(2, MachineParams::unit(PortMode::OnePort));
+/// net.send(NodeId(0), 1, vec![7, 8, 9]);
+/// net.finish_round();
+/// assert_eq!(net.recv(NodeId(2), 1), vec![7, 8, 9]);
+/// let report = net.finalize();
+/// assert_eq!(report.time, 4.0); // 1 start-up + 3 elements, unit costs
+/// ```
+pub struct SimNet<P> {
+    n: u32,
+    params: MachineParams,
+    /// Messages sent this round, keyed by (destination, dimension).
+    outgoing: HashMap<(u64, u32), P>,
+    /// Messages delivered at the last round boundary, awaiting recv.
+    inbox: HashMap<(u64, u32), P>,
+    /// Dimensions used per node this round (bit mask), for port checks.
+    dims_used: HashMap<u64, u64>,
+    /// Elements locally copied per node this round.
+    copies: HashMap<u64, usize>,
+    /// Cumulative elements per directed link (src, dim).
+    link_totals: HashMap<(u64, u32), u64>,
+    /// When set, every finish_round appends a RoundDetail.
+    record_history: bool,
+    /// When set, every finish_round appends the round's link events.
+    record_links: bool,
+    report: CommReport,
+}
+
+impl<P: Payload> SimNet<P> {
+    /// Creates an idle `n`-cube network under the given cost model.
+    pub fn new(n: u32, params: MachineParams) -> Self {
+        cubeaddr::check_dims(n);
+        SimNet {
+            n,
+            params,
+            outgoing: HashMap::new(),
+            inbox: HashMap::new(),
+            dims_used: HashMap::new(),
+            copies: HashMap::new(),
+            link_totals: HashMap::new(),
+            record_history: false,
+            record_links: false,
+            report: CommReport::default(),
+        }
+    }
+
+    /// Enables per-round history recording (see
+    /// [`CommReport::history`]); costs a small allocation per round.
+    pub fn record_history(&mut self) {
+        self.record_history = true;
+    }
+
+    /// Enables per-round link-event recording (see
+    /// [`CommReport::link_history`]) — the space-time diagram of the
+    /// run. Costs an allocation per message; keep off for large sweeps.
+    pub fn record_links(&mut self) {
+        self.record_links = true;
+    }
+
+    /// Cube dimension.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        1usize << self.n
+    }
+
+    /// The cost model in force.
+    pub fn params(&self) -> &MachineParams {
+        &self.params
+    }
+
+    /// Read-only view of the statistics accumulated so far.
+    pub fn report_so_far(&self) -> &CommReport {
+        &self.report
+    }
+
+    #[track_caller]
+    fn check_node(&self, x: NodeId) {
+        assert!(
+            x.index() < self.num_nodes(),
+            "node {x} outside the {}-cube",
+            self.n
+        );
+    }
+
+    /// Sends `data` from `src` across dimension `dim` (to
+    /// `src.neighbor(dim)`), to be delivered at the next round boundary.
+    ///
+    /// # Panics
+    /// On empty payloads, out-of-range nodes/dimensions, or when the
+    /// directed link was already used this round.
+    #[track_caller]
+    pub fn send(&mut self, src: NodeId, dim: u32, data: P) {
+        self.check_node(src);
+        assert!(dim < self.n, "dimension {dim} outside the {}-cube", self.n);
+        let elems = data.elems();
+        assert!(elems > 0, "empty message from {src} on dim {dim}; skip empty sends");
+        let dst = src.neighbor(dim);
+        let prev = self.outgoing.insert((dst.bits(), dim), data);
+        assert!(
+            prev.is_none(),
+            "link contention: directed link {src}--dim {dim}--> {dst} used twice in round {}",
+            self.report.rounds
+        );
+        *self.dims_used.entry(src.bits()).or_insert(0) |= 1 << dim;
+        *self.dims_used.entry(dst.bits()).or_insert(0) |= 1 << dim;
+        *self.link_totals.entry((src.bits(), dim)).or_insert(0) += elems as u64;
+        self.report.total_messages += 1;
+        self.report.total_elems += elems as u64;
+        self.report.total_packets += self.params.packets(elems) as u64;
+    }
+
+    /// Receives the message delivered to `dst` on dimension `dim` at the
+    /// last round boundary.
+    ///
+    /// # Panics
+    /// If no such message is pending.
+    #[track_caller]
+    pub fn recv(&mut self, dst: NodeId, dim: u32) -> P {
+        self.check_node(dst);
+        self.inbox.remove(&(dst.bits(), dim)).unwrap_or_else(|| {
+            panic!(
+                "recv at {dst} on dim {dim}: no message delivered (round {})",
+                self.report.rounds
+            )
+        })
+    }
+
+    /// True when a message is pending for `dst` on `dim`.
+    pub fn has_message(&self, dst: NodeId, dim: u32) -> bool {
+        self.inbox.contains_key(&(dst.bits(), dim))
+    }
+
+    /// Charges `elems` elements of local copy/rearrangement work to `node`
+    /// in the current round.
+    #[track_caller]
+    pub fn local_copy(&mut self, node: NodeId, elems: usize) {
+        self.check_node(node);
+        *self.copies.entry(node.bits()).or_insert(0) += elems;
+    }
+
+    /// Closes the current round: verifies port legality, charges the cost
+    /// model, and delivers this round's messages.
+    ///
+    /// # Panics
+    /// If a one-port node used several dimensions, or if messages
+    /// delivered at the previous boundary were never received.
+    #[track_caller]
+    pub fn finish_round(&mut self) {
+        if let Some(((dst, dim), _)) = self.inbox.iter().next() {
+            panic!(
+                "unconsumed message at node {dst} on dim {dim} when round {} ended",
+                self.report.rounds
+            );
+        }
+        if self.params.ports == PortMode::OnePort {
+            for (&node, &mask) in &self.dims_used {
+                assert!(
+                    mask.count_ones() <= 1,
+                    "one-port violation: node {node} used dims {mask:#b} in round {}",
+                    self.report.rounds
+                );
+            }
+        }
+        let mut max_pkts = 0usize;
+        let mut max_elems = 0usize;
+        let mut round_total = 0u64;
+        for data in self.outgoing.values() {
+            max_pkts = max_pkts.max(self.params.packets(data.elems()));
+            max_elems = max_elems.max(data.elems());
+            round_total += data.elems() as u64;
+        }
+        let max_copy = self.copies.values().copied().max().unwrap_or(0);
+        let startup = max_pkts as f64 * self.params.tau;
+        let transfer = max_elems as f64 * self.params.t_c;
+        let copy = max_copy as f64 * self.params.t_copy;
+        self.report.rounds += 1;
+        self.report.time += startup + transfer + copy;
+        self.report.startup_time += startup;
+        self.report.transfer_time += transfer;
+        self.report.copy_time += copy;
+        self.report.critical_startups += max_pkts as u64;
+        self.report.critical_elems += max_elems as u64;
+        self.report.max_node_copy_elems = self.report.max_node_copy_elems.max(max_copy as u64);
+        if self.record_links {
+            let mut events: Vec<crate::report::LinkEvent> = self
+                .outgoing
+                .iter()
+                .map(|(&(dst, dim), data)| crate::report::LinkEvent {
+                    src: dst ^ (1 << dim),
+                    dim,
+                    elems: data.elems() as u32,
+                })
+                .collect();
+            events.sort_by_key(|e| (e.src, e.dim));
+            self.report.link_history.push(events);
+        }
+        if self.record_history {
+            self.report.history.push(crate::report::RoundDetail {
+                time: startup + transfer + copy,
+                messages: self.outgoing.len() as u32,
+                max_elems: max_elems as u32,
+                total_elems: round_total,
+            });
+        }
+
+        self.inbox = std::mem::take(&mut self.outgoing);
+        self.dims_used.clear();
+        self.copies.clear();
+    }
+
+    /// Ends the simulation and returns the accumulated report.
+    ///
+    /// # Panics
+    /// If any message is still in flight or undelivered.
+    #[track_caller]
+    pub fn finalize(mut self) -> CommReport {
+        assert!(
+            self.outgoing.is_empty(),
+            "{} messages sent but the round never finished",
+            self.outgoing.len()
+        );
+        assert!(self.inbox.is_empty(), "{} delivered messages never received", self.inbox.len());
+        self.report.max_link_elems = self.link_totals.values().copied().max().unwrap_or(0);
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_net(n: u32, ports: PortMode) -> SimNet<Vec<u64>> {
+        SimNet::new(n, MachineParams::unit(ports))
+    }
+
+    #[test]
+    fn single_exchange_costs_one_startup_plus_elems() {
+        let mut net = unit_net(3, PortMode::OnePort);
+        net.send(NodeId(0), 0, vec![1, 2, 3]);
+        net.send(NodeId(1), 0, vec![4, 5, 6]);
+        net.finish_round();
+        assert_eq!(net.recv(NodeId(1), 0), vec![1, 2, 3]);
+        assert_eq!(net.recv(NodeId(0), 0), vec![4, 5, 6]);
+        let r = net.finalize();
+        assert_eq!(r.rounds, 1);
+        // Unit model: 1 start-up + 3 elements on the critical link.
+        assert_eq!(r.time, 4.0);
+        assert_eq!(r.total_elems, 6);
+        assert_eq!(r.max_link_elems, 3);
+    }
+
+    #[test]
+    fn rounds_accumulate() {
+        let mut net = unit_net(2, PortMode::OnePort);
+        for round in 0..3 {
+            net.send(NodeId(0), round % 2, vec![7]);
+            net.finish_round();
+            let got = net.recv(NodeId(0).neighbor(round % 2), round % 2);
+            assert_eq!(got, vec![7]);
+        }
+        let r = net.finalize();
+        assert_eq!(r.rounds, 3);
+        assert_eq!(r.time, 6.0);
+        assert_eq!(r.critical_startups, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "link contention")]
+    fn duplicate_link_use_panics() {
+        let mut net = unit_net(2, PortMode::AllPorts);
+        net.send(NodeId(0), 0, vec![1]);
+        net.send(NodeId(0), 0, vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one-port violation")]
+    fn one_port_violation_panics() {
+        let mut net = unit_net(3, PortMode::OnePort);
+        net.send(NodeId(0), 0, vec![1]);
+        net.send(NodeId(0), 1, vec![2]);
+        net.finish_round();
+    }
+
+    #[test]
+    fn all_ports_allows_concurrent_dims() {
+        let mut net = unit_net(3, PortMode::AllPorts);
+        net.send(NodeId(0), 0, vec![1]);
+        net.send(NodeId(0), 1, vec![2, 3]);
+        net.send(NodeId(0), 2, vec![4]);
+        net.finish_round();
+        for d in 0..3 {
+            let _ = net.recv(NodeId(0).neighbor(d), d);
+        }
+        let r = net.finalize();
+        assert_eq!(r.rounds, 1);
+        // Critical link carries 2 elements: 1·τ + 2·t_c = 3 in unit model.
+        assert_eq!(r.time, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unconsumed message")]
+    fn unconsumed_message_detected() {
+        let mut net = unit_net(2, PortMode::OnePort);
+        net.send(NodeId(0), 0, vec![1]);
+        net.finish_round();
+        net.finish_round(); // message to node 1 never received
+    }
+
+    #[test]
+    #[should_panic(expected = "never received")]
+    fn finalize_rejects_pending() {
+        let mut net = unit_net(2, PortMode::OnePort);
+        net.send(NodeId(0), 0, vec![1]);
+        net.finish_round();
+        let _ = net.finalize();
+    }
+
+    #[test]
+    #[should_panic(expected = "no message delivered")]
+    fn recv_without_message_panics() {
+        let mut net = unit_net(2, PortMode::OnePort);
+        let _ = net.recv(NodeId(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty message")]
+    fn empty_send_rejected() {
+        let mut net = unit_net(2, PortMode::OnePort);
+        net.send(NodeId(0), 0, Vec::new());
+    }
+
+    #[test]
+    fn copy_cost_added() {
+        let mut net: SimNet<Vec<u64>> =
+            SimNet::new(2, MachineParams::unit(PortMode::OnePort).with_t_copy(2.0));
+        net.local_copy(NodeId(0), 5);
+        net.local_copy(NodeId(1), 3);
+        net.finish_round();
+        let r = net.finalize();
+        // Round cost = max copy (5 elements) × 2.0.
+        assert_eq!(r.time, 10.0);
+        assert_eq!(r.copy_time, 10.0);
+        assert_eq!(r.max_node_copy_elems, 5);
+    }
+
+    #[test]
+    fn packetization_charges_multiple_startups() {
+        let mut net: SimNet<Vec<u64>> =
+            SimNet::new(1, MachineParams::unit(PortMode::OnePort).with_max_packet(4));
+        net.send(NodeId(0), 0, (0..10).collect());
+        net.finish_round();
+        let _ = net.recv(NodeId(1), 0);
+        let r = net.finalize();
+        // 10 elements in packets of 4 → 3 start-ups + 10 transfer units.
+        assert_eq!(r.critical_startups, 3);
+        assert_eq!(r.time, 13.0);
+    }
+
+    #[test]
+    fn pipelined_counts_one_startup() {
+        let mut params = MachineParams::unit(PortMode::AllPorts).with_max_packet(4);
+        params.pipelined = true;
+        let mut net: SimNet<Vec<u64>> = SimNet::new(1, params);
+        net.send(NodeId(0), 0, (0..10).collect());
+        net.finish_round();
+        let _ = net.recv(NodeId(1), 0);
+        let r = net.finalize();
+        assert_eq!(r.critical_startups, 1);
+    }
+
+    #[test]
+    fn store_and_forward_two_hops() {
+        // 0 → 1 (dim 0) then 1 → 3 (dim 1): payload arrives intact.
+        let mut net = unit_net(2, PortMode::OnePort);
+        net.send(NodeId(0), 0, vec![42, 43]);
+        net.finish_round();
+        let got = net.recv(NodeId(1), 0);
+        net.send(NodeId(1), 1, got);
+        net.finish_round();
+        assert_eq!(net.recv(NodeId(3), 1), vec![42, 43]);
+        let r = net.finalize();
+        assert_eq!(r.rounds, 2);
+        assert_eq!(r.time, 6.0);
+    }
+
+    #[test]
+    fn history_records_rounds() {
+        let mut net = unit_net(2, PortMode::OnePort);
+        net.record_history();
+        net.send(NodeId(0), 0, vec![1, 2]);
+        net.finish_round();
+        let _ = net.recv(NodeId(1), 0);
+        net.send(NodeId(1), 1, vec![3]);
+        net.finish_round();
+        let _ = net.recv(NodeId(3), 1);
+        let r = net.finalize();
+        assert_eq!(r.history.len(), 2);
+        assert_eq!(r.history[0].total_elems, 2);
+        assert_eq!(r.history[0].messages, 1);
+        assert_eq!(r.history[1].max_elems, 1);
+        assert_eq!(r.history.iter().map(|h| h.time).sum::<f64>(), r.time);
+    }
+
+    #[test]
+    fn link_events_recorded_sorted() {
+        let mut net = unit_net(2, PortMode::AllPorts);
+        net.record_links();
+        net.send(NodeId(2), 0, vec![7]);
+        net.send(NodeId(0), 1, vec![8, 9]);
+        net.finish_round();
+        let _ = net.recv(NodeId(3), 0);
+        let _ = net.recv(NodeId(2), 1);
+        let r = net.finalize();
+        assert_eq!(r.link_history.len(), 1);
+        let round = &r.link_history[0];
+        assert_eq!(round.len(), 2);
+        assert_eq!((round[0].src, round[0].dim, round[0].elems), (0, 1, 2));
+        assert_eq!((round[1].src, round[1].dim, round[1].elems), (2, 0, 1));
+    }
+
+    #[test]
+    fn idle_round_costs_nothing() {
+        let mut net = unit_net(2, PortMode::OnePort);
+        net.finish_round();
+        let r = net.finalize();
+        assert_eq!(r.rounds, 1);
+        assert_eq!(r.time, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the")]
+    fn out_of_range_node_rejected() {
+        let mut net = unit_net(2, PortMode::OnePort);
+        net.send(NodeId(7), 0, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn out_of_range_dim_rejected() {
+        let mut net = unit_net(2, PortMode::OnePort);
+        net.send(NodeId(0), 5, vec![1]);
+    }
+}

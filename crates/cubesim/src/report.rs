@@ -1,0 +1,136 @@
+//! Cost accounting produced by a simulated run.
+
+/// Cost breakdown of a single simulated round (recorded only when
+/// [`SimNet::record_history`](crate::SimNet::record_history) was called).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RoundDetail {
+    /// Elapsed simulated time of the round.
+    pub time: f64,
+    /// Messages sent in the round.
+    pub messages: u32,
+    /// Largest per-link element count.
+    pub max_elems: u32,
+    /// Total elements over all links.
+    pub total_elems: u64,
+}
+
+/// One link activation: `(source node, dimension, elements)` within a
+/// round (recorded only under
+/// [`SimNet::record_links`](crate::SimNet::record_links)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkEvent {
+    /// Sending node.
+    pub src: u64,
+    /// Dimension crossed.
+    pub dim: u32,
+    /// Elements carried.
+    pub elems: u32,
+}
+
+/// Aggregate communication/cost statistics for one simulated algorithm
+/// execution.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CommReport {
+    /// Number of synchronous communication rounds executed.
+    pub rounds: usize,
+    /// Simulated elapsed time (seconds): Σ over rounds of the round's
+    /// critical-path cost.
+    pub time: f64,
+    /// Portion of [`CommReport::time`] spent on start-ups.
+    pub startup_time: f64,
+    /// Portion spent on element transfer.
+    pub transfer_time: f64,
+    /// Portion spent on local copies/rearrangement.
+    pub copy_time: f64,
+    /// Start-ups along the critical path (Σ over rounds of the maximum
+    /// per-link packet count in that round).
+    pub critical_startups: u64,
+    /// Elements along the critical path (Σ over rounds of the maximum
+    /// per-link element count).
+    pub critical_elems: u64,
+    /// Total elements moved over all links in the whole run (Σ over every
+    /// transfer of its size) — the network *work*, not the elapsed time.
+    pub total_elems: u64,
+    /// Total packets over all links.
+    pub total_packets: u64,
+    /// Total messages (send calls).
+    pub total_messages: u64,
+    /// Maximum number of elements carried by any single directed link over
+    /// the whole run (for congestion/edge-disjointness analysis).
+    pub max_link_elems: u64,
+    /// Maximum elements locally copied by one node in the whole run.
+    pub max_node_copy_elems: u64,
+    /// Per-round breakdown (empty unless history recording was enabled).
+    pub history: Vec<RoundDetail>,
+    /// Per-round link activations (empty unless link recording was
+    /// enabled) — the space-time diagram of the run.
+    pub link_history: Vec<Vec<LinkEvent>>,
+}
+
+impl CommReport {
+    /// Accumulates another report into this one (sequential composition
+    /// of two simulated phases: times and volumes add, maxima take the
+    /// max, histories concatenate).
+    pub fn merge(&mut self, other: &CommReport) {
+        self.rounds += other.rounds;
+        self.time += other.time;
+        self.startup_time += other.startup_time;
+        self.transfer_time += other.transfer_time;
+        self.copy_time += other.copy_time;
+        self.critical_startups += other.critical_startups;
+        self.critical_elems += other.critical_elems;
+        self.total_elems += other.total_elems;
+        self.total_packets += other.total_packets;
+        self.total_messages += other.total_messages;
+        self.max_link_elems = self.max_link_elems.max(other.max_link_elems);
+        self.max_node_copy_elems = self.max_node_copy_elems.max(other.max_node_copy_elems);
+        self.history.extend(other.history.iter().copied());
+        self.link_history.extend(other.link_history.iter().cloned());
+    }
+
+    /// Pretty one-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "rounds={} time={:.6}s (startup {:.6}s, transfer {:.6}s, copy {:.6}s) \
+             critical: {} start-ups / {} elems; total: {} msgs, {} elems, max link load {}",
+            self.rounds,
+            self.time,
+            self.startup_time,
+            self.transfer_time,
+            self.copy_time,
+            self.critical_startups,
+            self.critical_elems,
+            self.total_messages,
+            self.total_elems,
+            self.max_link_elems,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CommReport { rounds: 2, time: 1.0, max_link_elems: 5, ..Default::default() };
+        let b = CommReport { rounds: 3, time: 0.5, max_link_elems: 9, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.rounds, 5);
+        assert_eq!(a.time, 1.5);
+        assert_eq!(a.max_link_elems, 9);
+    }
+
+    #[test]
+    fn summary_contains_fields() {
+        let r = CommReport {
+            rounds: 3,
+            time: 1.5,
+            max_link_elems: 42,
+            ..Default::default()
+        };
+        let s = r.summary();
+        assert!(s.contains("rounds=3"));
+        assert!(s.contains("42"));
+    }
+}

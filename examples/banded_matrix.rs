@@ -1,0 +1,73 @@
+//! The banded-matrix combined assignment of §2: band-solver data stored
+//! with a *combined* cyclic/consecutive layout, then rearranged with the
+//! generic exchange machinery.
+//!
+//! The paper's example (for the equation solvers of its refs [8, 12])
+//! stores the relevant band elements in a `2^p × 2^q` array with blocks
+//! of `2^{q-n_c} × 2^{q-n_c}` elements per node, blocks assigned
+//! *cyclically* with respect to the row addresses — the real row field is
+//! the contiguous run `u_{q-1} … u_{q-n_c}` in the *middle* of the row
+//! index. Cyclic block rows balance the shrinking active window of an
+//! elimination sweep.
+//!
+//! Run with `cargo run --example banded_matrix`.
+
+use boolcube::comm::BufferPolicy;
+use boolcube::layout::{table, Assignment, DistMatrix, Encoding, Layout};
+use boolcube::sim::{MachineParams, SimNet};
+use boolcube::transpose::relayout;
+
+fn main() {
+    // 2^5 rows of band data, 2^3 columns (the band width), 2 processor
+    // dimensions per direction: 16 nodes.
+    let (p, q, n_c) = (5u32, 3u32, 2u32);
+    let banded = Layout::banded(p, q, n_c);
+    println!(
+        "banded combined layout: {}×{} band array on {} nodes\naddress field: {}\n",
+        1 << p,
+        1 << q,
+        banded.num_nodes(),
+        table::render_address_field(&banded),
+    );
+    println!("ownership (rows × band columns):\n{}", table::render_ownership_grid(&banded));
+
+    // Elimination balance: in a sweep that retires rows from the top, the
+    // cyclic block-row assignment keeps every processor busy. Count how
+    // many of the *last* 8 rows each processor row-group owns.
+    let active_rows = (1u64 << p) - 8..(1u64 << p);
+    let mut owners = std::collections::HashMap::new();
+    for u in active_rows {
+        for v in 0..(1u64 << q) {
+            *owners.entry(banded.place(u, v).node.bits() >> n_c).or_insert(0u32) += 1;
+        }
+    }
+    let counts: Vec<u32> = {
+        let mut c: Vec<(u64, u32)> = owners.into_iter().collect();
+        c.sort();
+        c.iter().map(|&(_, v)| v).collect()
+    };
+    println!("elements of the last 8 rows per processor row-group: {counts:?}");
+    assert!(counts.iter().all(|&c| c == counts[0]), "cyclic blocks must balance the tail");
+
+    // Phase change: convert the band data to the plain 2D consecutive
+    // layout (e.g. to hand off to a dense kernel) with the exchange
+    // machinery, on simulated iPSC constants.
+    let dense = Layout::two_dim(
+        p,
+        q,
+        (n_c, Assignment::Consecutive, Encoding::Binary),
+        (n_c, Assignment::Consecutive, Encoding::Binary),
+    );
+    let data = DistMatrix::from_fn(banded.clone(), |u, v| (u * 8 + v) as f64);
+    let mut net = SimNet::new(2 * n_c, MachineParams::intel_ipsc());
+    let moved = relayout(&data, &dense, &mut net, BufferPolicy::Buffered { min_direct: 139 });
+    let report = net.finalize();
+    println!("\nconversion banded → 2D consecutive: {}", report.summary());
+
+    for u in 0..(1u64 << p) {
+        for v in 0..(1u64 << q) {
+            assert_eq!(moved.get(u, v), (u * 8 + v) as f64);
+        }
+    }
+    println!("verified: every band element survived the conversion.");
+}

@@ -1,0 +1,74 @@
+//! Machine comparison: the Intel iPSC versus the Connection Machine
+//! (paper §8–§9: "the latter performs a transpose about two orders of
+//! magnitude faster").
+//!
+//! Both machines are simulated under their cost models; the same
+//! two-dimensional matrices are transposed with the algorithm each
+//! machine actually used — the exchange/SPT family on the iPSC, the
+//! bit-serial pipelined router (e-cube) on the Connection Machine.
+//!
+//! Run with `cargo run --release --example machines`.
+
+use boolcube::comm::ecube::{ecube_route, RouteMsg};
+use boolcube::comm::BlockMsg;
+use boolcube::layout::{Assignment, Encoding, Layout};
+use boolcube::sim::{MachineParams, PortMode, SimNet};
+use boolcube::transpose::two_dim::{tr, Packet};
+use boolcube::transpose::{transpose_spt, verify};
+
+/// Transpose on the CM: every node fires its block at `tr(x)` and the
+/// router delivers (dimension-ordered, pipelined).
+fn cm_transpose_time(n: u32, elems_per_node: usize) -> f64 {
+    let half = n / 2;
+    let mut net: SimNet<BlockMsg<u64>> = SimNet::new(n, MachineParams::connection_machine());
+    let msgs: Vec<RouteMsg<u64>> = (0..(1u64 << n))
+        .filter(|&x| tr(x, half) != x)
+        .map(|x| RouteMsg {
+            src: boolcube::addr::NodeId(x),
+            dst: boolcube::addr::NodeId(tr(x, half)),
+            data: vec![x; elems_per_node],
+        })
+        .collect();
+    let _ = ecube_route(&mut net, msgs);
+    net.finalize().time
+}
+
+/// Transpose on the iPSC: pipelined SPT with the model's optimal packet.
+fn ipsc_transpose_time(p: u32, half: u32) -> f64 {
+    let n = 2 * half;
+    let params = MachineParams::intel_ipsc().with_ports(PortMode::AllPorts);
+    let before = Layout::square(p, p, half, Assignment::Consecutive, Encoding::Binary);
+    let after = before.swapped_shape();
+    let m = verify::labels(before.clone());
+    let pq = 1u64 << (2 * p);
+    let b = boolcube::model::two_dim::spt_b_opt(pq, n, &params).round().max(1.0) as usize;
+    let mut net: SimNet<Packet<u64>> = SimNet::new(n, params);
+    let out = transpose_spt(&m, &after, &mut net, b.min(1 << (2 * p - n)));
+    verify::assert_transposed(&before, &out);
+    net.finalize().time
+}
+
+fn main() {
+    // The machines are compared at their own scales: a 6-cube iPSC (64
+    // nodes) against a Connection Machine with one 32-bit element per
+    // processor (2p-cube), as in the paper's experiments.
+    println!("matrix        iPSC 6-cube [s]    CM 2p-cube [s]     ratio");
+    for p in [5u32, 6, 7] {
+        let half = 3u32;
+        let n_cm = 2 * p; // one element per CM processor
+        let t_ipsc = ipsc_transpose_time(p, half);
+        let t_cm = cm_transpose_time(n_cm, 1);
+        println!(
+            "{0:>4}×{0:<4}       {1:12.6}      {2:12.6}    {3:8.1}×",
+            1 << p,
+            t_ipsc,
+            t_cm,
+            t_ipsc / t_cm
+        );
+    }
+    println!(
+        "\nThe Connection Machine's pipelined bit-serial router amortizes the\n\
+         start-up per path, so its times sit about two orders of magnitude\n\
+         below the iPSC's — the paper's concluding comparison."
+    );
+}

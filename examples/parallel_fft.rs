@@ -1,0 +1,59 @@
+//! The transpose-based four-step parallel FFT: the global data movement
+//! of a distributed FFT *is* the matrix transposition the paper
+//! optimizes (the FACR context of §1; the bit-reversal of §7 runs inside
+//! the local kernels).
+//!
+//! A two-tone signal of length 2^12 is transformed on a simulated 8-node
+//! iPSC; the example reports the communication cost of the two
+//! transpositions, checks the spectrum against the naive DFT, and finds
+//! the injected tones.
+//!
+//! Run with `cargo run --release --example parallel_fft`.
+
+use boolcube::apps::fft::{dft_naive, fft_four_step, spectrum_from_grid};
+use boolcube::apps::Cplx;
+use boolcube::sim::MachineParams;
+use std::f64::consts::PI;
+
+fn main() {
+    let (r, c, n) = (6u32, 6u32, 3u32);
+    let len = 1usize << (r + c);
+    let (tone_a, tone_b) = (100usize, 777usize);
+    let signal: Vec<Cplx> = (0..len)
+        .map(|i| {
+            let t = i as f64 / len as f64;
+            Cplx::new(
+                (2.0 * PI * tone_a as f64 * t).cos() + 0.5 * (2.0 * PI * tone_b as f64 * t).cos(),
+                0.0,
+            )
+        })
+        .collect();
+
+    println!("four-step FFT of a length-{len} signal as a {}×{} matrix on an {n}-cube\n", 1 << r, 1 << c);
+
+    let params = MachineParams::intel_ipsc();
+    let (grid, report) = fft_four_step(&signal, r, c, n, &params);
+    println!("communication (two transpositions): {}\n", report.summary());
+
+    let spectrum = spectrum_from_grid(&grid);
+
+    // Verify against the naive DFT.
+    let want = dft_naive(&signal);
+    let max_err = spectrum
+        .iter()
+        .zip(&want)
+        .map(|(a, b)| (*a - *b).abs())
+        .fold(0.0_f64, f64::max);
+    println!("max |X_fourstep - X_dft| = {max_err:.3e}");
+    assert!(max_err < 1e-7);
+
+    // Find the tones (positive-frequency half).
+    let mut peaks: Vec<(usize, f64)> =
+        spectrum.iter().take(len / 2).map(|v| v.abs()).enumerate().collect();
+    peaks.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("strongest bins: {} and {} (expected {tone_a} and {tone_b})", peaks[0].0, peaks[1].0);
+    let mut found = [peaks[0].0, peaks[1].0];
+    found.sort_unstable();
+    assert_eq!(found, [tone_a, tone_b]);
+    println!("verified: the parallel FFT recovers both tones exactly.");
+}

@@ -1,0 +1,50 @@
+//! # boolcube — matrix transposition on Boolean *n*-cube ensembles
+//!
+//! Umbrella crate for the reproduction of S. Lennart Johnsson and
+//! Ching-Tien Ho, *Algorithms for Matrix Transposition on Boolean n-cube
+//! Configured Ensemble Architectures* (YALEU/DCS/TR-572, 1987).
+//!
+//! Re-exports every component crate:
+//!
+//! * [`addr`] — cube addressing, Gray codes, shuffles, dimension
+//!   permutations.
+//! * [`layout`] — cyclic/consecutive/combined matrix-to-processor layouts.
+//! * [`sim`] — the machine cost model and schedule simulator.
+//! * [`run`] — the multithreaded SPMD message-passing runtime.
+//! * [`comm`] — generic personalized-communication algorithms (SBT, SBnT,
+//!   all-to-all, e-cube routing).
+//! * [`transpose`] — the paper's transpose algorithms (exchange, SPT, DPT,
+//!   MPT, conversions).
+//! * [`model`] — closed-form complexity models and lower bounds.
+
+pub use cubeaddr as addr;
+pub use cubeapps as apps;
+pub use cubecomm as comm;
+pub use cubelayout as layout;
+pub use cubemodel as model;
+pub use cuberun as run;
+pub use cubesim as sim;
+pub use cubetranspose as transpose;
+
+/// Convenience re-exports for writing applications quickly.
+///
+/// ```
+/// use boolcube::prelude::*;
+///
+/// let before = Layout::square(4, 4, 1, Assignment::Cyclic, Encoding::Binary);
+/// let after = before.swapped_shape();
+/// let m = labels(before.clone());
+/// let (out, _, report) = execute(&m, &after, &MachineParams::intel_ipsc());
+/// assert_transposed(&before, &out);
+/// assert!(report.time > 0.0);
+/// ```
+pub mod prelude {
+    pub use cubeaddr::{DimSet, NodeId};
+    pub use cubelayout::{Assignment, Direction, DistMatrix, Encoding, Layout, TransposeSpec};
+    pub use cubesim::{CommReport, MachineParams, PortMode, SimNet};
+    pub use cubetranspose::driver::{execute, plan, Choice};
+    pub use cubetranspose::verify::{assert_transposed, labels};
+    pub use cubetranspose::{
+        transpose_1d_exchange, transpose_1d_sbnt, transpose_dpt, transpose_mpt, transpose_spt,
+    };
+}

@@ -1,0 +1,100 @@
+//! Property tests over the planner: any representable layout pair
+//! executes correctly under any machine, and the plan respects the
+//! paper's selection rules.
+
+use boolcube::prelude::*;
+use proptest::prelude::*;
+
+fn machines() -> Vec<MachineParams> {
+    vec![
+        MachineParams::intel_ipsc(),
+        MachineParams::intel_ipsc().with_ports(PortMode::AllPorts),
+        MachineParams::connection_machine(),
+        MachineParams::unit(PortMode::OnePort),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random symmetric specs through the planner: always verified.
+    #[test]
+    fn planner_always_correct(
+        p in 2u32..5,
+        cfg in 0u32..6,
+        machine_idx in 0usize..4,
+        gray in prop::bool::ANY,
+    ) {
+        let enc = if gray { Encoding::Gray } else { Encoding::Binary };
+        let before = match cfg {
+            0 => Layout::one_dim(p, p, Direction::Rows, p.min(2), Assignment::Consecutive, enc),
+            1 => Layout::one_dim(p, p, Direction::Cols, p.min(3), Assignment::Cyclic, enc),
+            2 => Layout::square(p, p, 1, Assignment::Consecutive, enc),
+            3 => Layout::square(p, p, p.min(2), Assignment::Cyclic, enc),
+            4 => Layout::two_dim(
+                p,
+                p,
+                (1, Assignment::Consecutive, Encoding::Binary),
+                (p.min(2), Assignment::Cyclic, enc),
+            ),
+            _ => Layout::one_dim(p, p, Direction::Rows, 1, Assignment::Cyclic, enc),
+        };
+        let after = before.swapped_shape();
+        let params = machines()[machine_idx].clone();
+        let m = labels(before.clone());
+        let (out, _choice, report) = execute(&m, &after, &params);
+        assert_transposed(&before, &out);
+        // Nonzero specs must communicate; the simulated time then at
+        // least covers one start-up (pipelined machines may amortize).
+        if report.total_messages > 0 && !params.pipelined {
+            prop_assert!(report.time >= params.tau);
+        }
+    }
+
+    /// The plan is deterministic and consistent with the classification:
+    /// pairwise square specs choose the 2D family, 1D specs the exchange
+    /// family.
+    #[test]
+    fn plan_family_matches_classification(p in 2u32..6, half in 1u32..3, all_ports in prop::bool::ANY) {
+        let half = half.min(p);
+        let params = if all_ports {
+            MachineParams::intel_ipsc().with_ports(PortMode::AllPorts)
+        } else {
+            MachineParams::intel_ipsc()
+        };
+        let square = Layout::square(p, p, half, Assignment::Consecutive, Encoding::Binary);
+        match plan(&square, &square.swapped_shape(), &params) {
+            Choice::SptStepwise => prop_assert!(!all_ports),
+            Choice::Mpt { .. } => prop_assert!(all_ports),
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+        let one_d = Layout::one_dim(p, p, Direction::Rows, half, Assignment::Consecutive, Encoding::Binary);
+        match plan(&one_d, &one_d.swapped_shape(), &params) {
+            Choice::ExchangeBuffered { .. } => prop_assert!(!all_ports),
+            Choice::Sbnt => prop_assert!(all_ports),
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+
+    /// parse → render → parse is stable for generated specs.
+    #[test]
+    fn spec_string_roundtrip(
+        dir in prop::bool::ANY,
+        cyc in prop::bool::ANY,
+        gray in prop::bool::ANY,
+        n in 1u32..4,
+    ) {
+        use boolcube::layout::parse::{parse_layout, render_spec};
+        let spec = format!(
+            "1d:{}:{}:{}:n={n}",
+            if dir { "rows" } else { "cols" },
+            if cyc { "cyclic" } else { "consecutive" },
+            if gray { "gray" } else { "binary" },
+        );
+        let l = parse_layout(&spec, 4, 4).unwrap();
+        let rendered = render_spec(&l).unwrap();
+        prop_assert_eq!(&rendered, &spec);
+        let l2 = parse_layout(&rendered, 4, 4).unwrap();
+        prop_assert_eq!(l, l2);
+    }
+}

@@ -1,0 +1,76 @@
+//! Concurrency stress for the SPMD runtime: large thread counts,
+//! repeated runs, and collective composition. These tests exist to shake
+//! out ordering assumptions in the channel wiring — they must pass under
+//! arbitrary thread interleavings.
+
+use boolcube::layout::{Assignment, Direction, DistMatrix, Encoding, Layout};
+use boolcube::run::{all_to_all, broadcast, gather, run_spmd};
+use boolcube::transpose::spmd::spmd_transpose_exchange;
+use cubeaddr::NodeId;
+
+/// 64 threads, repeated transposes: results must be identical each time.
+#[test]
+fn sixty_four_threads_repeated_transposes() {
+    let before =
+        Layout::one_dim(6, 6, Direction::Rows, 6, Assignment::Consecutive, Encoding::Binary);
+    let after =
+        Layout::one_dim(6, 6, Direction::Rows, 6, Assignment::Consecutive, Encoding::Binary);
+    let m = DistMatrix::from_fn(before.clone(), |u, v| (u << 6) | v);
+    let (first, stats) = spmd_transpose_exchange(&m, &after);
+    assert_eq!(stats.messages, 64 * 6);
+    for _ in 0..5 {
+        let (again, _) = spmd_transpose_exchange(&m, &after);
+        assert_eq!(again, first);
+    }
+    // And the content is the transpose.
+    boolcube::transpose::verify::assert_transposed(&before, &first);
+}
+
+/// Collectives compose within one node program: broadcast a seed, local
+/// work, all-reduce the checksum.
+#[test]
+fn collective_composition_under_contention() {
+    for _ in 0..10 {
+        let (results, _) = run_spmd(5, |ctx| {
+            let seed = broadcast(ctx, NodeId(7), (ctx.id().bits() == 7).then_some(13u64));
+            // The channel type is Option<u64>, so the reduction runs on it.
+            let local = Some(seed * ctx.id().bits());
+            ctx.all_reduce(local, |a, b| Some(a.unwrap_or(0).wrapping_add(b.unwrap_or(0))))
+        });
+        let want: u64 = (0..32u64).map(|x| 13 * x).sum();
+        assert!(results.iter().all(|r| *r == Some(want)));
+    }
+}
+
+/// The all-to-all collective on the full 64-thread cube with uneven
+/// payloads.
+#[test]
+fn all_to_all_uneven_payloads() {
+    let (results, _) = run_spmd(6, |ctx| {
+        let me = ctx.id().bits();
+        let blocks: Vec<Vec<u64>> = (0..ctx.num_nodes() as u64)
+            .map(|d| (0..(me + d) % 5).map(|i| me * 10_000 + d * 100 + i).collect())
+            .collect();
+        all_to_all(ctx, blocks)
+    });
+    for (d, got) in results.iter().enumerate() {
+        for (s, block) in got.iter().enumerate() {
+            let want: Vec<u64> = (0..(s as u64 + d as u64) % 5)
+                .map(|i| s as u64 * 10_000 + d as u64 * 100 + i)
+                .collect();
+            assert_eq!(block, &want, "block {s} → {d}");
+        }
+    }
+}
+
+/// Gather under repeated roots: no stale messages leak between runs.
+#[test]
+fn gather_no_cross_run_leakage() {
+    for round in 0..8u64 {
+        let root = NodeId(round % 16);
+        let (results, _) =
+            run_spmd(4, move |ctx| gather(ctx, root, ctx.id().bits() + round * 1000));
+        let want: Vec<u64> = (0..16).map(|x| x + round * 1000).collect();
+        assert_eq!(results[root.index()].as_ref().unwrap(), &want);
+    }
+}

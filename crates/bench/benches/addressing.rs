@@ -7,12 +7,9 @@ use cubecomm::sbnt::sbnt_path_dims;
 
 fn bench_codes(c: &mut Criterion) {
     let mut group = c.benchmark_group("addressing");
-    group.bench_function("gray", |b| {
-        b.iter(|| (0..1024u64).map(gray).sum::<u64>())
-    });
-    group.bench_function("gray_inverse", |b| {
-        b.iter(|| (0..1024u64).map(gray_inverse).sum::<u64>())
-    });
+    group.bench_function("gray", |b| b.iter(|| (0..1024u64).map(gray).sum::<u64>()));
+    group
+        .bench_function("gray_inverse", |b| b.iter(|| (0..1024u64).map(gray_inverse).sum::<u64>()));
     group.bench_function("shuffle", |b| {
         b.iter(|| (0..1024u64).map(|w| shuffle(w, 3, 10)).sum::<u64>())
     });

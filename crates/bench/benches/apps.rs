@@ -15,8 +15,7 @@ fn bench_fft(c: &mut Criterion) {
         let n = 1usize << bits;
         group.throughput(Throughput::Elements(n as u64));
         group.bench_function(BenchmarkId::new("local", n), |b| {
-            let data: Vec<Cplx> =
-                (0..n).map(|i| Cplx::new((i as f64).sin(), 0.0)).collect();
+            let data: Vec<Cplx> = (0..n).map(|i| Cplx::new((i as f64).sin(), 0.0)).collect();
             b.iter(|| {
                 let mut d = data.clone();
                 fft_in_place(&mut d);
@@ -39,9 +38,7 @@ fn bench_tridiag(c: &mut Criterion) {
     for n in [255usize, 4095] {
         let d: Vec<f64> = (0..n).map(|i| (i as f64 * 0.9).sin()).collect();
         group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("thomas", n), &d, |b, d| {
-            b.iter(|| thomas(sys, d))
-        });
+        group.bench_with_input(BenchmarkId::new("thomas", n), &d, |b, d| b.iter(|| thomas(sys, d)));
         group.bench_with_input(BenchmarkId::new("cyclic_reduction", n), &d, |b, d| {
             b.iter(|| cyclic_reduction(sys, d))
         });
@@ -55,9 +52,7 @@ fn bench_poisson(c: &mut Criterion) {
     let layout = grid_layout(5, 2);
     let rhs = DistMatrix::from_fn(layout, |y, x| ((y * 3 + x) % 7) as f64 - 3.0);
     let params = MachineParams::unit(PortMode::OnePort);
-    group.bench_function("facr_32x32_4nodes", |b| {
-        b.iter(|| solve_poisson(&rhs, 2, &params))
-    });
+    group.bench_function("facr_32x32_4nodes", |b| b.iter(|| solve_poisson(&rhs, 2, &params)));
     group.finish();
 }
 

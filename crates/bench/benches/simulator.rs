@@ -2,7 +2,8 @@
 //! simulator for each transpose algorithm (one iteration = one full
 //! simulated transpose including legality checking).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cubeaddr::NodeId;
 use cubecomm::BufferPolicy;
 use cubelayout::{Assignment, Direction, Encoding, Layout};
 use cubesim::{MachineParams, PortMode, SimNet};
@@ -65,5 +66,73 @@ fn bench_sim_two_dim(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sim_one_dim, bench_sim_two_dim);
+/// `blocks[src][dst] = [src*1000 + dst; b]`: the uniform all-to-all load.
+fn uniform_blocks(n: u32, b: usize) -> Vec<Vec<Vec<u64>>> {
+    let num = 1usize << n;
+    (0..num as u64).map(|s| (0..num as u64).map(|d| vec![s * 1000 + d; b]).collect()).collect()
+}
+
+/// Raw data-plane throughput of the simulator at production cube sizes:
+/// repeated full dimension sweeps where every node exchanges a small
+/// message with its neighbor each round. One iteration executes
+/// `sweeps * n` rounds of `2^n` sends + receives, so the per-message
+/// bookkeeping (link legality, one-port checks, cost accounting)
+/// dominates — exactly the path the flat-indexed refactor targets.
+fn bench_schedule_exec(c: &mut Criterion) {
+    const SWEEPS: u32 = 4;
+    let mut group = c.benchmark_group("schedule_exec");
+    group.sample_size(10);
+    for n in [10u32, 12] {
+        let num = 1u64 << n;
+        group.throughput(Throughput::Elements(2 * num * (SWEEPS * n) as u64));
+        group.bench_with_input(BenchmarkId::new("dim_sweep", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net: SimNet<u64> = SimNet::new(n, MachineParams::unit(PortMode::OnePort));
+                for _ in 0..SWEEPS {
+                    for d in 0..n {
+                        for x in 0..num {
+                            net.send(NodeId(x), d, x);
+                        }
+                        net.finish_round();
+                        for x in 0..num {
+                            criterion::black_box(net.recv(NodeId(x), d));
+                        }
+                    }
+                }
+                net.finalize()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Full all-to-all personalized communication on a 1024-node cube: the
+/// paper's §3.2 exchange schedule end to end, including block
+/// partitioning and message assembly in the executor.
+fn bench_all_to_all_large(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_to_all");
+    group.sample_size(10);
+    let n = 10u32;
+    group.bench_with_input(BenchmarkId::new("ideal", n), &n, |b, &n| {
+        b.iter(|| {
+            let mut net: SimNet<cubecomm::BlockMsg<u64>> =
+                SimNet::new(n, MachineParams::unit(PortMode::OnePort));
+            let out = cubecomm::exchange::all_to_all_exchange(
+                &mut net,
+                uniform_blocks(n, 1),
+                BufferPolicy::Ideal,
+            );
+            (net.finalize(), out.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sim_one_dim,
+    bench_sim_two_dim,
+    bench_schedule_exec,
+    bench_all_to_all_large
+);
 criterion_main!(benches);

@@ -73,10 +73,15 @@ fn main() {
             println!("{}", f());
         }
     }
-    for (name, f) in numeric {
-        if selected(name) {
+    // Compute the selected figures in parallel (each generator may itself
+    // fan its point grid out over par_map); print in declaration order so
+    // the output is byte-identical to a sequential run.
+    let chosen: Vec<(&str, Gen)> =
+        numeric.iter().copied().filter(|(name, _)| selected(name)).collect();
+    let sets = cubebench::par::par_map(&chosen, |&(_, f)| f());
+    for ((name, _), set) in chosen.iter().zip(&sets) {
+        {
             println!("==== {name} ====");
-            let set = f();
             print!("{}", set.to_table());
             if plot {
                 print!("\n{}", set.to_ascii_chart(64, 16));

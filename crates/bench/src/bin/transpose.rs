@@ -36,10 +36,12 @@ fn main() {
     let mut machine = "ipsc".to_string();
     let mut ports = "one".to_string();
     while let Some(a) = args.next() {
-        let mut val = |name: &str| args.next().unwrap_or_else(|| {
-            eprintln!("{name} needs a value");
-            usage()
-        });
+        let mut val = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
         match a.as_str() {
             "--p" => p = val("--p").parse().ok(),
             "--q" => q = val("--q").parse().ok(),
@@ -50,9 +52,7 @@ fn main() {
             _ => usage(),
         }
     }
-    let (Some(p), Some(q), Some(before_spec)) = (p, q, before_spec) else {
-        usage()
-    };
+    let (Some(p), Some(q), Some(before_spec)) = (p, q, before_spec) else { usage() };
 
     let before = parse_layout(&before_spec, p, q).unwrap_or_else(|e| {
         eprintln!("--before: {e}");

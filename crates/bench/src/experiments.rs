@@ -6,6 +6,7 @@
 //! *shapes* — who wins, by what factor, where curves cross — are the
 //! reproduction targets (see EXPERIMENTS.md at the repository root).
 
+use crate::par::par_map;
 use crate::series::{Series, SeriesSet};
 use cubeaddr::NodeId;
 use cubecomm::ecube::{ecube_route, RouteMsg};
@@ -40,11 +41,7 @@ fn one_dim_time(m_log: u32, n: u32, policy: SendPolicy) -> f64 {
 
 /// Figure 9: local copy time versus data volume, per element width.
 pub fn fig9() -> SeriesSet {
-    let mut set = SeriesSet::new(
-        "Figure 9: copy time on the iPSC model",
-        "bytes",
-        "seconds",
-    );
+    let mut set = SeriesSet::new("Figure 9: copy time on the iPSC model", "bytes", "seconds");
     // Copy cost is per element: a per-element loop overhead plus a
     // per-byte move cost, so wider types copy fewer elements per byte and
     // come out cheaper per byte — the spread between the four curves of
@@ -71,12 +68,22 @@ pub fn fig10() -> SeriesSet {
         "seconds",
     );
     let b_copy = MachineParams::intel_ipsc().b_copy();
+    let points: Vec<(u32, u32)> =
+        [12u32, 16].into_iter().flat_map(|m| (1..=6u32).map(move |n| (m, n))).collect();
+    let times = par_map(&points, |&(m_log, n)| {
+        (
+            one_dim_time(m_log, n, SendPolicy::Unbuffered),
+            one_dim_time(m_log, n, SendPolicy::Buffered { min_direct: b_copy }),
+        )
+    });
+    let mut at = times.iter();
     for m_log in [12u32, 16] {
         let mut unbuf = Series::new(format!("unbuffered 2^{m_log}"));
         let mut buf = Series::new(format!("buffered 2^{m_log}"));
         for n in 1..=6u32 {
-            unbuf.push(n as f64, one_dim_time(m_log, n, SendPolicy::Unbuffered));
-            buf.push(n as f64, one_dim_time(m_log, n, SendPolicy::Buffered { min_direct: b_copy }));
+            let &(u, b) = at.next().unwrap();
+            unbuf.push(n as f64, u);
+            buf.push(n as f64, b);
         }
         set.push(unbuf);
         set.push(buf);
@@ -91,11 +98,18 @@ pub fn fig11() -> SeriesSet {
         "min direct block (elements)",
         "seconds",
     );
+    let points: Vec<(u32, u32, u32)> = [(14u32, 5u32), (16, 6)]
+        .into_iter()
+        .flat_map(|(m, n)| (0..=10u32).map(move |t| (m, n, t)))
+        .collect();
+    let times = par_map(&points, |&(m_log, n, t_log)| {
+        one_dim_time(m_log, n, SendPolicy::Buffered { min_direct: 1 << t_log })
+    });
+    let mut at = times.iter();
     for (m_log, n) in [(14u32, 5u32), (16, 6)] {
         let mut s = Series::new(format!("PQ=2^{m_log}, n={n}"));
         for t_log in 0..=10u32 {
-            let thr = 1usize << t_log;
-            s.push(thr as f64, one_dim_time(m_log, n, SendPolicy::Buffered { min_direct: thr }));
+            s.push((1usize << t_log) as f64, *at.next().unwrap());
         }
         set.push(s);
     }
@@ -111,14 +125,18 @@ pub fn fig12() -> SeriesSet {
     );
     let n = 6u32;
     let b_copy = MachineParams::intel_ipsc().b_copy();
+    let points: Vec<u32> = (12..=18u32).collect();
+    let times = par_map(&points, |&m_log| {
+        (
+            one_dim_time(m_log, n, SendPolicy::Unbuffered),
+            one_dim_time(m_log, n, SendPolicy::Buffered { min_direct: b_copy }),
+        )
+    });
     let mut unbuf = Series::new("unbuffered");
     let mut buf = Series::new("optimum buffering");
-    for m_log in 12..=18u32 {
-        unbuf.push((1u64 << m_log) as f64, one_dim_time(m_log, n, SendPolicy::Unbuffered));
-        buf.push(
-            (1u64 << m_log) as f64,
-            one_dim_time(m_log, n, SendPolicy::Buffered { min_direct: b_copy }),
-        );
+    for (m_log, &(u, b)) in points.iter().zip(&times) {
+        unbuf.push((1u64 << m_log) as f64, u);
+        buf.push((1u64 << m_log) as f64, b);
     }
     set.push(unbuf);
     set.push(buf);
@@ -147,12 +165,16 @@ pub fn fig13() -> SeriesSet {
         "matrix elements",
         "seconds",
     );
+    let points: Vec<(u32, u32)> =
+        [2u32, 6].into_iter().flat_map(|n| (8..=16u32).step_by(2).map(move |m| (n, m))).collect();
+    let parts = par_map(&points, |&(n, m_log)| spt_stepwise_parts(m_log, n));
+    let mut at = parts.iter();
     for n in [2u32, 6] {
         let mut copy = Series::new(format!("copy n={n}"));
         let mut comm = Series::new(format!("comm n={n}"));
         let mut total = Series::new(format!("total n={n}"));
         for m_log in (8..=16u32).step_by(2) {
-            let (c, m, t) = spt_stepwise_parts(m_log, n);
+            let &(c, m, t) = at.next().unwrap();
             copy.push((1u64 << m_log) as f64, c);
             comm.push((1u64 << m_log) as f64, m);
             total.push((1u64 << m_log) as f64, t);
@@ -171,10 +193,16 @@ pub fn fig14a() -> SeriesSet {
         "matrix elements",
         "seconds",
     );
+    let points: Vec<(u32, u32)> = [2u32, 4, 6]
+        .into_iter()
+        .flat_map(|n| (8..=16u32).step_by(2).map(move |m| (n, m)))
+        .collect();
+    let totals = par_map(&points, |&(n, m_log)| spt_stepwise_parts(m_log, n).2);
+    let mut at = totals.iter();
     for n in [2u32, 4, 6] {
         let mut s = Series::new(format!("{n}-cube"));
         for m_log in (8..=16u32).step_by(2) {
-            s.push((1u64 << m_log) as f64, spt_stepwise_parts(m_log, n).2);
+            s.push((1u64 << m_log) as f64, *at.next().unwrap());
         }
         set.push(s);
     }
@@ -195,38 +223,43 @@ pub fn fig14b() -> SeriesSet {
         "matrix elements",
         "seconds",
     );
+    let points: Vec<(u32, u32)> = [2u32, 4, 6]
+        .into_iter()
+        .flat_map(|n| (8..=16u32).step_by(2).map(move |m| (n, m)))
+        .collect();
+    let times = par_map(&points, |&(n, m_log)| {
+        let half = n / 2;
+        let per = 1usize << (m_log - n);
+        let params = MachineParams::intel_ipsc().with_ports(PortMode::AllPorts);
+
+        let mut net: SimNet<BlockMsg<u64>> = SimNet::new(n, params.clone());
+        for x in 0..(1u64 << n) {
+            net.local_copy(NodeId(x), 2 * per); // gather + scatter
+        }
+        let msgs: Vec<RouteMsg<u64>> = (0..(1u64 << n))
+            .filter(|&x| tr(x, half) != x)
+            .map(|x| RouteMsg { src: NodeId(x), dst: NodeId(tr(x, half)), data: vec![x; per] })
+            .collect();
+        let _ = ecube_route(&mut net, msgs);
+        let router_time = net.finalize().time;
+
+        let p = m_log / 2;
+        let before = Layout::square(p, p, half, Assignment::Consecutive, Encoding::Binary);
+        let after = before.swapped_shape();
+        let m = verify::labels(before);
+        let b = params.max_packet.min(per);
+        let mut net2: SimNet<Packet<u64>> = SimNet::new(n, params);
+        let _ = cubetranspose::transpose_spt(&m, &after, &mut net2, b);
+        (router_time, net2.finalize().time)
+    });
+    let mut at = times.iter();
     for n in [2u32, 4, 6] {
         let mut router = Series::new(format!("router {n}-cube"));
         let mut spt = Series::new(format!("SPT pipelined {n}-cube"));
         for m_log in (8..=16u32).step_by(2) {
-            let half = n / 2;
-            let per = 1usize << (m_log - n);
-            let params = MachineParams::intel_ipsc().with_ports(PortMode::AllPorts);
-
-            let mut net: SimNet<BlockMsg<u64>> = SimNet::new(n, params.clone());
-            for x in 0..(1u64 << n) {
-                net.local_copy(NodeId(x), 2 * per); // gather + scatter
-            }
-            let msgs: Vec<RouteMsg<u64>> = (0..(1u64 << n))
-                .filter(|&x| tr(x, half) != x)
-                .map(|x| RouteMsg {
-                    src: NodeId(x),
-                    dst: NodeId(tr(x, half)),
-                    data: vec![x; per],
-                })
-                .collect();
-            let _ = ecube_route(&mut net, msgs);
-            router.push((1u64 << m_log) as f64, net.finalize().time);
-
-            let p = m_log / 2;
-            let before =
-                Layout::square(p, p, half, Assignment::Consecutive, Encoding::Binary);
-            let after = before.swapped_shape();
-            let m = verify::labels(before);
-            let b = params.max_packet.min(per);
-            let mut net2: SimNet<Packet<u64>> = SimNet::new(n, params);
-            let _ = cubetranspose::transpose_spt(&m, &after, &mut net2, b);
-            spt.push((1u64 << m_log) as f64, net2.finalize().time);
+            let &(r, s) = at.next().unwrap();
+            router.push((1u64 << m_log) as f64, r);
+            spt.push((1u64 << m_log) as f64, s);
         }
         set.push(router);
         set.push(spt);
@@ -242,25 +275,36 @@ pub fn fig15() -> SeriesSet {
         "matrix elements",
         "seconds",
     );
+    let mut points: Vec<(u32, u32)> = Vec::new();
+    for half in [1u32, 2, 3] {
+        for p in (half + 2)..=(half + 5) {
+            points.push((half, p));
+        }
+    }
+    let times = par_map(&points, |&(half, p)| {
+        let n = 2 * half;
+        let spec = MixedSpec::binary_rows_gray_cols(p, half);
+        let m = verify::labels(spec.before());
+        let params = MachineParams::intel_ipsc().with_ports(PortMode::AllPorts);
+
+        let mut net1: SimNet<cubetranspose::gray::BlockFlight<u64>> =
+            SimNet::new(n, params.clone());
+        let _ = transpose_naive_mixed(&spec, &m, &mut net1);
+
+        let mut net2: SimNet<cubetranspose::gray::BlockFlight<u64>> = SimNet::new(n, params);
+        let _ = transpose_combined(&spec, &m, &mut net2);
+        (net1.finalize().time, net2.finalize().time)
+    });
+    let mut at = times.iter();
     for half in [1u32, 2, 3] {
         let n = 2 * half;
         let mut naive = Series::new(format!("naive n={n}"));
         let mut comb = Series::new(format!("combined n={n}"));
         for p in (half + 2)..=(half + 5) {
-            let spec = MixedSpec::binary_rows_gray_cols(p, half);
-            let m = verify::labels(spec.before());
-            let params = MachineParams::intel_ipsc().with_ports(PortMode::AllPorts);
             let pq = (1u64 << (2 * p)) as f64;
-
-            let mut net1: SimNet<cubetranspose::gray::BlockFlight<u64>> =
-                SimNet::new(n, params.clone());
-            let _ = transpose_naive_mixed(&spec, &m, &mut net1);
-            naive.push(pq, net1.finalize().time);
-
-            let mut net2: SimNet<cubetranspose::gray::BlockFlight<u64>> =
-                SimNet::new(n, params);
-            let _ = transpose_combined(&spec, &m, &mut net2);
-            comb.push(pq, net2.finalize().time);
+            let &(t_naive, t_comb) = at.next().unwrap();
+            naive.push(pq, t_naive);
+            comb.push(pq, t_comb);
         }
         set.push(naive);
         set.push(comb);
@@ -287,9 +331,11 @@ pub fn fig16() -> SeriesSet {
         "cube dimension n",
         "seconds",
     );
+    let points: Vec<u32> = (6..=14u32).step_by(2).collect();
+    let times = par_map(&points, |&n| cm_time(n, 1));
     let mut s = Series::new("router");
-    for n in (6..=14u32).step_by(2) {
-        s.push(n as f64, cm_time(n, 1));
+    for (&n, &t) in points.iter().zip(&times) {
+        s.push(n as f64, t);
     }
     set.push(s);
     set
@@ -302,10 +348,14 @@ pub fn fig17() -> SeriesSet {
         "elements per processor",
         "seconds",
     );
+    let points: Vec<(u32, u32)> =
+        [8u32, 10, 12].into_iter().flat_map(|n| (0..=5u32).map(move |e| (n, e))).collect();
+    let times = par_map(&points, |&(n, e_log)| cm_time(n, 1 << e_log));
+    let mut at = times.iter();
     for n in [8u32, 10, 12] {
         let mut s = Series::new(format!("{n}-cube"));
         for e_log in 0..=5u32 {
-            s.push((1usize << e_log) as f64, cm_time(n, 1 << e_log));
+            s.push((1usize << e_log) as f64, *at.next().unwrap());
         }
         set.push(s);
     }
@@ -319,10 +369,16 @@ pub fn fig18() -> SeriesSet {
         "cube dimension n",
         "seconds",
     );
+    let points: Vec<(u32, u32)> = [14u32, 16, 18]
+        .into_iter()
+        .flat_map(|m| (8..=m.min(14)).step_by(2).map(move |n| (m, n)))
+        .collect();
+    let times = par_map(&points, |&(m_log, n)| cm_time(n, 1 << (m_log - n)));
+    let mut at = times.iter();
     for m_log in [14u32, 16, 18] {
         let mut s = Series::new(format!("{0}×{0}", 1u64 << (m_log / 2)));
         for n in (8..=m_log.min(14)).step_by(2) {
-            s.push(n as f64, cm_time(n, 1 << (m_log - n)));
+            s.push(n as f64, *at.next().unwrap());
         }
         set.push(s);
     }
@@ -337,13 +393,23 @@ pub fn fig19() -> SeriesSet {
         "seconds",
     );
     let b_copy = MachineParams::intel_ipsc().b_copy();
+    let points: Vec<(u32, u32)> =
+        [12u32, 16].into_iter().flat_map(|m| (1..=(m / 2).min(8)).map(move |n| (m, n))).collect();
+    let times = par_map(&points, |&(m_log, n)| {
+        (
+            one_dim_time(m_log, n, SendPolicy::Buffered { min_direct: b_copy }),
+            (n % 2 == 0).then(|| spt_stepwise_parts(m_log, n).2),
+        )
+    });
+    let mut at = times.iter();
     for m_log in [12u32, 16] {
         let mut one = Series::new(format!("1D 2^{m_log}"));
         let mut two = Series::new(format!("2D 2^{m_log}"));
         for n in 1..=(m_log / 2).min(8) {
-            one.push(n as f64, one_dim_time(m_log, n, SendPolicy::Buffered { min_direct: b_copy }));
-            if n % 2 == 0 {
-                two.push(n as f64, spt_stepwise_parts(m_log, n).2);
+            let &(o, t) = at.next().unwrap();
+            one.push(n as f64, o);
+            if let Some(t) = t {
+                two.push(n as f64, t);
             }
         }
         set.push(one);
@@ -406,7 +472,8 @@ pub fn thm2() -> SeriesSet {
     let mut sim = Series::new("simulated MPT (best k ≤ 8)");
     let mut mdl = Series::new("Theorem 2 T_min");
     let mut lb = Series::new("Theorem 3 bound");
-    for n in (2..=8u32).step_by(2) {
+    let points: Vec<u32> = (2..=8u32).step_by(2).collect();
+    let bests = par_map(&points, |&n| {
         let p = m_log / 2;
         let before = Layout::square(p, p, n / 2, Assignment::Consecutive, Encoding::Binary);
         let after = before.swapped_shape();
@@ -417,6 +484,9 @@ pub fn thm2() -> SeriesSet {
             let _ = cubetranspose::transpose_mpt(&m, &after, &mut net, k);
             best = best.min(net.finalize().time);
         }
+        best
+    });
+    for (&n, &best) in points.iter().zip(&bests) {
         sim.push(n as f64, best);
         mdl.push(n as f64, model::mpt::mpt_min(1 << m_log, n, &params));
         lb.push(n as f64, model::bounds::transpose_lower_bound(1 << m_log, n, &params));
@@ -540,7 +610,12 @@ pub fn ablation_convert() -> SeriesSet {
         let m = verify::labels(spec.before());
         let pq = (1u64 << (2 * p)) as f64;
         let params = MachineParams::intel_ipsc();
-        type Alg = fn(&ConvertSpec, &cubelayout::DistMatrix<u64>, &mut SimNet<Vec<u64>>, SendPolicy) -> cubelayout::DistMatrix<u64>;
+        type Alg = fn(
+            &ConvertSpec,
+            &cubelayout::DistMatrix<u64>,
+            &mut SimNet<Vec<u64>>,
+            SendPolicy,
+        ) -> cubelayout::DistMatrix<u64>;
         let run = |alg: Alg| {
             let mut net: SimNet<Vec<u64>> = SimNet::new(4, params.clone());
             let _ = alg(&spec, &m, &mut net, SendPolicy::Ideal);
@@ -616,8 +691,14 @@ pub fn tables12() -> String {
 pub fn partition_grids() -> String {
     let mut out = String::new();
     let cases = [
-        ("1D cyclic rows", Layout::one_dim(3, 3, Direction::Rows, 2, Assignment::Cyclic, Encoding::Binary)),
-        ("1D consecutive rows", Layout::one_dim(3, 3, Direction::Rows, 2, Assignment::Consecutive, Encoding::Binary)),
+        (
+            "1D cyclic rows",
+            Layout::one_dim(3, 3, Direction::Rows, 2, Assignment::Cyclic, Encoding::Binary),
+        ),
+        (
+            "1D consecutive rows",
+            Layout::one_dim(3, 3, Direction::Rows, 2, Assignment::Consecutive, Encoding::Binary),
+        ),
         ("2D cyclic", Layout::square(3, 3, 1, Assignment::Cyclic, Encoding::Binary)),
         ("2D consecutive", Layout::square(3, 3, 1, Assignment::Consecutive, Encoding::Binary)),
     ];
@@ -716,12 +797,8 @@ pub fn trace() -> String {
     let r = net.finalize();
 
     // Collect the set of links ever used, sorted.
-    let mut links: Vec<(u64, u32)> = r
-        .link_history
-        .iter()
-        .flatten()
-        .map(|e| (e.src, e.dim))
-        .collect();
+    let mut links: Vec<(u64, u32)> =
+        r.link_history.iter().flatten().map(|e| (e.src, e.dim)).collect();
     links.sort_unstable();
     links.dedup();
     let rounds = r.link_history.len();
@@ -744,7 +821,8 @@ pub fn trace() -> String {
 
 /// Figure 4: the six MPT paths of x = (000 ‖ 111).
 pub fn fig4() -> String {
-    let mut out = String::from("Figure 4: the 6 edge-disjoint paths from (000‖111) to (111‖000):\n");
+    let mut out =
+        String::from("Figure 4: the 6 edge-disjoint paths from (000‖111) to (111‖000):\n");
     for p in 0..6u32 {
         let path = cubetranspose::two_dim::mpt_path(0b000_111, 3, p);
         out.push_str(&format!("  path {p}: dims {path:?}\n"));

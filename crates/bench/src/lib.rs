@@ -5,6 +5,7 @@
 //! `EXPERIMENTS.md` at the repository root for the experiment index.
 
 pub mod experiments;
+pub mod par;
 pub mod series;
 
 #[cfg(test)]

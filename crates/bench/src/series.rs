@@ -58,7 +58,8 @@ impl SeriesSet {
 
     /// The union of all x values, sorted and deduplicated.
     fn xs(&self) -> Vec<f64> {
-        let mut xs: Vec<f64> = self.series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+        let mut xs: Vec<f64> =
+            self.series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
         xs.sort_by(f64::total_cmp);
         xs.dedup();
         xs
@@ -127,12 +128,10 @@ impl SeriesSet {
         if pts.is_empty() || width < 8 || height < 4 {
             return String::from("(no data)\n");
         }
-        let (x_min, x_max) = pts.iter().fold((f64::MAX, f64::MIN), |(lo, hi), p| {
-            (lo.min(p.0), hi.max(p.0))
-        });
-        let (y_min, y_max) = pts.iter().fold((f64::MAX, f64::MIN), |(lo, hi), p| {
-            (lo.min(p.1), hi.max(p.1))
-        });
+        let (x_min, x_max) =
+            pts.iter().fold((f64::MAX, f64::MIN), |(lo, hi), p| (lo.min(p.0), hi.max(p.0)));
+        let (y_min, y_max) =
+            pts.iter().fold((f64::MAX, f64::MIN), |(lo, hi), p| (lo.min(p.1), hi.max(p.1)));
         let log_x = x_min > 0.0 && x_max / x_min.max(f64::MIN_POSITIVE) > 10.0;
         let fx = |x: f64| if log_x { x.ln() } else { x };
         let (xa, xb) = (fx(x_min), fx(x_max));
@@ -145,7 +144,8 @@ impl SeriesSet {
         };
         let row = |y: f64| {
             if y_max > y_min {
-                (height - 1) - (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize
+                (height - 1)
+                    - (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize
             } else {
                 height / 2
             }

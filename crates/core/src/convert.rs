@@ -247,7 +247,12 @@ mod tests {
     fn algorithms_agree_elementwise() {
         let spec = ConvertSpec::new(4, 5, 2);
         let m = labels(spec.before());
-        type Alg = fn(&ConvertSpec, &DistMatrix<u64>, &mut SimNet<Vec<u64>>, SendPolicy) -> DistMatrix<u64>;
+        type Alg = fn(
+            &ConvertSpec,
+            &DistMatrix<u64>,
+            &mut SimNet<Vec<u64>>,
+            SendPolicy,
+        ) -> DistMatrix<u64>;
         let run = |alg: Alg| {
             let mut net = unit_net(2 * spec.n_r);
             alg(&spec, &m, &mut net, SendPolicy::Ideal)
@@ -293,7 +298,12 @@ mod tests {
         let spec = ConvertSpec::new(5, 5, 2);
         let m = labels(spec.before());
         let params = MachineParams::intel_ipsc();
-        type Alg = fn(&ConvertSpec, &DistMatrix<u64>, &mut SimNet<Vec<u64>>, SendPolicy) -> DistMatrix<u64>;
+        type Alg = fn(
+            &ConvertSpec,
+            &DistMatrix<u64>,
+            &mut SimNet<Vec<u64>>,
+            SendPolicy,
+        ) -> DistMatrix<u64>;
         let run = |alg: Alg| {
             let mut net: SimNet<Vec<u64>> = SimNet::new(4, params.clone());
             let _ = alg(&spec, &m, &mut net, SendPolicy::Ideal);

@@ -122,12 +122,8 @@ pub fn execute<T: Copy + Default>(
         }
         Choice::ExchangeBuffered { min_direct } => {
             let mut net: SimNet<BlockMsg<Routed<T>>> = SimNet::new(n, params.clone());
-            let out = transpose_1d_exchange(
-                m,
-                after,
-                &mut net,
-                BufferPolicy::Buffered { min_direct },
-            );
+            let out =
+                transpose_1d_exchange(m, after, &mut net, BufferPolicy::Buffered { min_direct });
             (out, choice, net.finalize())
         }
         Choice::Sbnt => {

@@ -23,7 +23,7 @@
 
 use cubeaddr::NodeId;
 use cubelayout::{Encoding, Layout};
-use cubesim::SimNet;
+use cubesim::{BufferPool, SimNet};
 
 /// Where the bits of the matrix address currently live: node address bits
 /// (`real`) and local address bits (`virt`).
@@ -73,9 +73,7 @@ impl FieldMap {
         real.extend(layout.row_field().dims().iter().map(|d| d + q));
         // Local address = (vrow || vcol), vcol low.
         let mut virt: Vec<u32> = layout.col_field().dims().complement(q).iter().collect();
-        virt.extend(
-            layout.row_field().dims().complement(layout.p()).iter().map(|d| d + q),
-        );
+        virt.extend(layout.row_field().dims().complement(layout.p()).iter().map(|d| d + q));
         FieldMap::new(real, virt)
     }
 
@@ -174,6 +172,10 @@ pub struct MappedMatrix<T> {
     map: FieldMap,
     /// `data[node][local]`.
     data: Vec<Vec<T>>,
+    /// Spare message buffers recycled across exchange rounds, so repeated
+    /// exchanges (a stepwise transpose, a rearrangement plan) allocate
+    /// only on their first round.
+    pool: BufferPool<T>,
 }
 
 impl<T: Copy + Default> MappedMatrix<T> {
@@ -186,9 +188,8 @@ impl<T: Copy + Default> MappedMatrix<T> {
             let (node, local) = map.place(w);
             data[node.index()][local as usize] = f(w);
         }
-        MappedMatrix { map, data }
+        MappedMatrix { map, data, pool: BufferPool::new() }
     }
-
 }
 
 impl<T: Copy> MappedMatrix<T> {
@@ -203,7 +204,7 @@ impl<T: Copy> MappedMatrix<T> {
         for d in &data {
             assert_eq!(d.len(), 1usize << map.vp());
         }
-        MappedMatrix { map, data }
+        MappedMatrix { map, data, pool: BufferPool::new() }
     }
 
     /// Consumes into per-node buffers (node order).
@@ -249,10 +250,10 @@ impl<T: Copy> MappedMatrix<T> {
 
         // The vacated local indices of node x: local bit j = ¬(node bit i),
         // ascending. These are both the send positions and the positions
-        // the incoming elements land in.
-        let out_indices = |x: u64| -> Vec<usize> {
+        // the incoming elements land in. Iterated, never materialized.
+        let out_indices = move |x: u64| {
             let want = (((x >> i) & 1) ^ 1) as usize;
-            (0..per).filter(|l| (l >> j) & 1 == want).collect()
+            (0..per).filter(move |l| (l >> j) & 1 == want)
         };
 
         let gathered = match policy {
@@ -271,38 +272,38 @@ impl<T: Copy> MappedMatrix<T> {
                 }
             }
             for x in 0..num as u64 {
-                let msg: Vec<T> =
-                    out_indices(x).iter().map(|&l| self.data[x as usize][l]).collect();
+                let mut msg = self.pool.take();
+                msg.extend(out_indices(x).map(|l| self.data[x as usize][l]));
                 net.send(NodeId(x), i, msg);
             }
             net.finish_round();
             for x in 0..num as u64 {
                 let incoming = net.recv(NodeId(x), i);
-                let idx = out_indices(x);
-                debug_assert_eq!(incoming.len(), idx.len());
-                for (&l, v) in idx.iter().zip(incoming) {
+                debug_assert_eq!(incoming.len(), per / 2);
+                for (l, &v) in out_indices(x).zip(&incoming) {
                     self.data[x as usize][l] = v;
                 }
+                self.pool.put(incoming);
             }
         } else {
             // One synchronized sub-round per run.
             let runs_per_node = per / (run * 2);
             for r in 0..runs_per_node {
                 for x in 0..num as u64 {
-                    let idx = out_indices(x);
-                    let msg: Vec<T> = idx[r * run..(r + 1) * run]
-                        .iter()
-                        .map(|&l| self.data[x as usize][l])
-                        .collect();
+                    let mut msg = self.pool.take();
+                    msg.extend(
+                        out_indices(x).skip(r * run).take(run).map(|l| self.data[x as usize][l]),
+                    );
                     net.send(NodeId(x), i, msg);
                 }
                 net.finish_round();
                 for x in 0..num as u64 {
                     let incoming = net.recv(NodeId(x), i);
-                    let idx = out_indices(x);
-                    for (&l, v) in idx[r * run..(r + 1) * run].iter().zip(incoming) {
+                    debug_assert_eq!(incoming.len(), run);
+                    for (l, &v) in out_indices(x).skip(r * run).take(run).zip(&incoming) {
                         self.data[x as usize][l] = v;
                     }
+                    self.pool.put(incoming);
                 }
             }
         }
@@ -448,11 +449,9 @@ impl<T: Copy> MappedMatrix<T> {
         }
         // Local fix-up of the virtual ordering.
         let perm: Vec<u32> = (0..target.vp())
-            .map(|jn| {
-                match self.map.locate(target.virt_dim(jn)) {
-                    Role::Virt(jo) => jo,
-                    Role::Real(_) => unreachable!("real roles already fixed"),
-                }
+            .map(|jn| match self.map.locate(target.virt_dim(jn)) {
+                Role::Virt(jo) => jo,
+                Role::Real(_) => unreachable!("real roles already fixed"),
             })
             .collect();
         self.permute_virt(net, &perm);
@@ -536,11 +535,9 @@ mod tests {
 
     #[test]
     fn exchange_real_virt_preserves_labels() {
-        for policy in [
-            SendPolicy::Ideal,
-            SendPolicy::Unbuffered,
-            SendPolicy::Buffered { min_direct: 2 },
-        ] {
+        for policy in
+            [SendPolicy::Ideal, SendPolicy::Unbuffered, SendPolicy::Buffered { min_direct: 2 }]
+        {
             let mut m = label_mapped(map_2_2());
             let mut net = unit_net(2);
             m.exchange_real_virt(&mut net, 0, 1, policy);
@@ -602,8 +599,7 @@ mod tests {
         let start = FieldMap::new(vec![0, 1, 2], vec![3, 4, 5]);
         let target = FieldMap::new(vec![5, 0, 4], vec![2, 3, 1]);
         let mut m = label_mapped(start);
-        let mut net: SimNet<Vec<u64>> =
-            SimNet::new(3, MachineParams::unit(PortMode::OnePort));
+        let mut net: SimNet<Vec<u64>> = SimNet::new(3, MachineParams::unit(PortMode::OnePort));
         let steps = m.rearrange_to(&mut net, &target, SendPolicy::Ideal);
         assert_eq!(check_labels(&m), None);
         assert_eq!(m.map(), &target);
@@ -618,13 +614,10 @@ mod tests {
         // lower bound of Corollary 2.
         let m_bits = 6u32;
         let start = FieldMap::new((0..m_bits).collect(), vec![]);
-        let target = FieldMap::new(
-            (0..m_bits).map(|i| (i + m_bits / 2) % m_bits).collect(),
-            vec![],
-        );
+        let target =
+            FieldMap::new((0..m_bits).map(|i| (i + m_bits / 2) % m_bits).collect(), vec![]);
         let mut mm = label_mapped(start);
-        let mut net: SimNet<Vec<u64>> =
-            SimNet::new(m_bits, MachineParams::unit(PortMode::OnePort));
+        let mut net: SimNet<Vec<u64>> = SimNet::new(m_bits, MachineParams::unit(PortMode::OnePort));
         let steps = mm.rearrange_to(&mut net, &target, SendPolicy::Ideal);
         assert_eq!(check_labels(&mm), None);
         // m/2 real/real swaps, 2 rounds each.
@@ -656,4 +649,3 @@ mod tests {
         assert_eq!(r.time, 6.0);
     }
 }
-

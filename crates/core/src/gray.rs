@@ -274,11 +274,7 @@ fn rebuild_recode<T: Copy + Default>(spec: &MixedSpec, pass: Pass<T>) -> DistMat
     for (x, mut slot) in pass.at.into_iter().enumerate() {
         assert_eq!(slot.len(), 1, "node {x} ended with {} blocks", slot.len());
         let b = slot.pop().expect("checked above");
-        let want = cubeaddr::concat(
-            spec.col_enc.encode(b.v),
-            spec.row_enc.encode(b.u),
-            spec.half,
-        );
+        let want = cubeaddr::concat(spec.col_enc.encode(b.v), spec.row_enc.encode(b.u), spec.half);
         assert_eq!(want, x as u64, "block ({}, {}) stranded at node {x}", b.u, b.v);
         let t = crate::local::transpose_flat(&b.data, before.local_rows(), before.local_cols());
         out.node_mut(NodeId(x as u64)).copy_from_slice(&t);
@@ -323,7 +319,11 @@ pub fn recode_encodings<T: Copy + Default>(
 /// element `(r, c)` of the produced `A^T` must equal element `(c, r)` of
 /// the label input.
 #[track_caller]
-pub fn assert_mixed_transposed(_spec: &MixedSpec, before_labels: &DistMatrix<u64>, out: &DistMatrix<u64>) {
+pub fn assert_mixed_transposed(
+    _spec: &MixedSpec,
+    before_labels: &DistMatrix<u64>,
+    out: &DistMatrix<u64>,
+) {
     let a = before_labels.gather();
     let b = out.gather();
     for (r, row) in b.iter().enumerate() {
@@ -424,7 +424,8 @@ mod tests {
         let r = net1.finalize();
         assert_eq!(r.rounds, 2, "half - 1 exchange steps");
         // Placement now matches the all-binary layout.
-        let bin_spec = MixedSpec { p: 4, half: 3, row_enc: Encoding::Binary, col_enc: Encoding::Binary };
+        let bin_spec =
+            MixedSpec { p: 4, half: 3, row_enc: Encoding::Binary, col_enc: Encoding::Binary };
         let want = labels(bin_spec.before());
         assert_eq!(bin, want);
         // Back to Gray columns: identity roundtrip.
@@ -441,7 +442,8 @@ mod tests {
         let out = recode_encodings(&spec, &m, &mut net1, Encoding::Binary, Encoding::Binary);
         let r = net1.finalize();
         assert_eq!(r.rounds, 2, "(half-1) per changed field");
-        let want_spec = MixedSpec { p: 3, half: 2, row_enc: Encoding::Binary, col_enc: Encoding::Binary };
+        let want_spec =
+            MixedSpec { p: 3, half: 2, row_enc: Encoding::Binary, col_enc: Encoding::Binary };
         assert_eq!(out, labels(want_spec.before()));
     }
 
@@ -449,7 +451,8 @@ mod tests {
     fn pure_binary_combined_equals_plain_transpose() {
         // With binary encodings on both sides the combined algorithm is
         // the plain n-step pairwise transpose.
-        let spec = MixedSpec { p: 4, half: 2, row_enc: Encoding::Binary, col_enc: Encoding::Binary };
+        let spec =
+            MixedSpec { p: 4, half: 2, row_enc: Encoding::Binary, col_enc: Encoding::Binary };
         let m = labels(spec.before());
         let mut n1 = net(4);
         let out = transpose_combined(&spec, &m, &mut n1);

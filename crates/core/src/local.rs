@@ -93,8 +93,7 @@ impl<T: Copy> Dense<T> {
     pub fn transpose_blocked(&self, tile: usize) -> Dense<T> {
         assert!(tile > 0);
         // Placeholder contents; every position is overwritten below.
-        let mut out =
-            Dense { rows: self.cols, cols: self.rows, data: self.data.clone() };
+        let mut out = Dense { rows: self.cols, cols: self.rows, data: self.data.clone() };
         for rb in (0..self.rows).step_by(tile) {
             for cb in (0..self.cols).step_by(tile) {
                 for r in rb..(rb + tile).min(self.rows) {
@@ -110,8 +109,7 @@ impl<T: Copy> Dense<T> {
     /// Cache-oblivious recursive transpose (split the longer axis until
     /// the tile fits `base` elements on a side).
     pub fn transpose_cache_oblivious(&self, base: usize) -> Dense<T> {
-        let mut out =
-            Dense { rows: self.cols, cols: self.rows, data: self.data.clone() };
+        let mut out = Dense { rows: self.cols, cols: self.rows, data: self.data.clone() };
         self.co_rec(&mut out, 0, self.rows, 0, self.cols, base.max(1));
         out
     }

@@ -31,10 +31,7 @@ pub type Routed<T> = (u64, T);
 /// the transposition `spec`. `blocks[src][dst]` holds
 /// `(dst_local, value)` pairs; empty blocks stay empty (virtual elements
 /// are not communicated).
-pub fn spec_blocks<T: Copy>(
-    spec: &TransposeSpec,
-    m: &DistMatrix<T>,
-) -> Vec<Vec<Vec<Routed<T>>>> {
+pub fn spec_blocks<T: Copy>(spec: &TransposeSpec, m: &DistMatrix<T>) -> Vec<Vec<Vec<Routed<T>>>> {
     let num = spec.before.num_nodes().max(spec.after.num_nodes());
     let mut blocks: Vec<Vec<Vec<Routed<T>>>> =
         (0..num).map(|_| (0..num).map(|_| Vec::new()).collect()).collect();
@@ -60,10 +57,7 @@ pub fn assemble<T: Copy + Default>(
         for b in blks {
             assert_eq!(b.dst.index(), x, "block for {} delivered to {x}", b.dst);
             for (local, value) in b.data {
-                assert!(
-                    !filled[x][local as usize],
-                    "duplicate element at node {x} local {local}"
-                );
+                assert!(!filled[x][local as usize], "duplicate element at node {x} local {local}");
                 filled[x][local as usize] = true;
                 out.node_mut(NodeId(x as u64))[local as usize] = value;
             }
@@ -206,9 +200,7 @@ pub fn transpose_stepwise<T: Copy + Default>(
     let vp = start.vp();
     let mut perm: Vec<u32> = Vec::with_capacity(vp as usize);
     let in_set: std::collections::HashSet<u32> = incoming.iter().map(|&(_, d)| d).collect();
-    let keep: Vec<u32> = (0..vp)
-        .filter(|&j| !in_set.contains(&mapped.map().virt_dim(j)))
-        .collect();
+    let keep: Vec<u32> = (0..vp).filter(|&j| !in_set.contains(&mapped.map().virt_dim(j))).collect();
     perm.extend(&keep);
     for (_, d) in incoming.iter().rev() {
         match mapped.map().locate(*d) {
@@ -329,11 +321,7 @@ mod tests {
         let _ = transpose_stepwise(&m, &after, &mut net, SendPolicy::Unbuffered);
         let r = net.finalize();
         let expect = cubemodel::one_dim::unbuffered(1 << (p + q), n, &params);
-        assert!(
-            (r.time - expect).abs() < 1e-9,
-            "simulated {} vs model {expect}",
-            r.time
-        );
+        assert!((r.time - expect).abs() < 1e-9, "simulated {} vs model {expect}", r.time);
     }
 
     #[test]
@@ -341,17 +329,10 @@ mod tests {
         let (p, q, n) = (4, 4, 3);
         let (before, after) = canonical_1d(p, q, n);
         let m = labels(before.clone());
-        let params = MachineParams::unit(PortMode::OnePort)
-            .with_max_packet(8)
-            .with_t_copy(0.25);
+        let params = MachineParams::unit(PortMode::OnePort).with_max_packet(8).with_t_copy(0.25);
         for min_direct in [1usize, 4, 16, 64] {
             let mut net: SimNet<Vec<u64>> = SimNet::new(n, params.clone());
-            let out = transpose_stepwise(
-                &m,
-                &after,
-                &mut net,
-                SendPolicy::Buffered { min_direct },
-            );
+            let out = transpose_stepwise(&m, &after, &mut net, SendPolicy::Buffered { min_direct });
             assert_transposed(&before, &out);
             let r = net.finalize();
             let expect = cubemodel::one_dim::buffered(1 << (p + q), n, &params, min_direct);

@@ -18,10 +18,7 @@ use cubesim::SimNet;
 /// Moves every node's array to the node with the bit-reversed address:
 /// `⌊n/2⌋` dimension-pair swaps, each two routing steps, by the general
 /// exchange algorithm. Returns the rearranged per-node arrays.
-pub fn bit_reversal<T: Clone>(
-    net: &mut SimNet<Vec<T>>,
-    data: Vec<Vec<T>>,
-) -> Vec<Vec<T>> {
+pub fn bit_reversal<T: Clone>(net: &mut SimNet<Vec<T>>, data: Vec<Vec<T>>) -> Vec<Vec<T>> {
     let n = net.n();
     let pairs: Vec<(u32, u32)> = (0..n / 2).map(|i| (i, n - 1 - i)).collect();
     swap_pairs_sequence(net, data, &pairs)
@@ -129,12 +126,12 @@ pub fn arbitrary_permutation<T: Clone>(
         let extra = total % num;
         let mut offset = 0usize;
         let mut iter = msg.into_iter();
-        for j in 0..num {
+        for (j, slot) in phase1[x].iter_mut().enumerate() {
             let take = base + usize::from(j < extra);
             let piece: Vec<(u64, T)> =
                 (0..take).map(|i| ((offset + i) as u64, iter.next().expect("sized"))).collect();
             offset += take;
-            phase1[x][j] = piece;
+            *slot = piece;
         }
     }
     let mid = all_to_all_exchange(net, phase1, BufferPolicy::Ideal);

@@ -76,11 +76,25 @@ mod tests {
         vec![
             (
                 "consecutive row",
-                Layout::one_dim(4, 4, Direction::Rows, 2, Assignment::Consecutive, Encoding::Binary),
+                Layout::one_dim(
+                    4,
+                    4,
+                    Direction::Rows,
+                    2,
+                    Assignment::Consecutive,
+                    Encoding::Binary,
+                ),
             ),
             (
                 "consecutive column",
-                Layout::one_dim(4, 4, Direction::Cols, 2, Assignment::Consecutive, Encoding::Binary),
+                Layout::one_dim(
+                    4,
+                    4,
+                    Direction::Cols,
+                    2,
+                    Assignment::Consecutive,
+                    Encoding::Binary,
+                ),
             ),
             (
                 "cyclic row",
@@ -141,8 +155,7 @@ mod tests {
     #[test]
     fn corollary7_cyclic_consecutive_is_all_to_all() {
         // P = 2^4 = 16, N = 4: P ≥ N².
-        let from =
-            Layout::one_dim(4, 2, Direction::Rows, 2, Assignment::Cyclic, Encoding::Binary);
+        let from = Layout::one_dim(4, 2, Direction::Rows, 2, Assignment::Cyclic, Encoding::Binary);
         let to =
             Layout::one_dim(4, 2, Direction::Rows, 2, Assignment::Consecutive, Encoding::Binary);
         // Count distinct destinations per source.
@@ -177,12 +190,8 @@ mod tests {
         let spec = TransposeSpec::with_after(b.clone(), after.clone());
         assert_eq!(spec.classify(), cubelayout::CommPattern::AllToAll);
         let mut net2 = SimNet::new(2, MachineParams::unit(PortMode::OnePort));
-        let out = crate::one_dim::transpose_1d_exchange(
-            &moved,
-            &after,
-            &mut net2,
-            BufferPolicy::Ideal,
-        );
+        let out =
+            crate::one_dim::transpose_1d_exchange(&moved, &after, &mut net2, BufferPolicy::Ideal);
         crate::verify::assert_transposed(&a, &out);
     }
 

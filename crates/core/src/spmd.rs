@@ -269,7 +269,8 @@ mod tests {
         assert_eq!(stats.messages, 4 * 2);
 
         // Identical to the simulator path.
-        let mut net = cubesim::SimNet::new(2, cubesim::MachineParams::unit(cubesim::PortMode::OnePort));
+        let mut net =
+            cubesim::SimNet::new(2, cubesim::MachineParams::unit(cubesim::PortMode::OnePort));
         let sim = crate::one_dim::transpose_1d_exchange(
             &m,
             &after,
@@ -283,8 +284,7 @@ mod tests {
     fn spmd_exchange_larger_cube() {
         let before =
             Layout::one_dim(4, 4, Direction::Cols, 3, Assignment::Cyclic, Encoding::Binary);
-        let after =
-            Layout::one_dim(4, 4, Direction::Cols, 3, Assignment::Cyclic, Encoding::Binary);
+        let after = Layout::one_dim(4, 4, Direction::Cols, 3, Assignment::Cyclic, Encoding::Binary);
         let m = labels(before.clone());
         let (out, _) = spmd_transpose_exchange(&m, &after);
         assert_transposed(&before, &out);

@@ -142,10 +142,11 @@ fn run_flights<T: Clone>(
         }
         // Every live packet advances one hop.
         for l in &live {
-            net.send(l.at, l.path[l.pos], Packet {
-                offset: l.packet.offset,
-                data: l.packet.data.clone(),
-            });
+            net.send(
+                l.at,
+                l.path[l.pos],
+                Packet { offset: l.packet.offset, data: l.packet.data.clone() },
+            );
         }
         net.finish_round();
         let mut still = Vec::with_capacity(live.len());
@@ -171,10 +172,7 @@ fn run_flights<T: Clone>(
 /// offsets.
 fn packetize<T: Clone>(data: &[T], b: usize) -> Vec<Packet<T>> {
     assert!(b > 0);
-    data.chunks(b)
-        .enumerate()
-        .map(|(i, c)| Packet { offset: i * b, data: c.to_vec() })
-        .collect()
+    data.chunks(b).enumerate().map(|(i, c)| Packet { offset: i * b, data: c.to_vec() }).collect()
 }
 
 /// Slices `data` into exactly `parts` near-equal packets (sizes differing
@@ -244,15 +242,13 @@ fn rebuild<T: Copy + Default>(
                 arr[i] = Some(*v);
             }
         } else {
-            for pkt in deliveries[dst.index()]
-                .extract_if(.., |p| {
-                    // Packets from x are identified by reassembling all
-                    // arrivals; each destination receives from exactly
-                    // one source, so everything here is from x.
-                    let _ = p;
-                    true
-                })
-            {
+            for pkt in deliveries[dst.index()].extract_if(.., |p| {
+                // Packets from x are identified by reassembling all
+                // arrivals; each destination receives from exactly
+                // one source, so everything here is from x.
+                let _ = p;
+                true
+            }) {
                 for (i, v) in pkt.data.into_iter().enumerate() {
                     let slot = pkt.offset + i;
                     assert!(arr[slot].is_none(), "overlapping packets at {slot}");
@@ -403,12 +399,7 @@ pub fn transpose_mpt<T: Copy + Default>(
             let p = idx % (2 * h as usize);
             let o = idx / (2 * h as usize);
             let inject = 2 * h as usize * (o / 2) + (o % 2);
-            flights.push(Flight {
-                src: NodeId(x),
-                path: paths[p].clone(),
-                inject,
-                packet: pkt,
-            });
+            flights.push(Flight { src: NodeId(x), path: paths[p].clone(), inject, packet: pkt });
         }
     }
     let deliveries = run_flights(net, flights);
@@ -511,7 +502,8 @@ mod tests {
         for x1 in 0..(1u64 << 4) {
             for x2 in 0..(1u64 << 4) {
                 if x1 != x2 && class(x1) != class(x2) {
-                    let shared: Vec<_> = all_edges(x1).intersection(&all_edges(x2)).copied().collect();
+                    let shared: Vec<_> =
+                        all_edges(x1).intersection(&all_edges(x2)).copied().collect();
                     assert!(shared.is_empty(), "x'={x1:#b} x''={x2:#b} share {shared:?}");
                 }
             }
@@ -696,8 +688,7 @@ mod tests {
         );
         let after = before.swapped_shape();
         let m = labels(before.clone());
-        let mut net: SimNet<Packet<u64>> =
-            SimNet::new(2, MachineParams::unit(PortMode::AllPorts));
+        let mut net: SimNet<Packet<u64>> = SimNet::new(2, MachineParams::unit(PortMode::AllPorts));
         let _ = transpose_spt(&m, &after, &mut net, 4);
     }
 }

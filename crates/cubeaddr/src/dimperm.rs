@@ -134,10 +134,7 @@ impl DimPermutation {
     /// True when `δ` is an involution, i.e. a *parallel swapping*
     /// (Definition 18).
     pub fn is_parallel_swapping(&self) -> bool {
-        self.delta
-            .iter()
-            .enumerate()
-            .all(|(i, &d)| self.delta[d as usize] == i as u32)
+        self.delta.iter().enumerate().all(|(i, &d)| self.delta[d as usize] == i as u32)
     }
 
     /// True when `δ` is the identity.

@@ -25,8 +25,8 @@
 
 pub mod bitrev;
 pub mod dimperm;
-pub mod embed;
 pub mod dimset;
+pub mod embed;
 pub mod gray;
 pub mod hamming;
 pub mod necklace;

@@ -133,15 +133,8 @@ mod tests {
     fn lemma2_max_hamming_exact() {
         for m in 1..=12u32 {
             for k in 0..m {
-                let brute = (0..(1u64 << m))
-                    .map(|w| hamming(w, shuffle(w, k, m)))
-                    .max()
-                    .unwrap();
-                assert_eq!(
-                    brute,
-                    max_hamming_shuffle(m, k),
-                    "lemma 2 mismatch at m={m} k={k}"
-                );
+                let brute = (0..(1u64 << m)).map(|w| hamming(w, shuffle(w, k, m))).max().unwrap();
+                assert_eq!(brute, max_hamming_shuffle(m, k), "lemma 2 mismatch at m={m} k={k}");
             }
         }
     }
@@ -151,10 +144,7 @@ mod tests {
     fn lemma3_lower_bound() {
         for m in 1..=32u32 {
             for k in 1..m {
-                assert!(
-                    max_hamming_shuffle(m, k) >= k,
-                    "lemma 3 violated at m={m} k={k}"
-                );
+                assert!(max_hamming_shuffle(m, k) >= k, "lemma 3 violated at m={m} k={k}");
             }
         }
     }

@@ -71,9 +71,12 @@ impl AdiSolver {
     fn transpose(&mut self, m: &DistMatrix<f64>) -> DistMatrix<f64> {
         let after = m.layout().swapped_shape();
         let mut net: SimNet<BlockMsg<Routed<f64>>> = SimNet::new(self.n, self.params.clone());
-        let out = transpose_1d_exchange(m, &after, &mut net, BufferPolicy::Buffered {
-            min_direct: self.params.b_copy(),
-        });
+        let out = transpose_1d_exchange(
+            m,
+            &after,
+            &mut net,
+            BufferPolicy::Buffered { min_direct: self.params.b_copy() },
+        );
         let r = net.finalize();
         self.comm_time += r.time;
         self.transposes += 1;
@@ -143,6 +146,8 @@ mod tests {
             field = s.step(field);
         }
         let dense = field.gather();
+        // Indexed on purpose: compares each entry with its transpose.
+        #[allow(clippy::needless_range_loop)]
         for y in 0..32 {
             for x in 0..32 {
                 assert!((dense[y][x] - dense[x][y]).abs() < 1e-10);

@@ -106,9 +106,8 @@ pub fn fft_four_step(
     let layout_t =
         Layout::one_dim(c, r, Direction::Rows, n, Assignment::Consecutive, Encoding::Binary);
 
-    let a = DistMatrix::from_fn(layout_a.clone(), |n1, n2| {
-        signal[(n1 as usize) * cols + n2 as usize]
-    });
+    let a =
+        DistMatrix::from_fn(layout_a.clone(), |n1, n2| signal[(n1 as usize) * cols + n2 as usize]);
 
     let mut net: SimNet<BlockMsg<Routed<Cplx>>> = SimNet::new(n, params.clone());
 
@@ -176,9 +175,7 @@ mod tests {
     }
 
     fn signal(n: usize) -> Vec<Cplx> {
-        (0..n)
-            .map(|i| Cplx::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos() * 0.5))
-            .collect()
+        (0..n).map(|i| Cplx::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos() * 0.5)).collect()
     }
 
     #[test]

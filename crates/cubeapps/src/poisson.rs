@@ -18,9 +18,7 @@ pub fn dst(line: &[f64]) -> Vec<f64> {
     let n = line.len();
     (1..=n)
         .map(|k| {
-            (0..n)
-                .map(|j| line[j] * ((j + 1) as f64 * k as f64 * PI / (n + 1) as f64).sin())
-                .sum()
+            (0..n).map(|j| line[j] * ((j + 1) as f64 * k as f64 * PI / (n + 1) as f64).sin()).sum()
         })
         .collect()
 }
@@ -137,10 +135,10 @@ mod tests {
         let rhs = DistMatrix::from_fn(layout.clone(), |y, x| lambda * s(b, y) * s(a, x));
         let (sol, report) = solve_poisson(&rhs, n, &MachineParams::unit(PortMode::OnePort));
         let dense = sol.gather();
-        for y in 0..size {
-            for x in 0..size {
+        for (y, row) in dense.iter().enumerate() {
+            for (x, &v) in row.iter().enumerate() {
                 let want = s(b, y as u64) * s(a, x as u64);
-                assert!((dense[y][x] - want).abs() < 1e-10, "({y}, {x})");
+                assert!((v - want).abs() < 1e-10, "({y}, {x})");
             }
         }
         assert!(report.rounds > 0);

@@ -136,11 +136,7 @@ mod tests {
     use super::*;
 
     fn residual(sys: ConstTridiag, x: &[f64], d: &[f64]) -> f64 {
-        sys.apply(x)
-            .iter()
-            .zip(d)
-            .map(|(l, r)| (l - r).abs())
-            .fold(0.0, f64::max)
+        sys.apply(x).iter().zip(d).map(|(l, r)| (l - r).abs()).fold(0.0, f64::max)
     }
 
     fn laplacian() -> ConstTridiag {
@@ -164,8 +160,7 @@ mod tests {
             let d: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).cos()).collect();
             let a = thomas(sys, &d);
             let b = cyclic_reduction(sys, &d);
-            let max_diff =
-                a.iter().zip(&b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max);
+            let max_diff = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max);
             assert!(max_diff < 1e-9, "n={n}: max diff {max_diff}");
         }
     }

@@ -89,11 +89,7 @@ impl<T> BlockStore<T> {
 
     /// Destinations currently held, ascending.
     pub fn destinations(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.held
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| !s.is_empty())
-            .map(|(d, _)| NodeId(d as u64))
+        self.held.iter().enumerate().filter(|(_, s)| !s.is_empty()).map(|(d, _)| NodeId(d as u64))
     }
 }
 

@@ -67,9 +67,9 @@ pub fn ecube_route<T: Clone>(
     }
 
     while queues.iter().flatten().any(|q| !q.is_empty()) {
-        for x in 0..num {
+        for (x, node_queues) in queues.iter_mut().enumerate() {
             for d in 0..n {
-                if let Some(m) = queues[x][d as usize].pop_front() {
+                if let Some(m) = node_queues[d as usize].pop_front() {
                     net.send(NodeId(x as u64), d, BlockMsg(vec![Block::new(m.src, m.dst, m.data)]));
                 }
             }
@@ -151,9 +151,11 @@ mod tests {
         let num = 1usize << n;
         let msgs: Vec<RouteMsg<u64>> = (0..num as u64)
             .flat_map(|s| {
-                (0..num as u64)
-                    .filter(move |&d| d != s)
-                    .map(move |d| RouteMsg { src: NodeId(s), dst: NodeId(d), data: vec![s * 100 + d] })
+                (0..num as u64).filter(move |&d| d != s).map(move |d| RouteMsg {
+                    src: NodeId(s),
+                    dst: NodeId(d),
+                    data: vec![s * 100 + d],
+                })
             })
             .collect();
         let mut net = net(n);
@@ -201,10 +203,8 @@ mod tests {
     #[test]
     fn local_message_arrives_immediately() {
         let mut net = net(2);
-        let out = ecube_route(
-            &mut net,
-            vec![RouteMsg { src: NodeId(2), dst: NodeId(2), data: vec![5] }],
-        );
+        let out =
+            ecube_route(&mut net, vec![RouteMsg { src: NodeId(2), dst: NodeId(2), data: vec![5] }]);
         assert_eq!(out[2].len(), 1);
         assert_eq!(net.finalize().rounds, 0);
     }

@@ -18,7 +18,7 @@
 
 use crate::block::{Block, BlockMsg};
 use cubeaddr::NodeId;
-use cubesim::SimNet;
+use cubesim::{BufferPool, SimNet};
 
 /// Splits the step's outgoing blocks into the number of memory-contiguous
 /// chunks the iPSC implementation sees.
@@ -30,16 +30,24 @@ use cubesim::SimNet;
 /// into `2^j` same-sized blocks during step `j`"). Blocks are grouped in
 /// destination order, which is the local storage order of the blocked
 /// array.
-fn memory_chunks<T>(mut blocks: Vec<Block<T>>, step_index: usize) -> Vec<Vec<Block<T>>> {
+fn memory_chunks<T>(
+    blocks: &mut Vec<Block<T>>,
+    step_index: usize,
+    pool: &mut BufferPool<Block<T>>,
+) -> Vec<Vec<Block<T>>> {
     blocks.sort_by_key(|b| (b.dst, b.src));
     let want = 1usize << step_index.min(62);
     let chunks = want.min(blocks.len().max(1));
     let per = blocks.len().div_ceil(chunks);
     let mut out: Vec<Vec<Block<T>>> = Vec::with_capacity(chunks);
-    for b in blocks {
+    for b in blocks.drain(..) {
         match out.last_mut() {
             Some(chunk) if chunk.len() < per => chunk.push(b),
-            _ => out.push(vec![b]),
+            _ => {
+                let mut chunk = pool.take();
+                chunk.push(b);
+                out.push(chunk);
+            }
         }
     }
     out
@@ -86,28 +94,48 @@ pub fn exchange_over_dims<T: Clone>(
     policy: BufferPolicy,
 ) -> Vec<Vec<Block<T>>> {
     assert_eq!(held.len(), net.num_nodes());
+    // Spare block vectors recycled across steps and sub-rounds: after the
+    // first step primes the pool, partitioning and message assembly reuse
+    // delivered buffers instead of allocating.
+    let mut pool: BufferPool<Block<T>> = BufferPool::new();
+    let mut to_send: Vec<Vec<Block<T>>> = Vec::with_capacity(held.len());
     for (step_index, &j) in dims.iter().enumerate() {
         // Partition each node's holdings into keep / send.
-        let mut to_send: Vec<Vec<Block<T>>> = Vec::with_capacity(held.len());
+        to_send.clear();
         for (x, slot) in held.iter_mut().enumerate() {
             let xbit = (x as u64 >> j) & 1;
-            let (keep, send): (Vec<_>, Vec<_>) =
-                slot.drain(..).partition(|b| (b.dst.bits() >> j) & 1 == xbit);
-            *slot = keep;
+            let mut keep = pool.take();
+            let mut send = pool.take();
+            for b in slot.drain(..) {
+                if (b.dst.bits() >> j) & 1 == xbit {
+                    keep.push(b);
+                } else {
+                    send.push(b);
+                }
+            }
+            pool.put(std::mem::replace(slot, keep));
             to_send.push(send);
         }
         match policy {
             BufferPolicy::Ideal => {
-                for (x, send) in to_send.into_iter().enumerate() {
-                    if !send.is_empty() {
+                for (x, send) in to_send.drain(..).enumerate() {
+                    if send.is_empty() {
+                        pool.put(send);
+                    } else {
                         net.send(NodeId(x as u64), j, BlockMsg(send));
                     }
                 }
-                deliver_round(net, &mut held, j);
+                deliver_round(net, &mut held, j, &mut pool);
             }
             BufferPolicy::Unbuffered => {
-                let mut chunked: Vec<Vec<Vec<Block<T>>>> =
-                    to_send.into_iter().map(|s| memory_chunks(s, step_index)).collect();
+                let mut chunked: Vec<Vec<Vec<Block<T>>>> = to_send
+                    .drain(..)
+                    .map(|mut s| {
+                        let chunks = memory_chunks(&mut s, step_index, &mut pool);
+                        pool.put(s);
+                        chunks
+                    })
+                    .collect();
                 let max_chunks = chunked.iter().map(|c| c.len()).max().unwrap_or(0);
                 // One sub-round per chunk ordinal, synchronized across the
                 // machine (all nodes have symmetric chunk structure in the
@@ -119,25 +147,27 @@ pub fn exchange_over_dims<T: Clone>(
                             net.send(NodeId(x as u64), j, BlockMsg(chunk));
                         }
                     }
-                    deliver_round(net, &mut held, j);
+                    deliver_round(net, &mut held, j, &mut pool);
                 }
             }
             BufferPolicy::Buffered { min_direct } => {
                 // (direct chunks, gathered blocks) per node.
                 type Split<T> = Vec<(Vec<Vec<Block<T>>>, Vec<Block<T>>)>;
                 let mut split: Split<T> = to_send
-                    .into_iter()
-                    .map(|send| {
+                    .drain(..)
+                    .map(|mut send| {
                         let mut direct = Vec::new();
-                        let mut gathered = Vec::new();
-                        for chunk in memory_chunks(send, step_index) {
+                        let mut gathered = pool.take();
+                        for mut chunk in memory_chunks(&mut send, step_index, &mut pool) {
                             let elems: usize = chunk.iter().map(|b| b.data.len()).sum();
                             if elems >= min_direct {
                                 direct.push(chunk);
                             } else {
-                                gathered.extend(chunk);
+                                gathered.append(&mut chunk);
+                                pool.put(chunk);
                             }
                         }
+                        pool.put(send);
                         (direct, gathered)
                     })
                     .collect();
@@ -149,17 +179,24 @@ pub fn exchange_over_dims<T: Clone>(
                             net.send(NodeId(x as u64), j, BlockMsg(chunk));
                         }
                     }
-                    deliver_round(net, &mut held, j);
+                    deliver_round(net, &mut held, j, &mut pool);
                 }
                 if split.iter().any(|(_, g)| !g.is_empty()) {
-                    for (x, (_, gathered)) in split.into_iter().enumerate() {
-                        if !gathered.is_empty() {
+                    for (x, (_, gathered)) in split.iter_mut().enumerate() {
+                        let gathered = std::mem::take(gathered);
+                        if gathered.is_empty() {
+                            pool.put(gathered);
+                        } else {
                             let elems: usize = gathered.iter().map(|b| b.data.len()).sum();
                             net.local_copy(NodeId(x as u64), elems);
                             net.send(NodeId(x as u64), j, BlockMsg(gathered));
                         }
                     }
-                    deliver_round(net, &mut held, j);
+                    deliver_round(net, &mut held, j, &mut pool);
+                } else {
+                    for (_, gathered) in split {
+                        pool.put(gathered);
+                    }
                 }
             }
         }
@@ -178,13 +215,21 @@ pub fn exchange_over_dims<T: Clone>(
     held
 }
 
-/// Finishes the round and folds every delivered message back into `held`.
-fn deliver_round<T: Clone>(net: &mut SimNet<BlockMsg<T>>, held: &mut [Vec<Block<T>>], j: u32) {
+/// Finishes the round and folds every delivered message back into `held`,
+/// recycling the message buffers through `pool`.
+fn deliver_round<T: Clone>(
+    net: &mut SimNet<BlockMsg<T>>,
+    held: &mut [Vec<Block<T>>],
+    j: u32,
+    pool: &mut BufferPool<Block<T>>,
+) {
     net.finish_round();
-    for x in 0..held.len() {
+    for (x, slot) in held.iter_mut().enumerate() {
         let node = NodeId(x as u64);
         if net.has_message(node, j) {
-            held[x].extend(net.recv(node, j).0);
+            let mut msg = net.recv(node, j).0;
+            slot.append(&mut msg);
+            pool.put(msg);
         }
     }
 }
@@ -228,9 +273,7 @@ mod tests {
     /// blocks[src][dst] = [src*1000 + dst; b]
     fn uniform_blocks(n: u32, b: usize) -> Vec<Vec<Vec<u64>>> {
         let num = 1usize << n;
-        (0..num as u64)
-            .map(|s| (0..num as u64).map(|d| vec![s * 1000 + d; b]).collect())
-            .collect()
+        (0..num as u64).map(|s| (0..num as u64).map(|d| vec![s * 1000 + d; b]).collect()).collect()
     }
 
     fn check_delivery(n: u32, b: usize, result: &[Vec<Block<u64>>]) {
@@ -326,10 +369,7 @@ mod tests {
     #[test]
     fn buffered_with_huge_threshold_equals_one_message_per_step() {
         let n = 3;
-        let mut net = SimNet::new(
-            n,
-            MachineParams::unit(PortMode::OnePort).with_t_copy(0.0),
-        );
+        let mut net = SimNet::new(n, MachineParams::unit(PortMode::OnePort).with_t_copy(0.0));
         let _ = all_to_all_exchange(
             &mut net,
             uniform_blocks(n, 2),

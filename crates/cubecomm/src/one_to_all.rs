@@ -20,11 +20,7 @@ use cubesim::SimNet;
 /// Validates and wraps the per-destination payload list.
 #[track_caller]
 fn check_blocks<T>(net: &SimNet<BlockMsg<T>>, blocks: &[Vec<T>]) {
-    assert_eq!(
-        blocks.len(),
-        net.num_nodes(),
-        "need exactly one block per destination node"
-    );
+    assert_eq!(blocks.len(), net.num_nodes(), "need exactly one block per destination node");
 }
 
 /// One-to-all personalized communication from `root` by SBT routing,
@@ -58,9 +54,8 @@ pub fn one_to_all_sbt<T: Clone>(
     for j in 0..n {
         for lx in 0..(1u64 << j) {
             let x = tree.physical(lx);
-            let (keep, send): (Vec<_>, Vec<_>) = held[x.index()]
-                .drain(..)
-                .partition(|b| (tree.logical(b.dst) >> j) & 1 == 0);
+            let (keep, send): (Vec<_>, Vec<_>) =
+                held[x.index()].drain(..).partition(|b| (tree.logical(b.dst) >> j) & 1 == 0);
             held[x.index()] = keep;
             if !send.is_empty() {
                 net.send(x, tree.physical_dim(j), BlockMsg(send));
@@ -123,9 +118,8 @@ pub fn one_to_all_trees<T: Clone>(
             let dim = tree.physical_dim(j);
             for lx in 0..(1u64 << j) {
                 let x = tree.physical(lx);
-                let (keep, send): (Vec<_>, Vec<_>) = held[k][x.index()]
-                    .drain(..)
-                    .partition(|b| (tree.logical(b.dst) >> j) & 1 == 0);
+                let (keep, send): (Vec<_>, Vec<_>) =
+                    held[k][x.index()].drain(..).partition(|b| (tree.logical(b.dst) >> j) & 1 == 0);
                 held[k][x.index()] = keep;
                 if !send.is_empty() {
                     net.send(x, dim, BlockMsg(send));

@@ -219,9 +219,7 @@ mod tests {
 
     fn uniform_blocks(n: u32, b: usize) -> Vec<Vec<Vec<u64>>> {
         let num = 1usize << n;
-        (0..num as u64)
-            .map(|s| (0..num as u64).map(|d| vec![s * 1000 + d; b]).collect())
-            .collect()
+        (0..num as u64).map(|s| (0..num as u64).map(|d| vec![s * 1000 + d; b]).collect()).collect()
     }
 
     #[test]
@@ -263,7 +261,12 @@ mod tests {
         let one_port_transfer = n as f64 * pq / (2.0 * num);
         // Within a factor of 2 of the n-port bound, and clearly below the
         // one-port cost.
-        assert!(r.transfer_time < one_port_transfer / 2.0, "{} vs {}", r.transfer_time, one_port_transfer);
+        assert!(
+            r.transfer_time < one_port_transfer / 2.0,
+            "{} vs {}",
+            r.transfer_time,
+            one_port_transfer
+        );
         assert!(r.transfer_time >= pq / (2.0 * num) - 1e-9);
     }
 

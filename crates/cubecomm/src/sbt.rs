@@ -235,7 +235,8 @@ mod tests {
 
     #[test]
     fn path_dims_reach_destination() {
-        for &tree in &[Sbt::new(4, NodeId(5)), Sbt::rotated(4, NodeId(0), 1), Sbt::reflected(4, NodeId(2))]
+        for &tree in
+            &[Sbt::new(4, NodeId(5)), Sbt::rotated(4, NodeId(0), 1), Sbt::reflected(4, NodeId(2))]
         {
             for dst in NodeId::all(4) {
                 let mut cur = tree.root();

@@ -98,11 +98,7 @@ fn subcube_nodes(n: u32, k_dims: DimSet) -> Vec<NodeId> {
 #[track_caller]
 fn check_partition<T>(net: &SimNet<BlockMsg<T>>, l_dims: DimSet, k_dims: DimSet) {
     assert!(l_dims.is_disjoint(k_dims), "l and k dimension sets overlap");
-    assert_eq!(
-        l_dims.union(k_dims),
-        DimSet::all(net.n()),
-        "l ∪ k must cover the cube dimensions"
-    );
+    assert_eq!(l_dims.union(k_dims), DimSet::all(net.n()), "l ∪ k must cover the cube dimensions");
 }
 
 #[track_caller]
@@ -169,8 +165,7 @@ mod tests {
         let n = 4;
         let (l, k) = (DimSet::from_dims([0, 1]), DimSet::from_dims([2, 3]));
         let mut net = SimNet::new(n, MachineParams::unit(PortMode::OnePort));
-        let result =
-            some_to_all(&mut net, l, k, source_blocks(4, 16, 2), BufferPolicy::Ideal);
+        let result = some_to_all(&mut net, l, k, source_blocks(4, 16, 2), BufferPolicy::Ideal);
         check(&result, 4, 2);
         let r = net.finalize();
         assert_eq!(r.rounds, 4); // k + l steps.
@@ -188,8 +183,8 @@ mod tests {
         // Destination nodes got 8 blocks each; others none.
         assert_eq!(result[0].len(), 8);
         assert_eq!(result[1].len(), 8);
-        for d in 2..8 {
-            assert!(result[d].is_empty(), "node {d} should end empty");
+        for (d, got) in result.iter().enumerate().skip(2) {
+            assert!(got.is_empty(), "node {d} should end empty");
         }
     }
 
@@ -244,8 +239,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "overlap")]
     fn overlapping_dim_sets_rejected() {
-        let mut net: SimNet<BlockMsg<u64>> =
-            SimNet::new(2, MachineParams::unit(PortMode::OnePort));
+        let mut net: SimNet<BlockMsg<u64>> = SimNet::new(2, MachineParams::unit(PortMode::OnePort));
         let _ = some_to_all(
             &mut net,
             DimSet::from_dims([0, 1]),

@@ -1,0 +1,35 @@
+//! Time-bounded performance smoke test for the schedule executor.
+//!
+//! Runs the full n = 10 all-to-all personalized exchange (1024 nodes,
+//! ~one million blocks through the flat-indexed `SimNet`) and fails if
+//! it takes longer than a generous wall-clock bound. Ignored by default
+//! so ordinary debug test runs stay fast; `scripts/ci.sh` runs it in
+//! release mode with `--ignored`.
+
+use cubecomm::exchange::{all_to_all_exchange, BufferPolicy};
+use cubecomm::BlockMsg;
+use cubesim::{MachineParams, PortMode, SimNet};
+use std::time::{Duration, Instant};
+
+#[test]
+#[ignore = "perf smoke; run in release via scripts/ci.sh"]
+fn n10_all_to_all_completes_within_bound() {
+    let n = 10u32;
+    let num = 1usize << n;
+    let blocks: Vec<Vec<Vec<u64>>> =
+        (0..num as u64).map(|s| (0..num as u64).map(|d| vec![s * 1000 + d]).collect()).collect();
+
+    let mut net: SimNet<BlockMsg<u64>> =
+        SimNet::new(n, MachineParams::intel_ipsc().with_ports(PortMode::AllPorts));
+    let start = Instant::now();
+    let result = all_to_all_exchange(&mut net, blocks, BufferPolicy::Ideal);
+    let report = net.finalize();
+    let elapsed = start.elapsed();
+
+    assert_eq!(report.rounds, n as usize);
+    assert!(result.iter().all(|per_node| per_node.len() == num));
+    // ~0.2 s on a modest core; the bound only catches order-of-magnitude
+    // regressions (e.g. accidental per-round allocation or quadratic
+    // bookkeeping), not scheduler jitter.
+    assert!(elapsed < Duration::from_secs(30), "n=10 all-to-all took {elapsed:?}");
+}

@@ -18,11 +18,9 @@ fn random_blocks(n: u32, seed: u64, max_b: u64) -> Vec<Vec<Vec<u64>>> {
         .map(|s| {
             (0..num as u64)
                 .map(|d| {
-                    let h = (s
-                        .wrapping_mul(0x9E3779B97F4A7C15)
-                        .wrapping_add(d)
-                        .wrapping_mul(seed | 1))
-                        >> 33;
+                    let h =
+                        (s.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(d).wrapping_mul(seed | 1))
+                            >> 33;
                     let len = h % (max_b + 1);
                     (0..len).map(|i| s * 1_000_000 + d * 1000 + i).collect()
                 })

@@ -109,9 +109,7 @@ impl SubField {
 
     /// All index dimensions used by this field.
     pub fn dims(&self) -> DimSet {
-        self.groups
-            .iter()
-            .fold(DimSet::EMPTY, |acc, g| acc.union(g.dims))
+        self.groups.iter().fold(DimSet::EMPTY, |acc, g| acc.union(g.dims))
     }
 
     /// The groups (highest-order first).

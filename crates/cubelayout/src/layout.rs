@@ -72,18 +72,12 @@ impl Layout {
         encoding: Encoding,
     ) -> Self {
         match dir {
-            Direction::Rows => Layout::new(
-                p,
-                q,
-                SubField::assigned(scheme, p, n, encoding),
-                SubField::empty(),
-            ),
-            Direction::Cols => Layout::new(
-                p,
-                q,
-                SubField::empty(),
-                SubField::assigned(scheme, q, n, encoding),
-            ),
+            Direction::Rows => {
+                Layout::new(p, q, SubField::assigned(scheme, p, n, encoding), SubField::empty())
+            }
+            Direction::Cols => {
+                Layout::new(p, q, SubField::empty(), SubField::assigned(scheme, q, n, encoding))
+            }
         }
     }
 
@@ -313,7 +307,8 @@ mod tests {
 
     #[test]
     fn one_dim_consecutive_rows_bijective() {
-        let l = Layout::one_dim(4, 3, Direction::Rows, 2, Assignment::Consecutive, Encoding::Binary);
+        let l =
+            Layout::one_dim(4, 3, Direction::Rows, 2, Assignment::Consecutive, Encoding::Binary);
         roundtrip(&l);
         // Row u goes to node floor(u / (P/N)).
         let rows_per_node = (1u64 << 4) / 4;
@@ -385,7 +380,8 @@ mod tests {
         assert_eq!(l.real_dims_w(), DimSet::from_dims([0, 1]));
         // Consecutive by rows with n=2: row bits {2,1} of u = w-bits {5,4}... p=3
         // so high 2 row bits are u2,u1 → w positions 5,4.
-        let l2 = Layout::one_dim(3, 3, Direction::Rows, 2, Assignment::Consecutive, Encoding::Binary);
+        let l2 =
+            Layout::one_dim(3, 3, Direction::Rows, 2, Assignment::Consecutive, Encoding::Binary);
         assert_eq!(l2.real_dims_w(), DimSet::from_dims([4, 5]));
         // 2D consecutive square: row bits u2 (w5), col bits v2 (w2).
         let l3 = Layout::square(3, 3, 1, Assignment::Consecutive, Encoding::Binary);
@@ -445,7 +441,8 @@ mod tests {
 
     #[test]
     fn rectangular_matrix_supported() {
-        let l = Layout::one_dim(2, 5, Direction::Cols, 3, Assignment::Consecutive, Encoding::Binary);
+        let l =
+            Layout::one_dim(2, 5, Direction::Cols, 3, Assignment::Consecutive, Encoding::Binary);
         roundtrip(&l);
         assert_eq!(l.local_rows(), 4);
         assert_eq!(l.local_cols(), 4);

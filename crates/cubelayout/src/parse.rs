@@ -51,9 +51,7 @@ pub fn parse_layout(spec: &str, p: u32, q: u32) -> Result<Layout, String> {
             let nc = parse_kv(nc, "nc")?;
             Ok(Layout::banded(p, q, nc))
         }
-        _ => Err(format!(
-            "unrecognized layout spec '{spec}'; expected 1d:…, 2d:…, or banded:…"
-        )),
+        _ => Err(format!("unrecognized layout spec '{spec}'; expected 1d:…, 2d:…, or banded:…")),
     }
 }
 
@@ -126,7 +124,8 @@ pub fn render_spec(layout: &Layout) -> Option<String> {
         && layout.n_r() == layout.n_c()
         && enc_of(layout.row_field()) == Some(Encoding::Binary)
         && enc_of(layout.col_field()) == Some(Encoding::Binary)
-        && q != p // a square matrix with this shape is plain 2D below
+        && q != p
+    // a square matrix with this shape is plain 2D below
     {
         return Some(format!("banded:nc={}", layout.n_c()));
     }
@@ -142,11 +141,7 @@ pub fn render_spec(layout: &Layout) -> Option<String> {
         (a, b) if a == b && rs == cs && re == ce => {
             Some(format!("2d:{rs}:{}:half={a}", enc_name(re)))
         }
-        (a, b) => Some(format!(
-            "2d:{rs}:{}:{cs}:{}:nr={a}:nc={b}",
-            enc_name(re),
-            enc_name(ce)
-        )),
+        (a, b) => Some(format!("2d:{rs}:{}:{cs}:{}:nr={a}:nc={b}", enc_name(re), enc_name(ce))),
     }
 }
 
@@ -180,9 +175,7 @@ mod tests {
     #[test]
     fn errors_are_descriptive() {
         assert!(parse_layout("3d:nope", 2, 2).unwrap_err().contains("unrecognized"));
-        assert!(parse_layout("1d:diag:cyclic:binary:n=1", 2, 2)
-            .unwrap_err()
-            .contains("direction"));
+        assert!(parse_layout("1d:diag:cyclic:binary:n=1", 2, 2).unwrap_err().contains("direction"));
         assert!(parse_layout("1d:rows:cyclic:binary:m=1", 2, 2).unwrap_err().contains("n=<int>"));
         assert!(parse_layout("2d:cyclic:hex:half=1", 2, 2).unwrap_err().contains("encoding"));
     }

@@ -197,7 +197,14 @@ impl TransposeSpec {
         self.before.elements().map(move |(u, v)| {
             let from = self.before.place(u, v);
             let to = self.after.place(v, u);
-            ElementMove { u, v, src: from.node, src_local: from.local, dst: to.node, dst_local: to.local }
+            ElementMove {
+                u,
+                v,
+                src: from.node,
+                src_local: from.local,
+                dst: to.node,
+                dst_local: to.local,
+            }
         })
     }
 }
@@ -250,8 +257,7 @@ mod tests {
         // Conversion combined with transpose keeps I = ∅ (Lemma 7 setting).
         let before =
             Layout::one_dim(4, 4, Direction::Rows, 2, Assignment::Consecutive, Encoding::Binary);
-        let after =
-            Layout::one_dim(4, 4, Direction::Rows, 2, Assignment::Cyclic, Encoding::Binary);
+        let after = Layout::one_dim(4, 4, Direction::Rows, 2, Assignment::Cyclic, Encoding::Binary);
         let spec = TransposeSpec::with_after(before, after);
         assert_eq!(spec.classify(), CommPattern::AllToAll);
     }

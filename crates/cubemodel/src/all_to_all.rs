@@ -45,7 +45,10 @@ mod tests {
     #[test]
     fn min_matches_unrestricted_packets() {
         let (pq, n) = (1 << 14, 5);
-        assert!((exchange_one_port(pq, n, &unit()) - exchange_one_port_min(pq, n, &unit())).abs() < 1e-9);
+        assert!(
+            (exchange_one_port(pq, n, &unit()) - exchange_one_port_min(pq, n, &unit())).abs()
+                < 1e-9
+        );
     }
 
     #[test]
@@ -57,8 +60,7 @@ mod tests {
             // "the exchange algorithm is optimum within a factor of 2"
             // holds when transfer dominates; with the τ term the general
             // bound is (n+… )/… — check against the ½(a+b) form instead.
-            let half_sum =
-                0.5 * (pq as f64 / (2.0 * (1u64 << n) as f64) + n as f64);
+            let half_sum = 0.5 * (pq as f64 / (2.0 * (1u64 << n) as f64) + n as f64);
             assert!(lb >= half_sum - 1e-9);
             assert!(t >= lb - 1e-9, "n={n}");
         }

@@ -96,11 +96,14 @@ pub fn unbuffered_paper_form(pq: u64, n: u32, m: &MachineParams) -> f64 {
 }
 
 /// The paper's literal §8.1 buffered closed form:
-/// `T = n·(PQ/2N)·t_c
-///    + (PQ/N)·max(0, n - log₂⌈PQ/(B_copy·N)⌉)·t_copy
-///    + (min(N, PQ/(B_copy·N)) - min(N, PQ/(B_m·N))
-///       + ⌈PQ/(2B_m N)⌉·(min(n, log₂⌈PQ/(B_m N)⌉)
-///                         + max(0, n - log₂⌈PQ/(B_copy N)⌉)))·τ`.
+///
+/// ```text
+/// T = n·(PQ/2N)·t_c
+///   + (PQ/N)·max(0, n - log₂⌈PQ/(B_copy·N)⌉)·t_copy
+///   + (min(N, PQ/(B_copy·N)) - min(N, PQ/(B_m·N))
+///      + ⌈PQ/(2B_m N)⌉·(min(n, log₂⌈PQ/(B_m N)⌉)
+///                       + max(0, n - log₂⌈PQ/(B_copy N)⌉)))·τ
+/// ```
 ///
 /// As with [`unbuffered_paper_form`], this is the printed approximation
 /// of the step-exact [`buffered`]; it charges the copy on both the gather

@@ -9,7 +9,12 @@ pub fn sbt_one_port(pq: u64, n: u32, m: &MachineParams) -> f64 {
     let big_n = 1u64 << n;
     let transfer = (1.0 - 1.0 / big_n as f64) * pq as f64 * m.t_c;
     let startups: u64 = (1..=n)
-        .map(|i| ceil_div(pq, (1u64 << i).saturating_mul(m.max_packet.min(u32::MAX as usize) as u64).max(1)))
+        .map(|i| {
+            ceil_div(
+                pq,
+                (1u64 << i).saturating_mul(m.max_packet.min(u32::MAX as usize) as u64).max(1),
+            )
+        })
         .sum();
     transfer + startups as f64 * m.tau
 }
@@ -71,7 +76,9 @@ mod tests {
         let pq = 1 << 12;
         let n = 5;
         let unlimited = unit();
-        assert!((sbt_one_port(pq, n, &unlimited) - sbt_one_port_min(pq, n, &unlimited)).abs() < 1e-9);
+        assert!(
+            (sbt_one_port(pq, n, &unlimited) - sbt_one_port_min(pq, n, &unlimited)).abs() < 1e-9
+        );
         // Restricting B_m only adds start-ups.
         for bm in [16usize, 64, 256] {
             let m = unit().with_max_packet(bm);

@@ -42,19 +42,16 @@ pub fn broadcast<T: Clone>(ctx: &NodeCtx<Option<T>>, root: NodeId, value: Option
 ///
 /// The standard exchange algorithm (§3.2), dimensions descending; each
 /// message carries `(origin, dest, payload)` triples.
-pub fn all_to_all<T: Clone + Send>(ctx: &NodeCtx<Vec<(u64, u64, T)>>, blocks: Vec<T>) -> Vec<T>
-where
-    T: 'static,
-{
+pub fn all_to_all<T: Clone + Send + 'static>(
+    ctx: &NodeCtx<Vec<(u64, u64, T)>>,
+    blocks: Vec<T>,
+) -> Vec<T> {
     let n = ctx.n();
     let num = ctx.num_nodes();
     assert_eq!(blocks.len(), num, "one block per destination");
     let me = ctx.id().bits();
-    let mut held: Vec<(u64, u64, T)> = blocks
-        .into_iter()
-        .enumerate()
-        .map(|(d, b)| (me, d as u64, b))
-        .collect();
+    let mut held: Vec<(u64, u64, T)> =
+        blocks.into_iter().enumerate().map(|(d, b)| (me, d as u64, b)).collect();
     for j in (0..n).rev() {
         let (keep, send): (Vec<_>, Vec<_>) =
             held.into_iter().partition(|&(_, d, _)| (d >> j) & 1 == (me >> j) & 1);
@@ -75,11 +72,7 @@ where
 
 /// Gather to `root`: the root returns every node's value in node order;
 /// other nodes return `None`. (Reverse SBT flow.)
-pub fn gather<T: Clone>(
-    ctx: &NodeCtx<Vec<(u64, T)>>,
-    root: NodeId,
-    value: T,
-) -> Option<Vec<T>> {
+pub fn gather<T: Clone>(ctx: &NodeCtx<Vec<(u64, T)>>, root: NodeId, value: T) -> Option<Vec<T>> {
     let n = ctx.n();
     let rel = ctx.id().bits() ^ root.bits();
     let mut held: Vec<(u64, T)> = vec![(ctx.id().bits(), value)];
@@ -111,8 +104,7 @@ mod tests {
     fn broadcast_reaches_all_from_any_root() {
         for root in [0u64, 5, 7] {
             let (results, _) = run_spmd(3, |ctx| {
-                let mine =
-                    (ctx.id().bits() == root).then(|| format!("hello from {root}"));
+                let mine = (ctx.id().bits() == root).then(|| format!("hello from {root}"));
                 broadcast(ctx, NodeId(root), mine)
             });
             assert!(results.iter().all(|r| r == &format!("hello from {root}")));
@@ -147,5 +139,4 @@ mod tests {
             }
         }
     }
-
 }

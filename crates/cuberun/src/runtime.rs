@@ -99,11 +99,24 @@ impl<T: Clone> NodeCtx<T> {
     ///
     /// This is the classic hypercube reduction the paper's machines used
     /// for global sums and synchronization predicates.
+    ///
+    /// Per dimension the upper node of each link pair moves its partial
+    /// down (by value), the lower node folds the pair once and sends one
+    /// copy of the result back, and the upper node swaps that in as its
+    /// new accumulator. One clone and one `combine` per link per step —
+    /// the minimum for owned channels — instead of a clone and a fold on
+    /// both ends.
     pub fn all_reduce(&self, value: T, mut combine: impl FnMut(T, T) -> T) -> T {
         let mut acc = value;
         for d in 0..self.n {
-            let other = self.exchange(d, acc.clone());
-            acc = combine(acc, other);
+            if (self.id.0 >> d) & 1 == 0 {
+                let theirs = self.recv(d);
+                acc = combine(acc, theirs);
+                self.send(d, acc.clone());
+            } else {
+                self.send(d, acc);
+                acc = self.recv(d);
+            }
         }
         acc
     }
@@ -127,9 +140,13 @@ where
 
     // links[x][d] = channel whose sender is held by x's neighbor across d
     // and whose receiver is held by x.
-    let mut senders: Vec<Vec<Option<Sender<T>>>> = (0..num).map(|_| vec![None; n as usize]).collect();
+    let mut senders: Vec<Vec<Option<Sender<T>>>> =
+        (0..num).map(|_| (0..n).map(|_| None).collect()).collect();
     let mut receivers: Vec<Vec<Option<Receiver<T>>>> =
-        (0..num).map(|_| vec![None; n as usize]).collect();
+        (0..num).map(|_| (0..n).map(|_| None).collect()).collect();
+    // Indexed loop: each iteration writes both `senders[x]` and
+    // `receivers[peer]` for a derived peer index.
+    #[allow(clippy::needless_range_loop)]
     for x in 0..num {
         for d in 0..n as usize {
             let peer = NodeId(x as u64).neighbor(d as u32).index();
@@ -161,10 +178,8 @@ where
 
     let program = &program;
     let results: Vec<R> = std::thread::scope(|scope| {
-        let handles: Vec<_> = ctxs
-            .drain(..)
-            .map(|ctx| scope.spawn(move || program(&ctx)))
-            .collect();
+        let handles: Vec<_> =
+            ctxs.drain(..).map(|ctx| scope.spawn(move || program(&ctx))).collect();
         handles.into_iter().map(|h| h.join().expect("node program panicked")).collect()
     });
 
@@ -217,6 +232,28 @@ mod tests {
         assert!(sums.iter().all(|&s| s == total));
         let (maxes, _) = run_spmd(3, |ctx| ctx.all_reduce(ctx.id().bits(), u64::max));
         assert!(maxes.iter().all(|&m| m == 7));
+    }
+
+    #[test]
+    fn all_reduce_clones_once_per_link_step() {
+        static CLONES: AtomicU64 = AtomicU64::new(0);
+        #[derive(Debug)]
+        struct Tracked(u64);
+        impl Clone for Tracked {
+            fn clone(&self) -> Self {
+                CLONES.fetch_add(1, Ordering::Relaxed);
+                Tracked(self.0)
+            }
+        }
+        let n = 3u32;
+        let (vals, _) = run_spmd(n, |ctx: &NodeCtx<Tracked>| {
+            ctx.all_reduce(Tracked(ctx.id().bits()), |a, b| Tracked(a.0 + b.0)).0
+        });
+        let total: u64 = (0..8).sum();
+        assert!(vals.iter().all(|&v| v == total), "{vals:?}");
+        // One clone per link per step (the lower node copying the folded
+        // pair back), not one per node: 2^(n-1) links × n steps.
+        assert_eq!(CLONES.load(Ordering::Relaxed), (1u64 << (n - 1)) * n as u64);
     }
 
     #[test]

@@ -27,8 +27,12 @@
 
 pub mod net;
 pub mod params;
+pub mod pool;
+#[doc(hidden)]
+pub mod reference;
 pub mod report;
 
 pub use net::{Payload, SimNet};
 pub use params::{MachineParams, PortMode};
+pub use pool::BufferPool;
 pub use report::{CommReport, LinkEvent, RoundDetail};

@@ -3,7 +3,6 @@
 use crate::params::{MachineParams, PortMode};
 use crate::report::CommReport;
 use cubeaddr::NodeId;
-use std::collections::HashMap;
 
 /// A message payload with a size measured in *matrix elements* — the unit
 /// the cost model charges for.
@@ -21,6 +20,21 @@ impl<T> Payload for Vec<T> {
         self.len()
     }
 }
+
+macro_rules! scalar_payloads {
+    ($($t:ty),*) => {$(
+        impl Payload for $t {
+            fn elems(&self) -> usize {
+                1
+            }
+        }
+    )*};
+}
+
+// A bare scalar is one matrix element on the wire; lets control-plane
+// algorithms (token passing, reductions) run on the simulator without a
+// wrapping allocation.
+scalar_payloads!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
 
 /// A simulated Boolean `n`-cube network carrying payloads of type `P`.
 ///
@@ -65,19 +79,40 @@ impl<T> Payload for Vec<T> {
 /// let report = net.finalize();
 /// assert_eq!(report.time, 4.0); // 1 start-up + 3 elements, unit costs
 /// ```
+///
+/// # Performance
+///
+/// The data plane is flat-indexed: message slots, per-node dimension
+/// masks, and per-link element totals live in dense vectors indexed by
+/// `node * n + dim`, with side lists of the indices touched this round so
+/// round boundaries cost O(messages), not O(nodes·dims). The dense
+/// arrays are allocated once in [`SimNet::new`] (`2^n · n` slots), so
+/// construction is O(N·n) in the cube size — trivial at the paper's
+/// machine sizes (n ≤ 14), but don't build a 2^40-node cube.
 pub struct SimNet<P> {
     n: u32,
     params: MachineParams,
-    /// Messages sent this round, keyed by (destination, dimension).
-    outgoing: HashMap<(u64, u32), P>,
-    /// Messages delivered at the last round boundary, awaiting recv.
-    inbox: HashMap<(u64, u32), P>,
+    /// Message slot per directed link, indexed `dst * n + dim`: sent this
+    /// round, delivered at the boundary.
+    outgoing: Vec<Option<P>>,
+    /// Slots filled in `outgoing` this round, in send order.
+    outgoing_idx: Vec<usize>,
+    /// Messages delivered at the last round boundary, awaiting recv
+    /// (same indexing as `outgoing`).
+    inbox: Vec<Option<P>>,
+    /// Slots the last boundary delivered into (consumed ones stay listed
+    /// until the next boundary; their slot is `None`).
+    inbox_idx: Vec<usize>,
     /// Dimensions used per node this round (bit mask), for port checks.
-    dims_used: HashMap<u64, u64>,
+    dims_used: Vec<u64>,
+    /// Nodes with a non-zero `dims_used` mask this round.
+    dims_touched: Vec<usize>,
     /// Elements locally copied per node this round.
-    copies: HashMap<u64, usize>,
-    /// Cumulative elements per directed link (src, dim).
-    link_totals: HashMap<(u64, u32), u64>,
+    copies: Vec<usize>,
+    /// Nodes with a non-zero copy charge this round.
+    copies_touched: Vec<usize>,
+    /// Cumulative elements per directed link, indexed `src * n + dim`.
+    link_totals: Vec<u64>,
     /// When set, every finish_round appends a RoundDetail.
     record_history: bool,
     /// When set, every finish_round appends the round's link events.
@@ -89,18 +124,30 @@ impl<P: Payload> SimNet<P> {
     /// Creates an idle `n`-cube network under the given cost model.
     pub fn new(n: u32, params: MachineParams) -> Self {
         cubeaddr::check_dims(n);
+        let nodes = 1usize << n;
+        let links = nodes * n as usize;
         SimNet {
             n,
             params,
-            outgoing: HashMap::new(),
-            inbox: HashMap::new(),
-            dims_used: HashMap::new(),
-            copies: HashMap::new(),
-            link_totals: HashMap::new(),
+            outgoing: (0..links).map(|_| None).collect(),
+            outgoing_idx: Vec::new(),
+            inbox: (0..links).map(|_| None).collect(),
+            inbox_idx: Vec::new(),
+            dims_used: vec![0; nodes],
+            dims_touched: Vec::new(),
+            copies: vec![0; nodes],
+            copies_touched: Vec::new(),
+            link_totals: vec![0; links],
             record_history: false,
             record_links: false,
             report: CommReport::default(),
         }
+    }
+
+    /// Dense index of the directed-link slot `(node, dim)`.
+    #[inline]
+    fn slot(&self, node: NodeId, dim: u32) -> usize {
+        node.index() * self.n as usize + dim as usize
     }
 
     /// Enables per-round history recording (see
@@ -138,11 +185,7 @@ impl<P: Payload> SimNet<P> {
 
     #[track_caller]
     fn check_node(&self, x: NodeId) {
-        assert!(
-            x.index() < self.num_nodes(),
-            "node {x} outside the {}-cube",
-            self.n
-        );
+        assert!(x.index() < self.num_nodes(), "node {x} outside the {}-cube", self.n);
     }
 
     /// Sends `data` from `src` across dimension `dim` (to
@@ -158,18 +201,30 @@ impl<P: Payload> SimNet<P> {
         let elems = data.elems();
         assert!(elems > 0, "empty message from {src} on dim {dim}; skip empty sends");
         let dst = src.neighbor(dim);
-        let prev = self.outgoing.insert((dst.bits(), dim), data);
+        let slot = self.slot(dst, dim);
         assert!(
-            prev.is_none(),
+            self.outgoing[slot].is_none(),
             "link contention: directed link {src}--dim {dim}--> {dst} used twice in round {}",
             self.report.rounds
         );
-        *self.dims_used.entry(src.bits()).or_insert(0) |= 1 << dim;
-        *self.dims_used.entry(dst.bits()).or_insert(0) |= 1 << dim;
-        *self.link_totals.entry((src.bits(), dim)).or_insert(0) += elems as u64;
+        self.outgoing[slot] = Some(data);
+        self.outgoing_idx.push(slot);
+        self.mark_dim(src.index(), dim);
+        self.mark_dim(dst.index(), dim);
+        let src_slot = self.slot(src, dim);
+        self.link_totals[src_slot] += elems as u64;
         self.report.total_messages += 1;
         self.report.total_elems += elems as u64;
         self.report.total_packets += self.params.packets(elems) as u64;
+    }
+
+    /// Records `node` using `dim` this round (for port-legality checks).
+    #[inline]
+    fn mark_dim(&mut self, node: usize, dim: u32) {
+        if self.dims_used[node] == 0 {
+            self.dims_touched.push(node);
+        }
+        self.dims_used[node] |= 1 << dim;
     }
 
     /// Receives the message delivered to `dst` on dimension `dim` at the
@@ -180,7 +235,13 @@ impl<P: Payload> SimNet<P> {
     #[track_caller]
     pub fn recv(&mut self, dst: NodeId, dim: u32) -> P {
         self.check_node(dst);
-        self.inbox.remove(&(dst.bits(), dim)).unwrap_or_else(|| {
+        let msg = if dim < self.n {
+            let slot = self.slot(dst, dim);
+            self.inbox[slot].take()
+        } else {
+            None
+        };
+        msg.unwrap_or_else(|| {
             panic!(
                 "recv at {dst} on dim {dim}: no message delivered (round {})",
                 self.report.rounds
@@ -190,7 +251,7 @@ impl<P: Payload> SimNet<P> {
 
     /// True when a message is pending for `dst` on `dim`.
     pub fn has_message(&self, dst: NodeId, dim: u32) -> bool {
-        self.inbox.contains_key(&(dst.bits(), dim))
+        dst.index() < self.num_nodes() && dim < self.n && self.inbox[self.slot(dst, dim)].is_some()
     }
 
     /// Charges `elems` elements of local copy/rearrangement work to `node`
@@ -198,7 +259,11 @@ impl<P: Payload> SimNet<P> {
     #[track_caller]
     pub fn local_copy(&mut self, node: NodeId, elems: usize) {
         self.check_node(node);
-        *self.copies.entry(node.bits()).or_insert(0) += elems;
+        let x = node.index();
+        if elems > 0 && self.copies[x] == 0 {
+            self.copies_touched.push(x);
+        }
+        self.copies[x] += elems;
     }
 
     /// Closes the current round: verifies port legality, charges the cost
@@ -209,14 +274,18 @@ impl<P: Payload> SimNet<P> {
     /// delivered at the previous boundary were never received.
     #[track_caller]
     pub fn finish_round(&mut self) {
-        if let Some(((dst, dim), _)) = self.inbox.iter().next() {
-            panic!(
-                "unconsumed message at node {dst} on dim {dim} when round {} ended",
-                self.report.rounds
-            );
+        for &slot in &self.inbox_idx {
+            if self.inbox[slot].is_some() {
+                let (dst, dim) = (slot / self.n as usize, slot % self.n as usize);
+                panic!(
+                    "unconsumed message at node {dst} on dim {dim} when round {} ended",
+                    self.report.rounds
+                );
+            }
         }
         if self.params.ports == PortMode::OnePort {
-            for (&node, &mask) in &self.dims_used {
+            for &node in &self.dims_touched {
+                let mask = self.dims_used[node];
                 assert!(
                     mask.count_ones() <= 1,
                     "one-port violation: node {node} used dims {mask:#b} in round {}",
@@ -227,12 +296,13 @@ impl<P: Payload> SimNet<P> {
         let mut max_pkts = 0usize;
         let mut max_elems = 0usize;
         let mut round_total = 0u64;
-        for data in self.outgoing.values() {
-            max_pkts = max_pkts.max(self.params.packets(data.elems()));
-            max_elems = max_elems.max(data.elems());
-            round_total += data.elems() as u64;
+        for &slot in &self.outgoing_idx {
+            let elems = self.outgoing[slot].as_ref().map_or(0, Payload::elems);
+            max_pkts = max_pkts.max(self.params.packets(elems));
+            max_elems = max_elems.max(elems);
+            round_total += elems as u64;
         }
-        let max_copy = self.copies.values().copied().max().unwrap_or(0);
+        let max_copy = self.copies_touched.iter().map(|&x| self.copies[x]).max().unwrap_or(0);
         let startup = max_pkts as f64 * self.params.tau;
         let transfer = max_elems as f64 * self.params.t_c;
         let copy = max_copy as f64 * self.params.t_copy;
@@ -245,13 +315,17 @@ impl<P: Payload> SimNet<P> {
         self.report.critical_elems += max_elems as u64;
         self.report.max_node_copy_elems = self.report.max_node_copy_elems.max(max_copy as u64);
         if self.record_links {
+            let n = self.n as usize;
             let mut events: Vec<crate::report::LinkEvent> = self
-                .outgoing
+                .outgoing_idx
                 .iter()
-                .map(|(&(dst, dim), data)| crate::report::LinkEvent {
-                    src: dst ^ (1 << dim),
-                    dim,
-                    elems: data.elems() as u32,
+                .map(|&slot| {
+                    let (dst, dim) = ((slot / n) as u64, (slot % n) as u32);
+                    crate::report::LinkEvent {
+                        src: dst ^ (1 << dim),
+                        dim,
+                        elems: self.outgoing[slot].as_ref().map_or(0, Payload::elems) as u32,
+                    }
                 })
                 .collect();
             events.sort_by_key(|e| (e.src, e.dim));
@@ -260,15 +334,26 @@ impl<P: Payload> SimNet<P> {
         if self.record_history {
             self.report.history.push(crate::report::RoundDetail {
                 time: startup + transfer + copy,
-                messages: self.outgoing.len() as u32,
+                messages: self.outgoing_idx.len() as u32,
                 max_elems: max_elems as u32,
                 total_elems: round_total,
             });
         }
 
-        self.inbox = std::mem::take(&mut self.outgoing);
-        self.dims_used.clear();
-        self.copies.clear();
+        // Deliver: the filled outgoing slots become the inbox; the old
+        // inbox storage (verified empty above) becomes next round's
+        // outgoing. No per-round allocation.
+        std::mem::swap(&mut self.inbox, &mut self.outgoing);
+        std::mem::swap(&mut self.inbox_idx, &mut self.outgoing_idx);
+        self.outgoing_idx.clear();
+        for &x in &self.dims_touched {
+            self.dims_used[x] = 0;
+        }
+        self.dims_touched.clear();
+        for &x in &self.copies_touched {
+            self.copies[x] = 0;
+        }
+        self.copies_touched.clear();
     }
 
     /// Ends the simulation and returns the accumulated report.
@@ -278,12 +363,13 @@ impl<P: Payload> SimNet<P> {
     #[track_caller]
     pub fn finalize(mut self) -> CommReport {
         assert!(
-            self.outgoing.is_empty(),
+            self.outgoing_idx.is_empty(),
             "{} messages sent but the round never finished",
-            self.outgoing.len()
+            self.outgoing_idx.len()
         );
-        assert!(self.inbox.is_empty(), "{} delivered messages never received", self.inbox.len());
-        self.report.max_link_elems = self.link_totals.values().copied().max().unwrap_or(0);
+        let pending = self.inbox_idx.iter().filter(|&&s| self.inbox[s].is_some()).count();
+        assert!(pending == 0, "{pending} delivered messages never received");
+        self.report.max_link_elems = self.link_totals.iter().copied().max().unwrap_or(0);
         self.report
     }
 }

@@ -1,0 +1,203 @@
+//! The original HashMap-keyed simulator data plane, kept verbatim as a
+//! semantic reference.
+//!
+//! [`SimNet`](crate::SimNet) replaced these per-round maps with dense
+//! flat vectors for speed; this module preserves the straightforward
+//! implementation so property tests can check, schedule by schedule, that
+//! the two produce identical [`CommReport`]s and identical legality
+//! panics. It is not part of the public API surface.
+
+use crate::params::{MachineParams, PortMode};
+use crate::report::CommReport;
+use crate::Payload;
+use cubeaddr::NodeId;
+use std::collections::HashMap;
+
+/// HashMap-based twin of [`SimNet`](crate::SimNet): same API, same
+/// semantics, original O(hash) bookkeeping.
+#[doc(hidden)]
+pub struct ReferenceNet<P> {
+    n: u32,
+    params: MachineParams,
+    /// Messages sent this round, keyed by (destination, dimension).
+    outgoing: HashMap<(u64, u32), P>,
+    /// Messages delivered at the last round boundary, awaiting recv.
+    inbox: HashMap<(u64, u32), P>,
+    /// Dimensions used per node this round (bit mask), for port checks.
+    dims_used: HashMap<u64, u64>,
+    /// Elements locally copied per node this round.
+    copies: HashMap<u64, usize>,
+    /// Cumulative elements per directed link (src, dim).
+    link_totals: HashMap<(u64, u32), u64>,
+    record_history: bool,
+    record_links: bool,
+    report: CommReport,
+}
+
+impl<P: Payload> ReferenceNet<P> {
+    /// Creates an idle `n`-cube network under the given cost model.
+    pub fn new(n: u32, params: MachineParams) -> Self {
+        cubeaddr::check_dims(n);
+        ReferenceNet {
+            n,
+            params,
+            outgoing: HashMap::new(),
+            inbox: HashMap::new(),
+            dims_used: HashMap::new(),
+            copies: HashMap::new(),
+            link_totals: HashMap::new(),
+            record_history: false,
+            record_links: false,
+            report: CommReport::default(),
+        }
+    }
+
+    /// Enables per-round history recording.
+    pub fn record_history(&mut self) {
+        self.record_history = true;
+    }
+
+    /// Enables per-round link-event recording.
+    pub fn record_links(&mut self) {
+        self.record_links = true;
+    }
+
+    /// Cube dimension.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        1usize << self.n
+    }
+
+    #[track_caller]
+    fn check_node(&self, x: NodeId) {
+        assert!(x.index() < self.num_nodes(), "node {x} outside the {}-cube", self.n);
+    }
+
+    /// Sends `data` from `src` across dimension `dim`.
+    #[track_caller]
+    pub fn send(&mut self, src: NodeId, dim: u32, data: P) {
+        self.check_node(src);
+        assert!(dim < self.n, "dimension {dim} outside the {}-cube", self.n);
+        let elems = data.elems();
+        assert!(elems > 0, "empty message from {src} on dim {dim}; skip empty sends");
+        let dst = src.neighbor(dim);
+        let prev = self.outgoing.insert((dst.bits(), dim), data);
+        assert!(
+            prev.is_none(),
+            "link contention: directed link {src}--dim {dim}--> {dst} used twice in round {}",
+            self.report.rounds
+        );
+        *self.dims_used.entry(src.bits()).or_insert(0) |= 1 << dim;
+        *self.dims_used.entry(dst.bits()).or_insert(0) |= 1 << dim;
+        *self.link_totals.entry((src.bits(), dim)).or_insert(0) += elems as u64;
+        self.report.total_messages += 1;
+        self.report.total_elems += elems as u64;
+        self.report.total_packets += self.params.packets(elems) as u64;
+    }
+
+    /// Receives the message delivered to `dst` on dimension `dim`.
+    #[track_caller]
+    pub fn recv(&mut self, dst: NodeId, dim: u32) -> P {
+        self.check_node(dst);
+        self.inbox.remove(&(dst.bits(), dim)).unwrap_or_else(|| {
+            panic!(
+                "recv at {dst} on dim {dim}: no message delivered (round {})",
+                self.report.rounds
+            )
+        })
+    }
+
+    /// True when a message is pending for `dst` on `dim`.
+    pub fn has_message(&self, dst: NodeId, dim: u32) -> bool {
+        self.inbox.contains_key(&(dst.bits(), dim))
+    }
+
+    /// Charges `elems` elements of local copy work to `node`.
+    #[track_caller]
+    pub fn local_copy(&mut self, node: NodeId, elems: usize) {
+        self.check_node(node);
+        *self.copies.entry(node.bits()).or_insert(0) += elems;
+    }
+
+    /// Closes the current round: port legality, cost model, delivery.
+    #[track_caller]
+    pub fn finish_round(&mut self) {
+        if let Some(((dst, dim), _)) = self.inbox.iter().next() {
+            panic!(
+                "unconsumed message at node {dst} on dim {dim} when round {} ended",
+                self.report.rounds
+            );
+        }
+        if self.params.ports == PortMode::OnePort {
+            for (&node, &mask) in &self.dims_used {
+                assert!(
+                    mask.count_ones() <= 1,
+                    "one-port violation: node {node} used dims {mask:#b} in round {}",
+                    self.report.rounds
+                );
+            }
+        }
+        let mut max_pkts = 0usize;
+        let mut max_elems = 0usize;
+        let mut round_total = 0u64;
+        for data in self.outgoing.values() {
+            max_pkts = max_pkts.max(self.params.packets(data.elems()));
+            max_elems = max_elems.max(data.elems());
+            round_total += data.elems() as u64;
+        }
+        let max_copy = self.copies.values().copied().max().unwrap_or(0);
+        let startup = max_pkts as f64 * self.params.tau;
+        let transfer = max_elems as f64 * self.params.t_c;
+        let copy = max_copy as f64 * self.params.t_copy;
+        self.report.rounds += 1;
+        self.report.time += startup + transfer + copy;
+        self.report.startup_time += startup;
+        self.report.transfer_time += transfer;
+        self.report.copy_time += copy;
+        self.report.critical_startups += max_pkts as u64;
+        self.report.critical_elems += max_elems as u64;
+        self.report.max_node_copy_elems = self.report.max_node_copy_elems.max(max_copy as u64);
+        if self.record_links {
+            let mut events: Vec<crate::report::LinkEvent> = self
+                .outgoing
+                .iter()
+                .map(|(&(dst, dim), data)| crate::report::LinkEvent {
+                    src: dst ^ (1 << dim),
+                    dim,
+                    elems: data.elems() as u32,
+                })
+                .collect();
+            events.sort_by_key(|e| (e.src, e.dim));
+            self.report.link_history.push(events);
+        }
+        if self.record_history {
+            self.report.history.push(crate::report::RoundDetail {
+                time: startup + transfer + copy,
+                messages: self.outgoing.len() as u32,
+                max_elems: max_elems as u32,
+                total_elems: round_total,
+            });
+        }
+
+        self.inbox = std::mem::take(&mut self.outgoing);
+        self.dims_used.clear();
+        self.copies.clear();
+    }
+
+    /// Ends the simulation and returns the accumulated report.
+    #[track_caller]
+    pub fn finalize(mut self) -> CommReport {
+        assert!(
+            self.outgoing.is_empty(),
+            "{} messages sent but the round never finished",
+            self.outgoing.len()
+        );
+        assert!(self.inbox.is_empty(), "{} delivered messages never received", self.inbox.len());
+        self.report.max_link_elems = self.link_totals.values().copied().max().unwrap_or(0);
+        self.report
+    }
+}

@@ -123,12 +123,7 @@ mod tests {
 
     #[test]
     fn summary_contains_fields() {
-        let r = CommReport {
-            rounds: 3,
-            time: 1.5,
-            max_link_elems: 42,
-            ..Default::default()
-        };
+        let r = CommReport { rounds: 3, time: 1.5, max_link_elems: 42, ..Default::default() };
         let s = r.summary();
         assert!(s.contains("rounds=3"));
         assert!(s.contains("42"));

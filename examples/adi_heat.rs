@@ -76,9 +76,7 @@ fn main() {
             0.0
         }
     });
-    let heat = |m: &DistMatrix<f64>| -> f64 {
-        m.gather().iter().flatten().sum::<f64>()
-    };
+    let heat = |m: &DistMatrix<f64>| -> f64 { m.gather().iter().flatten().sum::<f64>() };
     let peak = |m: &DistMatrix<f64>| -> f64 {
         m.gather().iter().flatten().cloned().fold(0.0_f64, f64::max)
     };
@@ -118,6 +116,9 @@ fn main() {
     // stays symmetric under the quarter-turn symmetry of the data.
     let dense = field.gather();
     let mut asym: f64 = 0.0;
+    // Indexed on purpose: compares `dense[u][v]` against its transpose
+    // `dense[v][u]`.
+    #[allow(clippy::needless_range_loop)]
     for u in 0..size {
         for v in 0..size {
             asym = asym.max((dense[u][v] - dense[v][u]).abs());

@@ -29,7 +29,11 @@ fn main() {
         })
         .collect();
 
-    println!("four-step FFT of a length-{len} signal as a {}×{} matrix on an {n}-cube\n", 1 << r, 1 << c);
+    println!(
+        "four-step FFT of a length-{len} signal as a {}×{} matrix on an {n}-cube\n",
+        1 << r,
+        1 << c
+    );
 
     let params = MachineParams::intel_ipsc();
     let (grid, report) = fft_four_step(&signal, r, c, n, &params);
@@ -39,11 +43,7 @@ fn main() {
 
     // Verify against the naive DFT.
     let want = dft_naive(&signal);
-    let max_err = spectrum
-        .iter()
-        .zip(&want)
-        .map(|(a, b)| (*a - *b).abs())
-        .fold(0.0_f64, f64::max);
+    let max_err = spectrum.iter().zip(&want).map(|(a, b)| (*a - *b).abs()).fold(0.0_f64, f64::max);
     println!("max |X_fourstep - X_dft| = {max_err:.3e}");
     assert!(max_err < 1e-7);
 

@@ -28,9 +28,7 @@ fn dst(line: &[f64]) -> Vec<f64> {
     let n = line.len();
     (1..=n)
         .map(|k| {
-            (0..n)
-                .map(|j| line[j] * ((j + 1) as f64 * k as f64 * PI / (n + 1) as f64).sin())
-                .sum()
+            (0..n).map(|j| line[j] * ((j + 1) as f64 * k as f64 * PI / (n + 1) as f64).sin()).sum()
         })
         .collect()
 }
@@ -104,9 +102,12 @@ fn main() {
     // 2. Transpose on the simulated iPSC.
     let params = MachineParams::intel_ipsc();
     let mut net = SimNet::new(n, params.clone());
-    let mut hat = transpose_1d_exchange(&rhs, &layout, &mut net, BufferPolicy::Buffered {
-        min_direct: params.b_copy(),
-    });
+    let mut hat = transpose_1d_exchange(
+        &rhs,
+        &layout,
+        &mut net,
+        BufferPolicy::Buffered { min_direct: params.b_copy() },
+    );
     let r1 = net.finalize();
     println!("transpose 1: {}", r1.summary());
 

@@ -63,9 +63,9 @@ fn main() {
     // All three computed the same transpose.
     for (name, result) in [("SPT", &spt), ("DPT", &dpt), ("MPT", &mpt)] {
         let dense = result.gather();
-        for r in 0..(1usize << p) {
-            for c in 0..(1usize << p) {
-                assert_eq!(dense[r][c], (c * (1 << p) + r) as f64, "{name} wrong at ({r},{c})");
+        for (r, row) in dense.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                assert_eq!(v, (c * (1 << p) + r) as f64, "{name} wrong at ({r},{c})");
             }
         }
     }

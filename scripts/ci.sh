@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full local CI gate: build, tests, lints, formatting, perf smoke.
+#
+# Usage: scripts/ci.sh
+#
+# Everything runs offline against the vendored shims (see README.md);
+# no network or extra tooling beyond the Rust toolchain is required.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: release build"
+cargo build --release
+
+echo "==> tier-1: workspace tests"
+cargo test -q --workspace
+
+echo "==> clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> rustfmt check"
+cargo fmt --check
+
+echo "==> perf smoke: n=10 all-to-all schedule (time-bounded)"
+timeout 300 cargo test --release -q -p cubecomm --test perf_smoke -- --ignored
+
+echo "CI gate passed."

@@ -1,0 +1,252 @@
+//! Minimal, dependency-free stand-in for Criterion.rs.
+//!
+//! The workspace builds offline (no crates.io mirror), so the real
+//! `criterion` cannot be fetched. This shim implements the subset of the
+//! API the workspace's benches use — `criterion_group!`/`criterion_main!`,
+//! `Criterion::benchmark_group`, `sample_size`, `throughput`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Throughput`, and
+//! `Bencher::iter` — with a straightforward warm-up + median-of-samples
+//! measurement.
+//!
+//! Output: one line per benchmark,
+//! `bench <group>/<id> ... median <t> mean <t> ...`, plus a JSON line per
+//! benchmark appended to the file named by the `CRITERION_JSON` env var
+//! (used by the repo's `BENCH_simulator.json` pipeline).
+//!
+//! A positional CLI argument filters benchmarks by substring, as with the
+//! real harness (`cargo bench --bench simulator -- all_to_all`).
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under Criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, Criterion's canonical two-part id.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// Id that is just the parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Work-per-iteration hint; turns timings into rates in the output.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The measurement driver passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f` (the closure's return value is passed
+    /// through a black box so the work is not optimized away).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level harness state: output sinks and the CLI filter.
+pub struct Criterion {
+    filter: Option<String>,
+    json_path: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { filter: None, json_path: std::env::var("CRITERION_JSON").ok() }
+    }
+}
+
+impl Criterion {
+    /// Builds the harness from CLI args: the first non-flag argument is a
+    /// substring filter; flags (`--bench`, `--exact`, …) are ignored.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for a in std::env::args().skip(1) {
+            if !a.starts_with('-') {
+                c.filter = Some(a);
+                break;
+            }
+        }
+        c
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into(), sample_size: 20, throughput: None }
+    }
+
+    /// Prints the trailing summary (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+
+    fn report(&self, group: &str, id: &str, throughput: Option<Throughput>, samples: &[f64]) {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let rate = throughput.map(|t| match t {
+            Throughput::Elements(e) => format!(" ({:.3e} elem/s)", e as f64 / (median * 1e-9)),
+            Throughput::Bytes(b) => format!(" ({:.3e} B/s)", b as f64 / (median * 1e-9)),
+        });
+        println!(
+            "bench {group}/{id:<40} median {:>12} mean {:>12}{}",
+            fmt_ns(median),
+            fmt_ns(mean),
+            rate.unwrap_or_default()
+        );
+        if let Some(path) = &self.json_path {
+            use std::io::Write;
+            let line = format!(
+                "{{\"group\":\"{group}\",\"id\":\"{id}\",\"median_ns\":{median:.1},\"mean_ns\":{mean:.1},\"samples\":{}}}\n",
+                sorted.len()
+            );
+            if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+                let _ = f.write_all(line.as_bytes());
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (Criterion's `sample_size`).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Declares the work done per iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, &mut |b| f(b));
+        self
+    }
+
+    /// Benchmarks a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, &mut |b| f(b, input));
+        self
+    }
+
+    /// Closes the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let full = format!("{}/{id}", self.name);
+        if let Some(filter) = &self.c.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm-up: find an iteration count that makes one sample take
+        // roughly 25 ms (bounded so huge benchmarks still terminate).
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let target = Duration::from_millis(25);
+        let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            samples.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        self.c.report(&self.name, id, self.throughput, &samples);
+    }
+}
+
+/// Declares a function running a list of benchmark functions, mirroring
+/// Criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}

@@ -1,0 +1,33 @@
+//! Minimal, dependency-free stand-in for the `crossbeam` facade crate.
+//!
+//! The workspace builds in fully offline environments (no crates.io
+//! mirror), so the external `crossbeam` cannot be fetched. This shim
+//! provides the exact subset the workspace uses — [`channel::unbounded`]
+//! MPSC channels and [`thread::scope`] scoped spawning — implemented on
+//! `std`. Swap the `[workspace.dependencies]` path entry for the real
+//! crate when a registry is available; no source change is needed.
+
+/// Multi-producer channels (subset of `crossbeam-channel`).
+///
+/// Backed by [`std::sync::mpsc`]: senders are cloneable, receivers
+/// support blocking, timed-out, and non-blocking receives — everything
+/// the SPMD runtime's one-receiver-per-link design needs.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, Sender};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+/// Scoped threads (subset of `crossbeam-utils`' `thread` module).
+///
+/// `std::thread::scope` (stable since Rust 1.63) provides the same
+/// borrow-the-stack guarantee; the shim re-exports it. Note the one API
+/// difference from crossbeam: `Scope::spawn` takes a zero-argument
+/// closure (std style) rather than a `&Scope` argument.
+pub mod thread {
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
+}

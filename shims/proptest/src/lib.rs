@@ -1,0 +1,385 @@
+//! Minimal, dependency-free stand-in for `proptest`.
+//!
+//! The workspace builds offline (no crates.io mirror), so the real
+//! `proptest` cannot be fetched. This shim implements the subset of the
+//! API the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! * [`Strategy`] with `prop_map`, implemented for integer ranges
+//!   (`a..b`, `a..=b`), tuples of strategies, [`Just`], and the
+//!   `any::<T>()` / `prop::bool::ANY` full-range strategies,
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_assume!`].
+//!
+//! Inputs are drawn from a SplitMix64 generator seeded from the test's
+//! name, so runs are deterministic; there is no shrinking — a failure
+//! reports the case number and, where `Debug` allows, the offending
+//! message. Swap the `[workspace.dependencies]` path entry for the real
+//! crate when a registry is available.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    //! Runner configuration and plumbing used by the generated tests.
+
+    /// Subset of proptest's `Config`: only the case count.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of successful cases required per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 96 }
+        }
+    }
+
+    /// Why a generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is not counted.
+        Reject,
+        /// A `prop_assert*` failed.
+        Fail(String),
+    }
+
+    /// Deterministic SplitMix64 generator.
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seeds from the test name (FNV-1a) so every test has a stable,
+        /// distinct stream.
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng(h ^ 0x9e3779b97f4a7c15)
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, span)` (`span > 0`).
+        pub fn below(&mut self, span: u64) -> u64 {
+            debug_assert!(span > 0);
+            self.next_u64() % span
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of test inputs (no shrinking in the shim).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy producing one fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+}
+
+/// Types with a canonical full-range strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// The strategy `any` returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy for the type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-range strategy for an integer type.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnyInt<T>(std::marker::PhantomData<T>);
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyInt<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyInt<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyInt(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    type Strategy = bool::Any;
+
+    fn arbitrary() -> Self::Strategy {
+        bool::Any
+    }
+}
+
+/// The canonical strategy for `T` (full range for integers and bools).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+pub mod bool {
+    //! Boolean strategies (`prop::bool::ANY`).
+
+    use super::{test_runner::TestRng, Strategy};
+
+    /// Uniform `true`/`false` strategy.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The uniform boolean strategy value.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = std::primitive::bool;
+
+        fn generate(&self, rng: &mut TestRng) -> std::primitive::bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports for property tests, mirroring
+    //! `proptest::prelude`.
+
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{any, Arbitrary, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    pub mod prop {
+        //! The `prop::` namespace (`prop::bool::ANY`, …).
+
+        pub use crate::bool;
+    }
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut passed: u32 = 0;
+            let mut rejected: u32 = 0;
+            let mut case: u32 = 0;
+            while passed < config.cases {
+                case += 1;
+                assert!(
+                    rejected < config.cases.saturating_mul(16).saturating_add(1024),
+                    "{}: too many prop_assume! rejections ({rejected})",
+                    stringify!($name),
+                );
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        { $body }
+                        ::core::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => passed += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                        rejected += 1;
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("{} failed at case {case}: {msg}", stringify!($name));
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: {} == {}\n  left: {left:?}\n right: {right:?}",
+            stringify!($left),
+            stringify!($right),
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Fails the current case unless the operands compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: {} != {}\n  both: {left:?}",
+            stringify!($left),
+            stringify!($right),
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, $($fmt)*);
+    }};
+}
+
+/// Rejects the current case (not counted toward the case budget) unless
+/// `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

@@ -26,8 +26,7 @@ fn one_to_all_sbt_exact() {
             for bm in [usize::MAX, 16, 4] {
                 let params = MachineParams::unit(PortMode::OnePort).with_max_packet(bm);
                 let mut net = SimNet::new(n, params.clone());
-                let blocks: Vec<Vec<u64>> =
-                    (0..(1u64 << n)).map(|d| vec![d; b]).collect();
+                let blocks: Vec<Vec<u64>> = (0..(1u64 << n)).map(|d| vec![d; b]).collect();
                 let _ = one_to_all_sbt(&mut net, NodeId(0), blocks);
                 let r = net.finalize();
                 let pq = (b << n) as u64;
@@ -197,11 +196,7 @@ fn section82_spt_estimate_exact() {
         let _ = transpose::transpose_spt_stepwise(&m, &after, &mut net);
         let r = net.finalize();
         let expect = model::two_dim::spt_ipsc_step_by_step(1 << (2 * p), 2 * half, &params);
-        assert!(
-            (r.time - expect).abs() < 1e-12,
-            "p={p} half={half}: {} vs {expect}",
-            r.time
-        );
+        assert!((r.time - expect).abs() < 1e-12, "p={p} half={half}: {} vs {expect}", r.time);
     }
 }
 

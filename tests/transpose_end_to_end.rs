@@ -71,10 +71,8 @@ fn all_two_dim_engines_agree() {
 /// each leg.
 #[test]
 fn double_transpose_identity_mixed_engines() {
-    let before =
-        Layout::one_dim(3, 5, Direction::Cols, 3, Assignment::Cyclic, Encoding::Binary);
-    let after =
-        Layout::one_dim(5, 3, Direction::Cols, 3, Assignment::Cyclic, Encoding::Binary);
+    let before = Layout::one_dim(3, 5, Direction::Cols, 3, Assignment::Cyclic, Encoding::Binary);
+    let after = Layout::one_dim(5, 3, Direction::Cols, 3, Assignment::Cyclic, Encoding::Binary);
     let m = DistMatrix::from_fn(before.clone(), |u, v| (u as f32) * 0.5 - (v as f32));
 
     let mut net1 = SimNet::new(3, unit(PortMode::OnePort));
@@ -93,8 +91,7 @@ fn rectangular_both_directions() {
             let after = Layout::one_dim(q, p, dir, 2, Assignment::Consecutive, Encoding::Binary);
             let m = verify::labels(before.clone());
             let mut net = SimNet::new(2, unit(PortMode::OnePort));
-            let out =
-                transpose::transpose_1d_exchange(&m, &after, &mut net, BufferPolicy::Ideal);
+            let out = transpose::transpose_1d_exchange(&m, &after, &mut net, BufferPolicy::Ideal);
             verify::assert_transposed(&before, &out);
         }
     }
@@ -191,8 +188,7 @@ fn two_all_to_alls_slower_than_mpt() {
     let before = Layout::square(6, 6, half, Assignment::Consecutive, Encoding::Binary);
     let after = before.swapped_shape();
     let m = verify::labels(before);
-    let mut net2: SimNet<Packet<u64>> =
-        SimNet::new(n, params.with_ports(PortMode::AllPorts));
+    let mut net2: SimNet<Packet<u64>> = SimNet::new(n, params.with_ports(PortMode::AllPorts));
     let _ = transpose::transpose_mpt(&m, &after, &mut net2, 2);
     let t_mpt = net2.finalize().time;
 
@@ -207,8 +203,7 @@ fn two_all_to_alls_slower_than_mpt() {
 fn relayout_cross_checks() {
     use boolcube::transpose::relayout;
     let from = Layout::one_dim(4, 4, Direction::Rows, 3, Assignment::Cyclic, Encoding::Binary);
-    let to =
-        Layout::one_dim(4, 4, Direction::Rows, 3, Assignment::Consecutive, Encoding::Binary);
+    let to = Layout::one_dim(4, 4, Direction::Rows, 3, Assignment::Consecutive, Encoding::Binary);
     let m = verify::labels(from.clone());
     let mut net = SimNet::new(3, unit(PortMode::OnePort));
     let moved = relayout(&m, &to, &mut net, BufferPolicy::Buffered { min_direct: 4 });

@@ -1,0 +1,151 @@
+//! Data-plane throughput of the `MappedMatrix` exchange-engine
+//! primitives (`crates/core/src/fieldmap.rs`), isolated from whole
+//! transpose algorithms: one iteration executes a single primitive on a
+//! pre-built matrix (construction and the simulated net's setup happen in
+//! the untimed batch setup). Tracks the gather/scatter/permute kernels
+//! independently of the schedule-executor rework measured in
+//! `simulator.rs`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use cubesim::{MachineParams, PortMode, SimNet};
+use cubetranspose::{FieldMap, MappedMatrix, SendPolicy};
+
+/// Label matrix with `n` real dimensions and `vp` virtual ones.
+fn mapped(n: u32, vp: u32) -> MappedMatrix<u64> {
+    let map = FieldMap::new((0..n).collect(), (n..n + vp).collect());
+    MappedMatrix::from_fn(map, |w| w)
+}
+
+fn unit_net(n: u32) -> SimNet<Vec<u64>> {
+    SimNet::new(n, MachineParams::unit(PortMode::OnePort).with_t_copy(0.5))
+}
+
+/// `(n, vp)` pairs: 256 nodes × 256 elems and 1024 nodes × 1024 elems.
+const SIZES: [(u32, u32); 2] = [(8, 8), (10, 10)];
+
+fn bench_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fieldmap");
+    group.sample_size(10);
+    for (n, vp) in SIZES {
+        let m = mapped(n, vp);
+        // The canonical first step of the stepwise transpose: swap the
+        // top virtual position in — the outgoing half is one contiguous
+        // run of 2^{vp-1} elements.
+        group.bench_with_input(BenchmarkId::new("exchange_rv_ideal", n), &n, |b, &n| {
+            b.iter_batched(
+                || (m.clone(), unit_net(n)),
+                |(mut mm, mut net)| {
+                    mm.exchange_real_virt(&mut net, 0, vp - 1, SendPolicy::Ideal);
+                    (mm, net.finalize())
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        if n == 8 {
+            continue;
+        }
+        // Mid-array position: 2^3 sub-rounds of 2^{vp-4}-element runs
+        // (unbuffered), or a gathered round (buffered, min_direct above
+        // the run length).
+        group.bench_with_input(BenchmarkId::new("exchange_rv_unbuffered", n), &n, |b, &n| {
+            b.iter_batched(
+                || (m.clone(), unit_net(n)),
+                |(mut mm, mut net)| {
+                    mm.exchange_real_virt(&mut net, 0, vp - 4, SendPolicy::Unbuffered);
+                    (mm, net.finalize())
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("exchange_rv_buffered", n), &n, |b, &n| {
+            b.iter_batched(
+                || (m.clone(), unit_net(n)),
+                |(mut mm, mut net)| {
+                    let policy = SendPolicy::Buffered { min_direct: 1 << (vp - 3) };
+                    mm.exchange_real_virt(&mut net, 0, vp - 4, policy);
+                    (mm, net.finalize())
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        // The full standard-exchange sweep: n steps pairing real position
+        // k with virtual position vp-1-k, run lengths 2^{vp-1} down to 1
+        // (the last steps hit the short-run element path).
+        group.bench_with_input(BenchmarkId::new("exchange_sweep_ideal", n), &n, |b, &n| {
+            b.iter_batched(
+                || (m.clone(), unit_net(n)),
+                |(mut mm, mut net)| {
+                    for k in 0..n {
+                        mm.exchange_real_virt(&mut net, k, vp - 1 - k, SendPolicy::Ideal);
+                    }
+                    (mm, net.finalize())
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_permute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fieldmap");
+    group.sample_size(10);
+    for (n, vp) in SIZES {
+        let m = mapped(n, vp);
+        // Field rotation: the local-transpose permutation of the §6.2
+        // conversion algorithms (swap the two halves of the local
+        // address).
+        let rotate: Vec<u32> = (vp / 2..vp).chain(0..vp / 2).collect();
+        group.bench_with_input(BenchmarkId::new("permute_virt", n), &n, |b, &n| {
+            b.iter_batched(
+                || (m.clone(), unit_net(n)),
+                |(mut mm, mut net)| {
+                    mm.permute_virt(&mut net, &rotate);
+                    net.finish_round();
+                    (mm, net.finalize())
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        if n == 8 {
+            continue;
+        }
+        // A scrambled (non-run-preserving) permutation: perm[j] = 7j+3
+        // mod vp (a bijection whenever gcd(7, vp) = 1).
+        let scramble: Vec<u32> = (0..vp).map(|j| (7 * j + 3) % vp).collect();
+        group.bench_with_input(BenchmarkId::new("permute_virt_scramble", n), &n, |b, &n| {
+            b.iter_batched(
+                || (m.clone(), unit_net(n)),
+                |(mut mm, mut net)| {
+                    mm.permute_virt(&mut net, &scramble);
+                    net.finish_round();
+                    (mm, net.finalize())
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_swap_real_real(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fieldmap");
+    group.sample_size(10);
+    for (n, vp) in SIZES {
+        let m = mapped(n, vp);
+        group.bench_with_input(BenchmarkId::new("swap_real_real", n), &n, |b, &n| {
+            b.iter_batched(
+                || (m.clone(), unit_net(n)),
+                |(mut mm, mut net)| {
+                    mm.swap_real_real(&mut net, 0, n - 1);
+                    (mm, net.finalize())
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exchange, bench_permute, bench_swap_real_real);
+criterion_main!(benches);

@@ -7,56 +7,14 @@
 //! parallel sweep is byte-identical to the sequential one, because each
 //! point's simulation is deterministic and the reassembly is positional.
 //!
-//! The worker count is `std::thread::available_parallelism`, overridable
+//! The implementation lives in [`cubesim::par`] so the simulator's
+//! block-move data plane and the figure sweeps share one worker pool
+//! policy; this module re-exports it under the historical name. The
+//! worker count is `std::thread::available_parallelism`, overridable
 //! with the `CUBEBENCH_THREADS` environment variable (`1` forces the
 //! sequential path; useful for timing comparisons).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Worker threads to use for experiment sweeps.
-pub fn num_threads() -> usize {
-    match std::env::var("CUBEBENCH_THREADS") {
-        Ok(v) => v.parse().unwrap_or(1).max(1),
-        Err(_) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-    }
-}
-
-/// Maps `f` over `items` on [`num_threads`] scoped threads; results come
-/// back in input order.
-pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    par_map_with(num_threads(), items, f)
-}
-
-/// [`par_map`] with an explicit worker count.
-pub fn par_map_with<T: Sync, R: Send>(
-    threads: usize,
-    items: &[T],
-    f: impl Fn(&T) -> R + Sync,
-) -> Vec<R> {
-    let threads = threads.min(items.len());
-    if threads <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let mut tagged: Vec<(usize, R)> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(i) else { break };
-                        out.push((i, f(item)));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("sweep worker panicked")).collect()
-    });
-    tagged.sort_unstable_by_key(|&(i, _)| i);
-    tagged.into_iter().map(|(_, r)| r).collect()
-}
+pub use cubesim::par::{num_threads, par_map, par_map_with, with_threads};
 
 #[cfg(test)]
 mod tests {
@@ -72,31 +30,9 @@ mod tests {
     }
 
     #[test]
-    fn handles_empty_and_single() {
-        assert_eq!(par_map_with(4, &[] as &[u32], |&x| x), Vec::<u32>::new());
-        assert_eq!(par_map_with(4, &[9u32], |&x| x + 1), vec![10]);
-    }
-
-    #[test]
-    fn uneven_work_still_ordered() {
-        // Early items sleep so later items finish first on real threads.
-        let items: Vec<u64> = (0..16).collect();
-        let out = par_map_with(4, &items, |&x| {
-            if x < 4 {
-                std::thread::sleep(std::time::Duration::from_millis(10));
-            }
-            x
-        });
-        assert_eq!(out, items);
-    }
-
-    #[test]
-    #[should_panic(expected = "sweep worker panicked")]
-    fn worker_panic_propagates() {
+    fn env_override_respected_via_with_threads() {
         let items: Vec<u64> = (0..8).collect();
-        let _ = par_map_with(2, &items, |&x| {
-            assert!(x != 5, "boom");
-            x
-        });
+        let out = with_threads(3, || par_map(&items, |&x| x + 1));
+        assert_eq!(out, (1..9).collect::<Vec<_>>());
     }
 }

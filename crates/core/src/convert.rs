@@ -86,7 +86,10 @@ fn start<T: Copy>(spec: &ConvertSpec, m: &DistMatrix<T>) -> MappedMatrix<T> {
     MappedMatrix::from_buffers(map, m.clone().into_buffers())
 }
 
-fn finish<T: Copy + Default>(spec: &ConvertSpec, mut mapped: MappedMatrix<T>) -> DistMatrix<T> {
+fn finish<T: Copy + Default + Send + Sync>(
+    spec: &ConvertSpec,
+    mut mapped: MappedMatrix<T>,
+) -> DistMatrix<T> {
     let target = fieldmap_after(&spec.spec());
     // The algorithms leave the real roles correct; align the virtual
     // interpretation for free (indirect addressing).
@@ -103,7 +106,7 @@ fn finish<T: Copy + Default>(spec: &ConvertSpec, mut mapped: MappedMatrix<T>) ->
 
 /// Swaps the data so that the real position currently encoding matrix
 /// dimension `from` encodes `to` instead (which must be virtual).
-fn bring_in<T: Copy>(
+fn bring_in<T: Copy + Send + Sync>(
     mapped: &mut MappedMatrix<T>,
     net: &mut SimNet<Vec<T>>,
     from: u32,
@@ -124,7 +127,7 @@ fn bring_in<T: Copy>(
 /// Algorithm 1: convert rows, convert columns, then transpose globally
 /// and locally (`2n` communication steps: `2·n_r` exchanges plus `n_r`
 /// distance-2 swaps).
-pub fn convert_algorithm1<T: Copy + Default>(
+pub fn convert_algorithm1<T: Copy + Default + Send + Sync>(
     spec: &ConvertSpec,
     m: &DistMatrix<T>,
     net: &mut SimNet<Vec<T>>,
@@ -158,7 +161,7 @@ pub fn convert_algorithm1<T: Copy + Default>(
 /// Algorithm 2: local transpose, `u1 ↔ v3` and `v1 ↔ u3` exchanges, local
 /// transposes again (`n` communication steps; the local transposes are
 /// charged as full-array copies).
-pub fn convert_algorithm2<T: Copy + Default>(
+pub fn convert_algorithm2<T: Copy + Default + Send + Sync>(
     spec: &ConvertSpec,
     m: &DistMatrix<T>,
     net: &mut SimNet<Vec<T>>,
@@ -192,7 +195,7 @@ pub fn convert_algorithm2<T: Copy + Default>(
 /// within row subcubes directly (`n` communication steps, no local
 /// transpose; only a local shuffle if `p > 2n_r`, folded into the final
 /// free relabel).
-pub fn convert_algorithm3<T: Copy + Default>(
+pub fn convert_algorithm3<T: Copy + Default + Send + Sync>(
     spec: &ConvertSpec,
     m: &DistMatrix<T>,
     net: &mut SimNet<Vec<T>>,

@@ -94,7 +94,7 @@ pub fn plan(before: &Layout, after: &Layout, params: &MachineParams) -> Choice {
 /// assert_eq!(choice, driver::Choice::SptStepwise); // one-port machine
 /// assert!(report.time > 0.0);
 /// ```
-pub fn execute<T: Copy + Default>(
+pub fn execute<T: Copy + Default + Send + Sync>(
     m: &DistMatrix<T>,
     after: &Layout,
     params: &MachineParams,

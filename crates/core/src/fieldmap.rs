@@ -20,10 +20,34 @@
 //! §6.2 conversion algorithms, bit-reversal and every dimension
 //! permutation — with the cost model charged exactly as the paper
 //! analyzes each.
+//!
+//! # The block-move data plane
+//!
+//! The simulated *costs* are those of the paper's model, but the
+//! simulator's own wall-clock time is dominated by how the primitives
+//! move host memory. Two structural facts keep that cheap:
+//!
+//! * the half of a node's array that an exchange moves is `2^{vp-j-1}`
+//!   *contiguous runs* of `2^j` elements, so gather and scatter are
+//!   `copy_from_slice` block moves (a per-element path survives only for
+//!   `j = 0`);
+//! * a virtual-dimension permutation is node-independent, so its
+//!   realization — a cache-aware local transpose for address rotations, a
+//!   list of block-move start offsets for run-preserving permutations, or
+//!   a full relocation table in the general case — is computed once
+//!   ([`PermPlan`]) and shared by every node.
+//!
+//! Per-node work (gathering runs into messages, scattering arrivals,
+//! applying a permutation plan) touches only that node's buffers, so it
+//! fans out across [`cubesim::par`] worker threads; all interaction with
+//! the [`SimNet`] — legality checks, cost accounting, the send/recv
+//! sequence itself — stays on one thread via the staged
+//! [`SimNet::send_batch`] / [`SimNet::drain_dim`] commit rounds, keeping
+//! reports deterministic at any thread count.
 
 use cubeaddr::NodeId;
 use cubelayout::{Encoding, Layout};
-use cubesim::{BufferPool, SimNet};
+use cubesim::{par, BufferPool, SimNet};
 
 /// Where the bits of the matrix address currently live: node address bits
 /// (`real`) and local address bits (`virt`).
@@ -167,15 +191,35 @@ pub enum SendPolicy {
 }
 
 /// A distributed data set governed by a [`FieldMap`].
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct MappedMatrix<T> {
     map: FieldMap,
     /// `data[node][local]`.
     data: Vec<Vec<T>>,
-    /// Spare message buffers recycled across exchange rounds, so repeated
-    /// exchanges (a stepwise transpose, a rearrangement plan) allocate
-    /// only on their first round.
+    /// Spare message buffers recycled across exchange rounds. The pool is
+    /// warmed (allocated *and* page-touched) at construction with one
+    /// full-size buffer per node, so even the first exchange or permute
+    /// of a schedule runs allocation- and page-fault-free.
     pool: BufferPool<T>,
+}
+
+/// One prefaulted spare buffer per node, each of full local size — the
+/// working set of a gathered exchange or a virtual permutation.
+fn warm_pool<T: Copy>(data: &[Vec<T>], per: usize) -> BufferPool<T> {
+    let mut pool = BufferPool::new();
+    pool.warm(data.len(), per, data[0][0]);
+    pool
+}
+
+impl<T: Copy> Clone for MappedMatrix<T> {
+    fn clone(&self) -> Self {
+        let per = 1usize << self.map.vp();
+        MappedMatrix {
+            map: self.map.clone(),
+            data: self.data.clone(),
+            pool: warm_pool(&self.data, per),
+        }
+    }
 }
 
 impl<T: Copy + Default> MappedMatrix<T> {
@@ -188,7 +232,8 @@ impl<T: Copy + Default> MappedMatrix<T> {
             let (node, local) = map.place(w);
             data[node.index()][local as usize] = f(w);
         }
-        MappedMatrix { map, data, pool: BufferPool::new() }
+        let pool = warm_pool(&data, per);
+        MappedMatrix { map, data, pool }
     }
 }
 
@@ -204,7 +249,8 @@ impl<T: Copy> MappedMatrix<T> {
         for d in &data {
             assert_eq!(d.len(), 1usize << map.vp());
         }
-        MappedMatrix { map, data, pool: BufferPool::new() }
+        let pool = warm_pool(&data, 1usize << map.vp());
+        MappedMatrix { map, data, pool }
     }
 
     /// Consumes into per-node buffers (node order).
@@ -227,7 +273,9 @@ impl<T: Copy> MappedMatrix<T> {
     pub fn node(&self, x: NodeId) -> &[T] {
         &self.data[x.index()]
     }
+}
 
+impl<T: Copy + Send + Sync> MappedMatrix<T> {
     /// Swaps real dimension position `i` with virtual position `j`,
     /// moving half of every node's data across cube dimension `i` — one
     /// step of the general exchange algorithm (distance-1 communication,
@@ -248,13 +296,10 @@ impl<T: Copy> MappedMatrix<T> {
         let run = 1usize << j;
         let num = self.data.len();
 
-        // The vacated local indices of node x: local bit j = ¬(node bit i),
-        // ascending. These are both the send positions and the positions
-        // the incoming elements land in. Iterated, never materialized.
-        let out_indices = move |x: u64| {
-            let want = (((x >> i) & 1) ^ 1) as usize;
-            (0..per).filter(move |l| (l >> j) & 1 == want)
-        };
+        // The vacated half of node x's array: the runs whose local bit j
+        // is ¬(node bit i). These are both the send positions and the
+        // positions the incoming elements land in.
+        let want_of = move |x: usize| (((x as u64 >> i) & 1) ^ 1) as usize;
 
         let gathered = match policy {
             SendPolicy::Ideal => true,
@@ -271,39 +316,72 @@ impl<T: Copy> MappedMatrix<T> {
                     net.local_copy(NodeId(x), per / 2);
                 }
             }
-            for x in 0..num as u64 {
-                let mut msg = self.pool.take();
-                msg.extend(out_indices(x).map(|l| self.data[x as usize][l]));
-                net.send(NodeId(x), i, msg);
-            }
+            // Stage outgoing messages in parallel (no net access), then
+            // commit the whole round serially.
+            let mut msgs: Vec<Vec<T>> = (0..num).map(|_| self.pool.take()).collect();
+            let data = &self.data;
+            par::par_for_each_mut(&mut msgs, |x, msg| gather_half(&data[x], run, want_of(x), msg));
+            net.send_batch(i, msgs.into_iter().enumerate().map(|(x, m)| (NodeId(x as u64), m)));
             net.finish_round();
-            for x in 0..num as u64 {
-                let incoming = net.recv(NodeId(x), i);
-                debug_assert_eq!(incoming.len(), per / 2);
-                for (l, &v) in out_indices(x).zip(&incoming) {
-                    self.data[x as usize][l] = v;
-                }
-                self.pool.put(incoming);
+            let mut incoming: Vec<(NodeId, Vec<T>)> = Vec::with_capacity(num);
+            net.drain_dim(i, &mut incoming);
+            debug_assert_eq!(incoming.len(), num);
+            let arrived = &incoming;
+            par::par_for_each_mut(&mut self.data, |x, slot| {
+                let (dst, msg) = &arrived[x];
+                debug_assert_eq!(dst.index(), x);
+                debug_assert_eq!(msg.len(), per / 2);
+                scatter_half(slot, run, want_of(x), msg);
+            });
+            for (_, buf) in incoming {
+                self.pool.put(buf);
             }
         } else {
-            // One synchronized sub-round per run.
+            // One synchronized sub-round per run. All sub-rounds' messages
+            // are staged in one parallel pass up front, committed serially
+            // round by round, and the arrivals scattered in one parallel
+            // pass at the end (arrival order is immaterial: sub-round r
+            // always carries run r).
             let runs_per_node = per / (run * 2);
-            for r in 0..runs_per_node {
-                for x in 0..num as u64 {
-                    let mut msg = self.pool.take();
-                    msg.extend(
-                        out_indices(x).skip(r * run).take(run).map(|l| self.data[x as usize][l]),
-                    );
-                    net.send(NodeId(x), i, msg);
+            let mut staged: Vec<Vec<Vec<T>>> =
+                (0..num).map(|_| (0..runs_per_node).map(|_| self.pool.take()).collect()).collect();
+            let data = &self.data;
+            par::par_for_each_mut(&mut staged, |x, msgs| {
+                let want = want_of(x);
+                for (r, msg) in msgs.iter_mut().enumerate() {
+                    let s = r * run * 2 + want * run;
+                    msg.extend_from_slice(&data[x][s..s + run]);
                 }
+            });
+            let mut landed: Vec<Vec<Vec<T>>> =
+                (0..num).map(|_| Vec::with_capacity(runs_per_node)).collect();
+            let mut arrivals: Vec<(NodeId, Vec<T>)> = Vec::with_capacity(num);
+            for r in 0..runs_per_node {
+                net.send_batch(
+                    i,
+                    staged
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(x, msgs)| (NodeId(x as u64), std::mem::take(&mut msgs[r]))),
+                );
                 net.finish_round();
-                for x in 0..num as u64 {
-                    let incoming = net.recv(NodeId(x), i);
-                    debug_assert_eq!(incoming.len(), run);
-                    for (l, &v) in out_indices(x).skip(r * run).take(run).zip(&incoming) {
-                        self.data[x as usize][l] = v;
-                    }
-                    self.pool.put(incoming);
+                net.drain_dim(i, &mut arrivals);
+                debug_assert_eq!(arrivals.len(), num);
+                for (dst, msg) in arrivals.drain(..) {
+                    landed[dst.index()].push(msg);
+                }
+            }
+            let arrived = &landed;
+            par::par_for_each_mut(&mut self.data, |x, slot| {
+                let want = want_of(x);
+                for (r, msg) in arrived[x].iter().enumerate() {
+                    let s = r * run * 2 + want * run;
+                    slot[s..s + run].copy_from_slice(msg);
+                }
+            });
+            for msgs in landed {
+                for m in msgs {
+                    self.pool.put(m);
                 }
             }
         }
@@ -382,6 +460,11 @@ impl<T: Copy> MappedMatrix<T> {
 
     /// Shared implementation: permutes map and data; returns true when the
     /// permutation was not the identity.
+    ///
+    /// The permutation's realization is node-independent, so one
+    /// [`PermPlan`] — a local-transpose call, a block-move schedule, or a
+    /// relocation table — is computed once and applied to every node's
+    /// array in parallel, writing into pool-recycled buffers.
     #[track_caller]
     fn apply_virt_perm(&mut self, perm: &[u32]) -> bool {
         let vp = self.map.vp();
@@ -390,24 +473,19 @@ impl<T: Copy> MappedMatrix<T> {
         if perm.iter().enumerate().all(|(j, &p)| j as u32 == p) {
             return false;
         }
-        // new_local has bit j = old_local bit perm[j]... inverted: the
-        // element at old local l moves to the new local whose bit jn is
-        // l's bit perm[jn].
-        let relocate = |old_local: usize| -> usize {
-            let mut l = 0usize;
-            for (jn, &jo) in perm.iter().enumerate() {
-                l |= ((old_local >> jo) & 1) << jn;
-            }
-            l
-        };
-        for x in 0..self.data.len() {
-            let old = std::mem::take(&mut self.data[x]);
-            let mut new = Vec::with_capacity(per);
-            new.resize(per, old[0]);
-            for (l_old, v) in old.into_iter().enumerate() {
-                new[relocate(l_old)] = v;
-            }
-            self.data[x] = new;
+        let plan = PermPlan::build(perm);
+        let mut work: Vec<(Vec<T>, Vec<T>)> = self
+            .data
+            .iter_mut()
+            .map(|d| {
+                debug_assert_eq!(d.len(), per);
+                (std::mem::take(d), self.pool.take())
+            })
+            .collect();
+        par::par_for_each_mut(&mut work, |_, (old, fresh)| plan.apply(old, fresh));
+        for (x, (old, fresh)) in work.into_iter().enumerate() {
+            self.data[x] = fresh;
+            self.pool.put(old);
         }
         let old_virt = self.map.virt.clone();
         for (jn, &jo) in perm.iter().enumerate() {
@@ -457,6 +535,120 @@ impl<T: Copy> MappedMatrix<T> {
         self.permute_virt(net, &perm);
         debug_assert_eq!(&self.map, target);
         steps
+    }
+}
+
+/// Start offsets of the `run`-element runs whose local bit `log2(run)`
+/// equals `want` — the outgoing (and incoming) half of a node's array in
+/// an exchange.
+fn run_starts(per: usize, run: usize, want: usize) -> impl Iterator<Item = usize> {
+    let stride = run * 2;
+    (0..per / stride).map(move |b| b * stride + want * run)
+}
+
+/// Appends to `out` the half of `data` selected by (`run`, `want`) as
+/// block moves; single-element fallback for `run == 1`.
+fn gather_half<T: Copy>(data: &[T], run: usize, want: usize, out: &mut Vec<T>) {
+    if run == 1 {
+        out.extend(data.iter().skip(want).step_by(2).copied());
+    } else {
+        out.reserve(data.len() / 2);
+        for s in run_starts(data.len(), run, want) {
+            out.extend_from_slice(&data[s..s + run]);
+        }
+    }
+}
+
+/// Writes `incoming` back into the half of `data` selected by (`run`,
+/// `want`): the inverse of [`gather_half`].
+fn scatter_half<T: Copy>(data: &mut [T], run: usize, want: usize, incoming: &[T]) {
+    if run == 1 {
+        for (slot, &v) in data.iter_mut().skip(want).step_by(2).zip(incoming) {
+            *slot = v;
+        }
+    } else {
+        for (s, chunk) in run_starts(data.len(), run, want).zip(incoming.chunks_exact(run)) {
+            data[s..s + run].copy_from_slice(chunk);
+        }
+    }
+}
+
+/// Precomputed, node-independent realization of a virtual-dimension
+/// permutation, shared by every node in `apply_virt_perm`.
+enum PermPlan {
+    /// The permutation rotates the local address by `a` positions
+    /// (`perm[j] = (j + a) mod vp`): equivalent to transposing the local
+    /// array viewed as a row-major `rows × cols` matrix, dispatched to the
+    /// cache-aware tiled kernel.
+    Transpose {
+        /// `2^{vp-a}` rows of the equivalent local matrix.
+        rows: usize,
+        /// `2^a` columns.
+        cols: usize,
+    },
+    /// The permutation fixes the low `log2(run)` local bits: the new
+    /// array is a sequence of `run`-element block moves reading these old
+    /// start offsets in order.
+    Runs {
+        /// Old-array start offset of each block, in new-array order.
+        starts: Vec<u32>,
+        /// Block length in elements.
+        run: usize,
+    },
+    /// General case: `new[l] = old[table[l]]`, one shared relocation
+    /// table.
+    Gather {
+        /// Old-array index read for each new-array index.
+        table: Vec<u32>,
+    },
+}
+
+impl PermPlan {
+    /// Classifies `perm` (not the identity) into the cheapest realization.
+    fn build(perm: &[u32]) -> PermPlan {
+        let vp = perm.len() as u32;
+        let per = 1usize << vp;
+        // The element at old local l lands at the new local whose bit jn
+        // is l's bit perm[jn]; inverted, new index l reads old index
+        // gather(l) with bit perm[jn] = l's bit jn.
+        let gather = |l: usize| -> usize {
+            let mut g = 0usize;
+            for (jn, &jo) in perm.iter().enumerate() {
+                g |= ((l >> jn) & 1) << jo;
+            }
+            g
+        };
+        if let Some(a) =
+            (1..vp).find(|&a| perm.iter().enumerate().all(|(jn, &jo)| jo == (jn as u32 + a) % vp))
+        {
+            return PermPlan::Transpose { rows: 1usize << (vp - a), cols: 1usize << a };
+        }
+        let fixed = perm.iter().enumerate().take_while(|&(jn, &jo)| jn as u32 == jo).count();
+        let run = 1usize << fixed;
+        if run > 1 {
+            let starts = (0..per / run).map(|b| gather(b * run) as u32).collect();
+            return PermPlan::Runs { starts, run };
+        }
+        PermPlan::Gather { table: (0..per).map(|l| gather(l) as u32).collect() }
+    }
+
+    /// Fills `fresh` with the permutation of `old`.
+    fn apply<T: Copy>(&self, old: &[T], fresh: &mut Vec<T>) {
+        fresh.clear();
+        match self {
+            PermPlan::Transpose { rows, cols } => {
+                crate::local::transpose_flat_blocked_into(old, *rows, *cols, 64, fresh);
+            }
+            PermPlan::Runs { starts, run } => {
+                fresh.reserve(old.len());
+                for &s in starts {
+                    fresh.extend_from_slice(&old[s as usize..s as usize + run]);
+                }
+            }
+            PermPlan::Gather { table } => {
+                fresh.extend(table.iter().map(|&g| old[g as usize]));
+            }
+        }
     }
 }
 

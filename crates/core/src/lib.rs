@@ -38,6 +38,8 @@ pub mod gray;
 pub mod local;
 pub mod one_dim;
 pub mod permute;
+#[doc(hidden)]
+pub mod reference;
 pub mod relayout;
 pub mod spmd;
 pub mod two_dim;

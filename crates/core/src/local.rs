@@ -91,35 +91,37 @@ impl<T: Copy> Dense<T> {
     /// Cache-blocked out-of-place transpose with `tile × tile` tiles.
     #[track_caller]
     pub fn transpose_blocked(&self, tile: usize) -> Dense<T> {
-        assert!(tile > 0);
-        // Placeholder contents; every position is overwritten below.
-        let mut out = Dense { rows: self.cols, cols: self.rows, data: self.data.clone() };
-        for rb in (0..self.rows).step_by(tile) {
-            for cb in (0..self.cols).step_by(tile) {
-                for r in rb..(rb + tile).min(self.rows) {
-                    for c in cb..(cb + tile).min(self.cols) {
-                        out.set(c, r, self.get(r, c));
-                    }
-                }
-            }
-        }
-        out
+        let mut data = Vec::new();
+        transpose_flat_blocked_into(&self.data, self.rows, self.cols, tile, &mut data);
+        Dense { rows: self.cols, cols: self.rows, data }
     }
 
     /// Cache-oblivious recursive transpose (split the longer axis until
     /// the tile fits `base` elements on a side).
     pub fn transpose_cache_oblivious(&self, base: usize) -> Dense<T> {
-        let mut out = Dense { rows: self.cols, cols: self.rows, data: self.data.clone() };
-        self.co_rec(&mut out, 0, self.rows, 0, self.cols, base.max(1));
-        out
+        let mut data = Vec::with_capacity(self.data.len());
+        self.co_rec(data.spare_capacity_mut(), 0, self.rows, 0, self.cols, base.max(1));
+        // SAFETY: co_rec's recursion partitions the (row, col) index space
+        // exactly, so every one of the `rows·cols` destination slots has
+        // been written.
+        unsafe { data.set_len(self.data.len()) };
+        Dense { rows: self.cols, cols: self.rows, data }
     }
 
-    fn co_rec(&self, out: &mut Dense<T>, r0: usize, r1: usize, c0: usize, c1: usize, base: usize) {
+    fn co_rec(
+        &self,
+        out: &mut [std::mem::MaybeUninit<T>],
+        r0: usize,
+        r1: usize,
+        c0: usize,
+        c1: usize,
+        base: usize,
+    ) {
         let (dr, dc) = (r1 - r0, c1 - c0);
         if dr <= base && dc <= base {
             for r in r0..r1 {
                 for c in c0..c1 {
-                    out.set(c, r, self.get(r, c));
+                    out[c * self.rows + r].write(self.get(r, c));
                 }
             }
         } else if dr >= dc {
@@ -160,6 +162,39 @@ pub fn transpose_flat<T: Copy>(data: &[T], rows: usize, cols: usize) -> Vec<T> {
         }
     }
     out
+}
+
+/// Tiled transpose of a flat row-major `rows × cols` buffer into `out`
+/// (cleared first, capacity reused): `out[c·rows + r] = src[r·cols + c]`.
+///
+/// The destination is written tile by tile — non-sequentially — so the
+/// buffer is grown through `spare_capacity_mut` rather than paying a
+/// throwaway fill (or clone) of `rows·cols` elements up front.
+#[track_caller]
+pub fn transpose_flat_blocked_into<T: Copy>(
+    src: &[T],
+    rows: usize,
+    cols: usize,
+    tile: usize,
+    out: &mut Vec<T>,
+) {
+    assert_eq!(src.len(), rows * cols);
+    assert!(tile > 0);
+    out.clear();
+    out.reserve(src.len());
+    let spare = &mut out.spare_capacity_mut()[..src.len()];
+    for rb in (0..rows).step_by(tile) {
+        for cb in (0..cols).step_by(tile) {
+            for r in rb..(rb + tile).min(rows) {
+                for c in cb..(cb + tile).min(cols) {
+                    spare[c * rows + r].write(src[r * cols + c]);
+                }
+            }
+        }
+    }
+    // SAFETY: the tiled loops visit every (r, c) pair exactly once, so
+    // all `src.len()` slots of `spare` have been written.
+    unsafe { out.set_len(src.len()) };
 }
 
 #[cfg(test)]
@@ -211,6 +246,27 @@ mod tests {
     fn flat_helper() {
         let data: Vec<u64> = (0..6).collect(); // 2×3: [0 1 2; 3 4 5]
         assert_eq!(transpose_flat(&data, 2, 3), vec![0, 3, 1, 4, 2, 5]);
+    }
+
+    #[test]
+    fn flat_blocked_matches_naive() {
+        let mut out = Vec::new();
+        for (rows, cols) in [(1, 1), (4, 4), (8, 2), (3, 7), (16, 16), (5, 32)] {
+            let data: Vec<u64> = (0..(rows * cols) as u64).collect();
+            for tile in [1, 3, 64] {
+                transpose_flat_blocked_into(&data, rows, cols, tile, &mut out);
+                assert_eq!(out, transpose_flat(&data, rows, cols), "{rows}×{cols} tile {tile}");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_blocked_recycles_and_handles_empty() {
+        let mut out = vec![99u64; 3]; // stale contents must be discarded
+        transpose_flat_blocked_into(&[1u64, 2], 1, 2, 4, &mut out);
+        assert_eq!(out, vec![1, 2]);
+        transpose_flat_blocked_into(&[], 0, 0, 4, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -91,7 +91,7 @@ pub fn assemble<T: Copy + Default>(
 /// verify::assert_transposed(&before, &out);
 /// assert_eq!(net.finalize().rounds, 2); // n exchange steps
 /// ```
-pub fn transpose_1d_exchange<T: Copy + Default>(
+pub fn transpose_1d_exchange<T: Copy + Default + Send + Sync>(
     m: &DistMatrix<T>,
     after: &Layout,
     net: &mut SimNet<BlockMsg<Routed<T>>>,
@@ -125,7 +125,7 @@ pub fn transpose_1d_exchange<T: Copy + Default>(
 
 /// Transposes `m` into layout `after` with n-port SBnT routing (§5's
 /// n-port algorithm, optimum within a factor of 2).
-pub fn transpose_1d_sbnt<T: Copy + Default>(
+pub fn transpose_1d_sbnt<T: Copy + Default + Send + Sync>(
     m: &DistMatrix<T>,
     after: &Layout,
     net: &mut SimNet<BlockMsg<Routed<T>>>,
@@ -163,7 +163,7 @@ pub fn fieldmap_after(spec: &TransposeSpec) -> FieldMap {
 ///
 /// Falls back to the greedy general-exchange plan when the spec also
 /// requires real/real swaps (`I ≠ ∅` cases).
-pub fn transpose_stepwise<T: Copy + Default>(
+pub fn transpose_stepwise<T: Copy + Default + Send + Sync>(
     m: &DistMatrix<T>,
     after: &Layout,
     net: &mut SimNet<Vec<T>>,

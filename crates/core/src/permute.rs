@@ -102,7 +102,7 @@ fn swap_pairs_sequence<T: Clone>(
 /// Message lengths should be multiples of `N` for perfectly equal pieces
 /// (smaller messages still work, with ragged pieces).
 #[track_caller]
-pub fn arbitrary_permutation<T: Clone>(
+pub fn arbitrary_permutation<T: Clone + Send + Sync>(
     net: &mut SimNet<BlockMsg<(u64, T)>>,
     data: Vec<Vec<T>>,
     perm: &[NodeId],

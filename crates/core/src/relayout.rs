@@ -23,7 +23,7 @@ use cubesim::SimNet;
 /// # Panics
 /// If the shapes differ, or on routing violations.
 #[track_caller]
-pub fn relayout<T: Copy + Default>(
+pub fn relayout<T: Copy + Default + Send + Sync>(
     m: &DistMatrix<T>,
     to: &Layout,
     net: &mut SimNet<BlockMsg<Routed<T>>>,

@@ -129,40 +129,40 @@ fn run_flights<T: Clone>(
         pos: usize,
         packet: Packet<T>,
     }
+    // Stable sort by injection cycle, then drain through a cursor: the
+    // launch scan is one pass over the schedule instead of re-partitioning
+    // (and reallocating) the whole waiting list every cycle.
     let mut waiting = flights;
+    waiting.sort_by_key(|f| f.inject);
+    let mut waiting = waiting.into_iter().peekable();
     let mut live: Vec<Live<T>> = Vec::new();
     let mut cycle = 0usize;
-    while !waiting.is_empty() || !live.is_empty() {
+    while waiting.peek().is_some() || !live.is_empty() {
         // Launch this cycle's injections.
-        let (launch, rest): (Vec<_>, Vec<_>) = waiting.into_iter().partition(|f| f.inject <= cycle);
-        waiting = rest;
-        for f in launch {
+        while let Some(f) = waiting.next_if(|f| f.inject <= cycle) {
             debug_assert_eq!(f.inject, cycle, "missed injection cycle");
             live.push(Live { at: f.src, path: f.path, pos: 0, packet: f.packet });
         }
-        // Every live packet advances one hop.
-        for l in &live {
-            net.send(
-                l.at,
-                l.path[l.pos],
-                Packet { offset: l.packet.offset, data: l.packet.data.clone() },
-            );
+        // Every live packet advances one hop: the payload itself moves
+        // (no per-hop clone) and is reclaimed from the inbox below.
+        for l in &mut live {
+            let pkt = std::mem::replace(&mut l.packet, Packet { offset: 0, data: Vec::new() });
+            net.send(l.at, l.path[l.pos], pkt);
         }
         net.finish_round();
-        let mut still = Vec::with_capacity(live.len());
-        for mut l in live {
+        live.retain_mut(|l| {
             let dim = l.path[l.pos];
             let next = l.at.neighbor(dim);
             l.packet = net.recv(next, dim);
             l.at = next;
             l.pos += 1;
             if l.pos == l.path.len() {
-                deliveries[l.at.index()].push(l.packet);
-            } else {
-                still.push(l);
+                let pkt = std::mem::replace(&mut l.packet, Packet { offset: 0, data: Vec::new() });
+                deliveries[l.at.index()].push(pkt);
+                return false;
             }
-        }
-        live = still;
+            true
+        });
         cycle += 1;
     }
     deliveries
@@ -221,58 +221,52 @@ fn check_pairwise(spec: &TransposeSpec) -> u32 {
 
 /// Rebuilds the output matrix: node `tr(x)` received `x`'s entire local
 /// array (as offset-tagged packets); the local 2D array is then
-/// transposed in place (the local step of §6.1), which is exactly
-/// `after`'s storage order.
-fn rebuild<T: Copy + Default>(
+/// transposed (the local step of §6.1), which is exactly `after`'s
+/// storage order.
+///
+/// Each destination's work — sorting its packets by offset, block-copying
+/// them into the source array they tile exactly, and the tiled local
+/// transpose — is independent, so destinations are processed in parallel.
+fn rebuild<T: Copy + Default + Send + Sync>(
     spec: &TransposeSpec,
     m: &DistMatrix<T>,
-    mut deliveries: Vec<Vec<Packet<T>>>,
+    deliveries: Vec<Vec<Packet<T>>>,
     half: u32,
 ) -> DistMatrix<T> {
     let before = &spec.before;
-    let after = &spec.after;
     let per = before.elems_per_node();
-    let mut out = DistMatrix::<T>::zeroed(after.clone());
-    for x in 0..before.num_nodes() as u64 {
-        let dst = NodeId(tr(x, half));
-        // Reassemble the source array at the destination.
-        let mut arr: Vec<Option<T>> = vec![None; per];
-        if dst == NodeId(x) {
-            for (i, v) in m.node(NodeId(x)).iter().enumerate() {
-                arr[i] = Some(*v);
-            }
+    let (rows, cols) = (before.local_rows(), before.local_cols());
+    let mut slots: Vec<(Vec<Packet<T>>, Vec<T>)> =
+        deliveries.into_iter().map(|pkts| (pkts, Vec::new())).collect();
+    cubesim::par::par_for_each_mut(&mut slots, |dst, (pkts, out)| {
+        // Each destination receives from exactly one source, tr(dst).
+        let src = tr(dst as u64, half);
+        let arr: Vec<T> = if src == dst as u64 {
+            // Diagonal node (H = 0): its own array, nothing arrived.
+            debug_assert!(pkts.is_empty());
+            m.node(NodeId(src)).to_vec()
         } else {
-            for pkt in deliveries[dst.index()].extract_if(.., |p| {
-                // Packets from x are identified by reassembling all
-                // arrivals; each destination receives from exactly
-                // one source, so everything here is from x.
-                let _ = p;
-                true
-            }) {
-                for (i, v) in pkt.data.into_iter().enumerate() {
-                    let slot = pkt.offset + i;
-                    assert!(arr[slot].is_none(), "overlapping packets at {slot}");
-                    arr[slot] = Some(v);
-                }
+            let mut gathered = vec![T::default(); per];
+            pkts.sort_unstable_by_key(|p| p.offset);
+            let mut covered = 0usize;
+            for pkt in pkts.iter() {
+                assert_eq!(pkt.offset, covered, "node {dst}: packet gap or overlap at {covered}");
+                gathered[covered..covered + pkt.data.len()].copy_from_slice(&pkt.data);
+                covered += pkt.data.len();
             }
-        }
-        let arr: Vec<T> = arr
-            .into_iter()
-            .enumerate()
-            .map(|(i, v)| v.unwrap_or_else(|| panic!("node {dst} missing element {i} from {x}")))
-            .collect();
-        // Local transpose: the source array is (local_rows × local_cols);
-        // the destination stores it column-major = its own row-major.
-        let t = crate::local::transpose_flat(&arr, before.local_rows(), before.local_cols());
-        out.node_mut(dst).copy_from_slice(&t);
-    }
-    out
+            assert_eq!(covered, per, "node {dst} missing elements from {src}");
+            gathered
+        };
+        crate::local::transpose_flat_blocked_into(&arr, rows, cols, 64, out);
+    });
+    let buffers: Vec<Vec<T>> = slots.into_iter().map(|(_, out)| out).collect();
+    DistMatrix::from_buffers(spec.after.clone(), buffers)
 }
 
 /// Single Path Transpose (§6.1.1): pipelined packets of size `b` along
 /// one edge-disjoint path per node. Total routing steps
 /// `⌈(PQ/N)/b⌉ + n - 1`.
-pub fn transpose_spt<T: Copy + Default>(
+pub fn transpose_spt<T: Copy + Default + Send + Sync>(
     m: &DistMatrix<T>,
     after: &Layout,
     net: &mut SimNet<Packet<T>>,
@@ -297,7 +291,7 @@ pub fn transpose_spt<T: Copy + Default>(
 /// The iPSC step-by-step SPT (§8.2.1): the whole local array as a single
 /// message per routing step (fragmented into `B_m` packets by the cost
 /// model), plus the two local rearrangement copies.
-pub fn transpose_spt_stepwise<T: Copy + Default>(
+pub fn transpose_spt_stepwise<T: Copy + Default + Send + Sync>(
     m: &DistMatrix<T>,
     after: &Layout,
     net: &mut SimNet<Packet<T>>,
@@ -318,7 +312,7 @@ pub fn transpose_spt_stepwise<T: Copy + Default>(
 
 /// Dual Paths Transpose (§6.1.2): the data split in two halves pipelined
 /// over the SPT path and its pair-reversed mirror.
-pub fn transpose_dpt<T: Copy + Default>(
+pub fn transpose_dpt<T: Copy + Default + Send + Sync>(
     m: &DistMatrix<T>,
     after: &Layout,
     net: &mut SimNet<Packet<T>>,
@@ -365,7 +359,7 @@ pub fn transpose_dpt<T: Copy + Default>(
 /// verify::assert_transposed(&before, &out);
 /// assert_eq!(net.finalize().rounds, 5); // 2·k·(n/2) + 1
 /// ```
-pub fn transpose_mpt<T: Copy + Default>(
+pub fn transpose_mpt<T: Copy + Default + Send + Sync>(
     m: &DistMatrix<T>,
     after: &Layout,
     net: &mut SimNet<Packet<T>>,

@@ -1,0 +1,175 @@
+//! Property test: the block-move `MappedMatrix` data plane is
+//! observationally equivalent to the element-path reference
+//! implementation it replaced.
+//!
+//! Random legal schedules of the exchange-engine primitives run through
+//! both implementations and must produce identical payloads at every
+//! node, identical role maps, and identical [`CommReport`]s — and the
+//! block-move implementation must produce that same result at every
+//! worker-thread count (the staging/commit split keeps all `SimNet`
+//! interaction serial, so parallelism must be invisible).
+
+use cubesim::{par, CommReport, MachineParams, PortMode, SimNet};
+use cubetranspose::reference::ref_twin;
+use cubetranspose::{FieldMap, MappedMatrix, SendPolicy};
+use proptest::prelude::*;
+
+/// SplitMix64 so schedules are a pure function of the seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, span: u64) -> u64 {
+        self.next() % span
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Exchange { i: u32, j: u32, policy: SendPolicy },
+    Swap { i1: u32, i2: u32 },
+    Permute { perm: Vec<u32> },
+    Relabel { perm: Vec<u32> },
+}
+
+fn random_perm(rng: &mut Rng, vp: u32) -> Vec<u32> {
+    let mut p: Vec<u32> = (0..vp).collect();
+    for k in (1..p.len()).rev() {
+        let j = rng.below(k as u64 + 1) as usize;
+        p.swap(k, j);
+    }
+    p
+}
+
+fn random_policy(rng: &mut Rng, vp: u32) -> SendPolicy {
+    match rng.below(3) {
+        0 => SendPolicy::Ideal,
+        1 => SendPolicy::Unbuffered,
+        _ => SendPolicy::Buffered { min_direct: 1 << rng.below(vp as u64 + 1) },
+    }
+}
+
+fn random_ops(rng: &mut Rng, n: u32, vp: u32, count: usize) -> Vec<Op> {
+    (0..count)
+        .map(|_| match rng.below(4) {
+            0 if n >= 2 => {
+                let i1 = rng.below(n as u64) as u32;
+                let i2 = (i1 + 1 + rng.below(n as u64 - 1) as u32) % n;
+                Op::Swap { i1, i2 }
+            }
+            1 => Op::Permute { perm: random_perm(rng, vp) },
+            2 => Op::Relabel { perm: random_perm(rng, vp) },
+            _ => Op::Exchange {
+                i: rng.below(n as u64) as u32,
+                j: rng.below(vp as u64) as u32,
+                policy: random_policy(rng, vp),
+            },
+        })
+        .collect()
+}
+
+/// A random role assignment of `n + vp` matrix dimensions.
+fn random_map(rng: &mut Rng, n: u32, vp: u32) -> FieldMap {
+    let mut dims: Vec<u32> = (0..n + vp).collect();
+    for k in (1..dims.len()).rev() {
+        let j = rng.below(k as u64 + 1) as usize;
+        dims.swap(k, j);
+    }
+    let virt = dims.split_off(n as usize);
+    FieldMap::new(dims, virt)
+}
+
+fn unit_net(n: u32) -> SimNet<Vec<u64>> {
+    SimNet::new(n, MachineParams::unit(PortMode::OnePort).with_t_copy(0.5))
+}
+
+type Outcome = (Vec<Vec<u64>>, FieldMap, CommReport);
+
+fn run_block(map: FieldMap, ops: &[Op]) -> Outcome {
+    let mut m = MappedMatrix::<u64>::from_fn(map, |w| w);
+    let mut net = unit_net(m.map().n());
+    for op in ops {
+        match op {
+            Op::Exchange { i, j, policy } => m.exchange_real_virt(&mut net, *i, *j, *policy),
+            Op::Swap { i1, i2 } => m.swap_real_real(&mut net, *i1, *i2),
+            Op::Permute { perm } => m.permute_virt(&mut net, perm),
+            Op::Relabel { perm } => m.relabel_virt(perm),
+        }
+    }
+    net.finish_round(); // flush a trailing permute's copy charge
+    let map = m.map().clone();
+    (m.into_buffers(), map, net.finalize())
+}
+
+fn run_reference(map: FieldMap, ops: &[Op]) -> Outcome {
+    let mut m = ref_twin(&MappedMatrix::<u64>::from_fn(map, |w| w));
+    let mut net = unit_net(m.map().n());
+    for op in ops {
+        match op {
+            Op::Exchange { i, j, policy } => m.exchange_real_virt(&mut net, *i, *j, *policy),
+            Op::Swap { i1, i2 } => m.swap_real_real(&mut net, *i1, *i2),
+            Op::Permute { perm } => m.permute_virt(&mut net, perm),
+            Op::Relabel { perm } => m.relabel_virt(perm),
+        }
+    }
+    net.finish_round();
+    let map = m.map().clone();
+    (m.into_buffers(), map, net.finalize())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn block_move_data_plane_matches_reference(seed in any::<u64>()) {
+        let mut rng = Rng(seed);
+        let n = 1 + rng.below(3) as u32;
+        let vp = 1 + rng.below(5) as u32;
+        let map = random_map(&mut rng, n, vp);
+        let count = 1 + rng.below(6) as usize;
+        let ops = random_ops(&mut rng, n, vp, count);
+        let expect = run_reference(map.clone(), &ops);
+        for threads in [1usize, 2, 5] {
+            let got = par::with_threads(threads, || run_block(map.clone(), &ops));
+            prop_assert_eq!(&expect.0, &got.0, "payloads diverge at {} threads", threads);
+            prop_assert_eq!(&expect.1, &got.1, "role maps diverge at {} threads", threads);
+            prop_assert_eq!(&expect.2, &got.2, "reports diverge at {} threads", threads);
+        }
+    }
+
+    #[test]
+    fn rearrange_to_matches_reference(seed in any::<u64>()) {
+        let mut rng = Rng(seed);
+        let n = 1 + rng.below(3) as u32;
+        let vp = 1 + rng.below(4) as u32;
+        let start = random_map(&mut rng, n, vp);
+        let target = random_map(&mut rng, n, vp);
+        let policy = random_policy(&mut rng, vp);
+
+        let mut rm = ref_twin(&MappedMatrix::<u64>::from_fn(start.clone(), |w| w));
+        let mut rnet = unit_net(n);
+        let rsteps = rm.rearrange_to(&mut rnet, &target, policy);
+        rnet.finish_round();
+        let expect = (rm.into_buffers(), rsteps, rnet.finalize());
+
+        for threads in [1usize, 3] {
+            let (buffers, steps, report) = par::with_threads(threads, || {
+                let mut m = MappedMatrix::<u64>::from_fn(start.clone(), |w| w);
+                let mut net = unit_net(n);
+                let steps = m.rearrange_to(&mut net, &target, policy);
+                net.finish_round();
+                (m.into_buffers(), steps, net.finalize())
+            });
+            prop_assert_eq!(&expect.0, &buffers, "payloads diverge at {} threads", threads);
+            prop_assert_eq!(expect.1, steps);
+            prop_assert_eq!(&expect.2, &report, "reports diverge at {} threads", threads);
+        }
+    }
+}

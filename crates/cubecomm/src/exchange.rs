@@ -87,7 +87,7 @@ pub enum BufferPolicy {
 /// If some block's destination is unreachable through `dims` (left
 /// stranded), or on cost-model violations.
 #[track_caller]
-pub fn exchange_over_dims<T: Clone>(
+pub fn exchange_over_dims<T: Clone + Send + Sync>(
     net: &mut SimNet<BlockMsg<T>>,
     mut held: Vec<Vec<Block<T>>>,
     dims: &[u32],
@@ -99,21 +99,34 @@ pub fn exchange_over_dims<T: Clone>(
     // delivered buffers instead of allocating.
     let mut pool: BufferPool<Block<T>> = BufferPool::new();
     let mut to_send: Vec<Vec<Block<T>>> = Vec::with_capacity(held.len());
+    // Per-node (keep, send) pairs staged for the parallel partition.
+    type Partitioned<T> = Vec<(Vec<Block<T>>, Vec<Block<T>>)>;
+    let mut work: Partitioned<T> = Vec::with_capacity(held.len());
     for (step_index, &j) in dims.iter().enumerate() {
-        // Partition each node's holdings into keep / send.
+        // Partition each node's holdings into keep / send: an in-place
+        // swap-to-tail partition (keeps never move off the slot; the send
+        // tail drains into a pooled buffer), fanned out per node. Block
+        // order within a list is not preserved — no consumer depends on
+        // it (`memory_chunks` re-sorts by destination).
         to_send.clear();
-        for (x, slot) in held.iter_mut().enumerate() {
+        work.clear();
+        work.extend(held.iter_mut().map(|slot| (std::mem::take(slot), pool.take())));
+        cubesim::par::par_for_each_mut(&mut work, |x, (slot, send)| {
             let xbit = (x as u64 >> j) & 1;
-            let mut keep = pool.take();
-            let mut send = pool.take();
-            for b in slot.drain(..) {
-                if (b.dst.bits() >> j) & 1 == xbit {
-                    keep.push(b);
+            let mut i = 0;
+            let mut end = slot.len();
+            while i < end {
+                if (slot[i].dst.bits() >> j) & 1 == xbit {
+                    i += 1;
                 } else {
-                    send.push(b);
+                    end -= 1;
+                    slot.swap(i, end);
                 }
             }
-            pool.put(std::mem::replace(slot, keep));
+            send.extend(slot.drain(end..));
+        });
+        for (x, (slot, send)) in work.drain(..).enumerate() {
+            held[x] = slot;
             to_send.push(send);
         }
         match policy {
@@ -241,7 +254,7 @@ fn deliver_round<T: Clone>(
 /// allowed — virtual elements are not communicated). Returns
 /// `result[dst]` = the source-tagged blocks received (plus the diagonal
 /// block, which never moves).
-pub fn all_to_all_exchange<T: Clone>(
+pub fn all_to_all_exchange<T: Clone + Send + Sync>(
     net: &mut SimNet<BlockMsg<T>>,
     blocks: Vec<Vec<Vec<T>>>,
     policy: BufferPolicy,

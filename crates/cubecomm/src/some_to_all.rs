@@ -29,7 +29,7 @@ use cubesim::SimNet;
 /// must partition the cube (`l_dims ∪ k_dims = {0..n}`, disjoint).
 ///
 /// Splitting (over `k_dims`) runs first, per Theorem 1.
-pub fn some_to_all<T: Clone>(
+pub fn some_to_all<T: Clone + Send + Sync>(
     net: &mut SimNet<BlockMsg<T>>,
     l_dims: DimSet,
     k_dims: DimSet,
@@ -43,7 +43,7 @@ pub fn some_to_all<T: Clone>(
 
 /// The same operation with the phases in the *suboptimal* order
 /// (all-to-all first), for demonstrating Theorem 1's claim.
-pub fn some_to_all_suboptimal<T: Clone>(
+pub fn some_to_all_suboptimal<T: Clone + Send + Sync>(
     net: &mut SimNet<BlockMsg<T>>,
     l_dims: DimSet,
     k_dims: DimSet,
@@ -60,7 +60,7 @@ pub fn some_to_all_suboptimal<T: Clone>(
 /// accumulation over `k_dims` runs last, per Theorem 1.
 ///
 /// `blocks[src][j]` is the payload for the `j`-th destination.
-pub fn all_to_some<T: Clone>(
+pub fn all_to_some<T: Clone + Send + Sync>(
     net: &mut SimNet<BlockMsg<T>>,
     l_dims: DimSet,
     k_dims: DimSet,

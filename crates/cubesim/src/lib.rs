@@ -26,6 +26,7 @@
 //! every `T = Σ(step cost)` expression in the paper.
 
 pub mod net;
+pub mod par;
 pub mod params;
 pub mod pool;
 #[doc(hidden)]

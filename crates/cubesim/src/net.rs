@@ -227,6 +227,43 @@ impl<P: Payload> SimNet<P> {
         self.dims_used[node] |= 1 << dim;
     }
 
+    /// Commits a batch of pre-staged messages, all crossing dimension
+    /// `dim`, in iteration order.
+    ///
+    /// This is the serial half of the staging/commit split used by the
+    /// exchange-engine data plane: worker threads *stage* per-node
+    /// outgoing buffers in parallel (no `SimNet` access), then a single
+    /// thread commits them here so legality checks and cost accounting
+    /// stay deterministic. Equivalent to calling [`SimNet::send`] once
+    /// per `(src, payload)` pair.
+    #[track_caller]
+    pub fn send_batch(&mut self, dim: u32, staged: impl IntoIterator<Item = (NodeId, P)>) {
+        for (src, data) in staged {
+            self.send(src, dim, data);
+        }
+    }
+
+    /// Drains into `out` every message delivered on dimension `dim` at
+    /// the last round boundary, as `(destination, payload)` pairs in
+    /// ascending destination order. `out` is cleared first, so a caller
+    /// can recycle one buffer across rounds.
+    ///
+    /// The receiving half of the staging/commit split: one serial pass
+    /// empties the inbox, then worker threads scatter the collected
+    /// payloads into per-node storage in parallel.
+    pub fn drain_dim(&mut self, dim: u32, out: &mut Vec<(NodeId, P)>) {
+        out.clear();
+        let n = self.n as usize;
+        for &slot in &self.inbox_idx {
+            if slot % n == dim as usize {
+                if let Some(data) = self.inbox[slot].take() {
+                    out.push((NodeId((slot / n) as u64), data));
+                }
+            }
+        }
+        out.sort_unstable_by_key(|e| e.0.index());
+    }
+
     /// Receives the message delivered to `dst` on dimension `dim` at the
     /// last round boundary.
     ///
@@ -565,6 +602,39 @@ mod tests {
         assert_eq!(round.len(), 2);
         assert_eq!((round[0].src, round[0].dim, round[0].elems), (0, 1, 2));
         assert_eq!((round[1].src, round[1].dim, round[1].elems), (2, 0, 1));
+    }
+
+    #[test]
+    fn send_batch_and_drain_dim_round_trip() {
+        let mut net = unit_net(3, PortMode::OnePort);
+        let num = net.num_nodes() as u64;
+        // Stage in descending node order to prove drain_dim re-sorts.
+        net.send_batch(1, (0..num).rev().map(|x| (NodeId(x), vec![x * 10])));
+        net.finish_round();
+        let mut got = Vec::new();
+        net.drain_dim(1, &mut got);
+        assert_eq!(got.len(), num as usize);
+        for (k, (dst, data)) in got.iter().enumerate() {
+            assert_eq!(dst.index(), k);
+            // Node k's message came from its dim-1 neighbor.
+            assert_eq!(data, &vec![(k as u64 ^ 2) * 10]);
+        }
+        let r = net.finalize();
+        assert_eq!(r.rounds, 1);
+        assert_eq!(r.total_messages, num);
+    }
+
+    #[test]
+    fn drain_dim_leaves_other_dims_pending() {
+        let mut net = unit_net(2, PortMode::AllPorts);
+        net.send(NodeId(0), 0, vec![1]);
+        net.send(NodeId(0), 1, vec![2]);
+        net.finish_round();
+        let mut got = Vec::new();
+        net.drain_dim(0, &mut got);
+        assert_eq!(got, vec![(NodeId(1), vec![1])]);
+        assert_eq!(net.recv(NodeId(2), 1), vec![2]);
+        let _ = net.finalize();
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Scoped-thread parallel helpers for per-node data-plane work.
+//!
+//! Two consumers share this module: the experiment sweeps (independent
+//! `(n, PQ, preset)` simulation points fanned out with [`par_map`]) and
+//! the exchange-engine data plane (per-node gather/scatter/permute loops
+//! fanned out with [`par_for_each_mut`] while the central `SimNet` cost
+//! accounting stays serial).
+//!
+//! Every helper returns results **in input order** and runs each item on
+//! exactly one worker, so a parallel run is byte-identical to the
+//! sequential one whenever the per-item work is deterministic — the
+//! property the `fieldmap_equivalence` suite checks across thread counts.
+//!
+//! The worker count is `std::thread::available_parallelism`, overridable
+//! with the `CUBEBENCH_THREADS` environment variable (`1` forces the
+//! sequential path; useful for timing comparisons) or, scoped and
+//! thread-local, with [`with_threads`] (used by tests to pin a count
+//! without mutating the process environment).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Worker-count override installed by [`with_threads`].
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Worker threads to use for sweeps and data-plane fan-out.
+pub fn num_threads() -> usize {
+    if let Some(t) = OVERRIDE.with(Cell::get) {
+        return t;
+    }
+    match std::env::var("CUBEBENCH_THREADS") {
+        Ok(v) => v.parse().unwrap_or(1).max(1),
+        Err(_) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+/// Runs `f` with [`num_threads`] pinned to `threads` on the current
+/// thread (restored on exit, even across a panic). Nested calls shadow
+/// each other; spawned workers themselves see the default count.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|o| o.replace(Some(threads.max(1)))));
+    f()
+}
+
+/// Maps `f` over `items` on [`num_threads`] scoped threads; results come
+/// back in input order.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    par_map_with(num_threads(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (work-claiming by atomic
+/// counter, so uneven item costs balance).
+pub fn par_map_with<T: Sync, R: Send>(
+    threads: usize,
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let threads = threads.min(items.len());
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        out.push((i, f(item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("sweep worker panicked")).collect()
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Runs `f(index, item)` for every item, fanning contiguous chunks out
+/// over [`num_threads`] scoped threads.
+///
+/// Unlike [`par_map`], items are mutated in place and the partition is
+/// static (near-equal chunks), which fits the data-plane loops: every
+/// node costs the same, so work-claiming would only add contention.
+pub fn par_for_each_mut<T: Send>(items: &mut [T], f: impl Fn(usize, &mut T) + Sync) {
+    par_for_each_mut_with(num_threads(), items, f);
+}
+
+/// [`par_for_each_mut`] with an explicit worker count.
+pub fn par_for_each_mut_with<T: Send>(
+    threads: usize,
+    items: &mut [T],
+    f: impl Fn(usize, &mut T) + Sync,
+) {
+    let threads = threads.min(items.len());
+    if threads <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(ci, block)| {
+                let f = &f;
+                s.spawn(move || {
+                    for (k, item) in block.iter_mut().enumerate() {
+                        f(ci * chunk + k, item);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("data-plane worker panicked");
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 2, 4, 7] {
+            let out = par_map_with(threads, &items, |&x| x * x);
+            assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        assert_eq!(par_map_with(4, &[] as &[u32], |&x| x), Vec::<u32>::new());
+        assert_eq!(par_map_with(4, &[9u32], |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        // Early items sleep so later items finish first on real threads.
+        let items: Vec<u64> = (0..16).collect();
+        let out = par_map_with(4, &items, |&x| {
+            if x < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            x
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn par_map_worker_panic_propagates() {
+        let items: Vec<u64> = (0..8).collect();
+        let _ = par_map_with(2, &items, |&x| {
+            assert!(x != 5, "boom");
+            x
+        });
+    }
+
+    #[test]
+    fn for_each_mut_sees_every_index_once() {
+        for threads in [1, 2, 3, 8, 100] {
+            let mut items = vec![0u64; 37];
+            par_for_each_mut_with(threads, &mut items, |i, slot| *slot += i as u64 + 1);
+            let expect: Vec<u64> = (1..=37).collect();
+            assert_eq!(items, expect, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn for_each_mut_empty_is_fine() {
+        let mut items: Vec<u64> = Vec::new();
+        par_for_each_mut_with(4, &mut items, |_, _| unreachable!());
+    }
+
+    #[test]
+    #[should_panic(expected = "data-plane worker panicked")]
+    fn for_each_mut_worker_panic_propagates() {
+        let mut items = vec![0u64; 8];
+        par_for_each_mut_with(4, &mut items, |i, _| assert!(i != 6, "boom"));
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let ambient = num_threads();
+        with_threads(3, || {
+            assert_eq!(num_threads(), 3);
+            with_threads(2, || assert_eq!(num_threads(), 2));
+            assert_eq!(num_threads(), 3);
+        });
+        assert_eq!(num_threads(), ambient);
+    }
+
+    #[test]
+    fn with_threads_restores_after_panic() {
+        let ambient = num_threads();
+        let caught = std::panic::catch_unwind(|| with_threads(7, || panic!("boom")));
+        assert!(caught.is_err());
+        assert_eq!(num_threads(), ambient);
+    }
+}

@@ -24,4 +24,7 @@ cargo fmt --check
 echo "==> perf smoke: n=10 all-to-all schedule (time-bounded)"
 timeout 300 cargo test --release -q -p cubecomm --test perf_smoke -- --ignored
 
+echo "==> perf smoke: n=10 fieldmap exchange sweep (time-bounded)"
+timeout 300 cargo test --release -q -p cubetranspose --test perf_smoke -- --ignored
+
 echo "CI gate passed."

@@ -64,6 +64,19 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// Batching strategy hint for [`Bencher::iter_batched`]; the shim times
+/// one routine call per batch regardless, so the variants only exist for
+/// API parity with the real harness.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in the real harness.
+    SmallInput,
+    /// Large inputs: one per batch.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
 /// The measurement driver passed to benchmark closures.
 pub struct Bencher {
     iters: u64,
@@ -79,6 +92,24 @@ impl Bencher {
             std_black_box(f());
         }
         self.elapsed = start.elapsed();
+    }
+
+    /// Times `iters` calls of `routine` on inputs built by `setup`;
+    /// setup runs outside the timed region, so per-iteration input
+    /// construction does not pollute the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
     }
 }
 

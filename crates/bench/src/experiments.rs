@@ -10,7 +10,7 @@ use crate::par::par_map;
 use crate::series::{Series, SeriesSet};
 use cubeaddr::NodeId;
 use cubecomm::ecube::{ecube_route, RouteMsg};
-use cubecomm::{BlockMsg, BufferPolicy};
+use cubecomm::{Block, BufferPolicy};
 use cubelayout::{Assignment, Direction, Encoding, Layout};
 use cubemodel as model;
 use cubesim::{MachineParams, PortMode, SimNet};
@@ -27,6 +27,17 @@ fn one_dim_pair(m_log: u32, n: u32) -> (Layout, Layout) {
         Layout::one_dim(p, q, Direction::Rows, n, Assignment::Consecutive, Encoding::Binary),
         Layout::one_dim(q, p, Direction::Rows, n, Assignment::Consecutive, Encoding::Binary),
     )
+}
+
+/// The router message set for the node-permutation transpose `x → tr(x)`
+/// on an `n`-cube, `elems` elements per message — the workload of
+/// Figure 14(b), the Connection Machine figures, and the router bench.
+pub fn transpose_route_msgs(n: u32, elems: usize) -> Vec<RouteMsg<u64>> {
+    let half = n / 2;
+    (0..(1u64 << n))
+        .filter(|&x| tr(x, half) != x)
+        .map(|x| RouteMsg { src: NodeId(x), dst: NodeId(tr(x, half)), data: vec![x; elems] })
+        .collect()
 }
 
 /// Simulated 1D transpose time under a send policy (iPSC constants).
@@ -232,15 +243,11 @@ pub fn fig14b() -> SeriesSet {
         let per = 1usize << (m_log - n);
         let params = MachineParams::intel_ipsc().with_ports(PortMode::AllPorts);
 
-        let mut net: SimNet<BlockMsg<u64>> = SimNet::new(n, params.clone());
+        let mut net: SimNet<Block<u64>> = SimNet::new(n, params.clone());
         for x in 0..(1u64 << n) {
             net.local_copy(NodeId(x), 2 * per); // gather + scatter
         }
-        let msgs: Vec<RouteMsg<u64>> = (0..(1u64 << n))
-            .filter(|&x| tr(x, half) != x)
-            .map(|x| RouteMsg { src: NodeId(x), dst: NodeId(tr(x, half)), data: vec![x; per] })
-            .collect();
-        let _ = ecube_route(&mut net, msgs);
+        let _ = ecube_route(&mut net, transpose_route_msgs(n, per));
         let router_time = net.finalize().time;
 
         let p = m_log / 2;
@@ -314,13 +321,8 @@ pub fn fig15() -> SeriesSet {
 
 /// Connection-Machine transpose via the router; `elems` per processor.
 fn cm_time(n: u32, elems: usize) -> f64 {
-    let half = n / 2;
-    let mut net: SimNet<BlockMsg<u64>> = SimNet::new(n, MachineParams::connection_machine());
-    let msgs: Vec<RouteMsg<u64>> = (0..(1u64 << n))
-        .filter(|&x| tr(x, half) != x)
-        .map(|x| RouteMsg { src: NodeId(x), dst: NodeId(tr(x, half)), data: vec![x; elems] })
-        .collect();
-    let _ = ecube_route(&mut net, msgs);
+    let mut net: SimNet<Block<u64>> = SimNet::new(n, MachineParams::connection_machine());
+    let _ = ecube_route(&mut net, transpose_route_msgs(n, elems));
     net.finalize().time
 }
 

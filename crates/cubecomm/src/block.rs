@@ -26,6 +26,15 @@ impl<T> Block<T> {
     }
 }
 
+/// A bare block is a message: the store-and-forward router sends one
+/// block per link per round, with no batching wrapper (and therefore no
+/// per-hop buffer allocation).
+impl<T> Payload for Block<T> {
+    fn elems(&self) -> usize {
+        self.data.len()
+    }
+}
+
 /// A batch of blocks sent over one link in one round as a single message.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct BlockMsg<T>(pub Vec<Block<T>>);

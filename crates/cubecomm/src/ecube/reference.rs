@@ -1,0 +1,84 @@
+//! The original per-`(node, dim)` `VecDeque` router, kept verbatim as a
+//! semantic reference.
+//!
+//! [`ecube_route`](super::ecube_route) replaced these full-lattice scans
+//! and per-hop allocations with a flat, lane-based data plane; this
+//! module preserves the straightforward implementation so property tests
+//! can check, message set by message set, that the two produce identical
+//! arrivals and identical [`CommReport`](cubesim::CommReport)s. It is not
+//! part of the public API surface.
+
+use super::{ecube_next_dim, RouteMsg};
+use crate::block::{Block, BlockMsg};
+use cubeaddr::NodeId;
+use cubesim::SimNet;
+use std::collections::VecDeque;
+
+/// The original e-cube router: dense `2^n × n` queue lattice scanned in
+/// full every round, one fresh payload vector per message per hop.
+#[doc(hidden)]
+pub struct RefRouter;
+
+impl RefRouter {
+    /// Routes all messages with dimension-ordered store-and-forward
+    /// routing; same contract as [`ecube_route`](super::ecube_route).
+    pub fn route<T: Clone>(
+        net: &mut SimNet<BlockMsg<T>>,
+        msgs: Vec<RouteMsg<T>>,
+    ) -> Vec<Vec<Block<T>>> {
+        let n = net.n();
+        let num = net.num_nodes();
+        let mut result: Vec<Vec<Block<T>>> = vec![Vec::new(); num];
+        // queues[node][dim]: messages waiting for that outgoing link.
+        let mut queues: Vec<Vec<VecDeque<RouteMsg<T>>>> =
+            vec![(0..n).map(|_| VecDeque::new()).collect(); num];
+
+        for m in msgs {
+            if m.data.is_empty() {
+                continue;
+            }
+            match ecube_next_dim(m.src, m.dst) {
+                None => result[m.dst.index()].push(Block::new(m.src, m.dst, m.data)),
+                Some(d) => {
+                    let src = m.src;
+                    queues[src.index()][d as usize].push_back(m);
+                }
+            }
+        }
+
+        while queues.iter().flatten().any(|q| !q.is_empty()) {
+            for (x, node_queues) in queues.iter_mut().enumerate() {
+                for d in 0..n {
+                    if let Some(m) = node_queues[d as usize].pop_front() {
+                        net.send(
+                            NodeId(x as u64),
+                            d,
+                            BlockMsg(vec![Block::new(m.src, m.dst, m.data)]),
+                        );
+                    }
+                }
+            }
+            net.finish_round();
+            // Drain every delivered message and advance it.
+            for x in 0..num {
+                let node = NodeId(x as u64);
+                for d in 0..n {
+                    if net.has_message(node, d) {
+                        let BlockMsg(blocks) = net.recv(node, d);
+                        for b in blocks {
+                            match ecube_next_dim(node, b.dst) {
+                                None => result[node.index()].push(b),
+                                Some(nd) => queues[node.index()][nd as usize].push_back(RouteMsg {
+                                    src: b.src,
+                                    dst: b.dst,
+                                    data: b.data,
+                                }),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        result
+    }
+}

@@ -33,3 +33,37 @@ fn n10_all_to_all_completes_within_bound() {
     // bookkeeping), not scheduler jitter.
     assert!(elapsed < Duration::from_secs(30), "n=10 all-to-all took {elapsed:?}");
 }
+
+#[test]
+#[ignore = "perf smoke; run in release via scripts/ci.sh"]
+fn n12_router_transpose_completes_within_bound() {
+    use cubeaddr::NodeId;
+    use cubecomm::ecube::{ecube_route, RouteMsg};
+    use cubecomm::Block;
+
+    // The FIG16-18 workload one size below the headline: the
+    // node-permutation transpose pattern on a 12-cube (4096 messages,
+    // heavy link contention) through the flat lane-based router.
+    let n = 12u32;
+    let half = n / 2;
+    let msgs: Vec<RouteMsg<u64>> = (0..(1u64 << n))
+        .filter_map(|x| {
+            let (hi, lo) = cubeaddr::split(x, half);
+            let t = cubeaddr::concat(lo, hi, half);
+            (t != x).then(|| RouteMsg { src: NodeId(x), dst: NodeId(t), data: vec![x; 4] })
+        })
+        .collect();
+
+    let mut net: SimNet<Block<u64>> = SimNet::new(n, MachineParams::connection_machine());
+    let start = Instant::now();
+    let arrivals = ecube_route(&mut net, msgs);
+    let report = net.finalize();
+    let elapsed = start.elapsed();
+
+    let delivered: usize = arrivals.iter().map(Vec::len).sum();
+    assert_eq!(delivered, (1usize << n) - (1usize << half));
+    assert!(report.rounds > 0);
+    // ~3 ms on a modest core; the bound only catches order-of-magnitude
+    // regressions (e.g. a return to full-lattice scans), not jitter.
+    assert!(elapsed < Duration::from_secs(10), "n=12 router transpose took {elapsed:?}");
+}

@@ -3,14 +3,35 @@
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use cubeaddr::NodeId;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Barrier, OnceLock};
 use std::time::Duration;
 
-/// How long a blocking receive waits before declaring the node program
-/// deadlocked. Algorithms on these cube sizes complete in milliseconds;
-/// half a minute of silence is a bug, and a diagnostic panic beats a hung
-/// test suite.
-const RECV_TIMEOUT: Duration = Duration::from_secs(30);
+/// Default for how long a blocking receive waits before declaring the
+/// node program deadlocked. Algorithms on these cube sizes complete in
+/// milliseconds; half a minute of silence is a bug, and a diagnostic
+/// panic beats a hung test suite.
+const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The receive timeout, read once per process from the
+/// `CUBERUN_RECV_TIMEOUT_MS` environment variable: loaded CI machines
+/// widen it, deadlock stress tests tighten it. Unset or unparsable
+/// values fall back to [`DEFAULT_RECV_TIMEOUT`].
+fn recv_timeout() -> Duration {
+    static TIMEOUT: OnceLock<Duration> = OnceLock::new();
+    *TIMEOUT.get_or_init(|| {
+        parse_recv_timeout(std::env::var("CUBERUN_RECV_TIMEOUT_MS").ok().as_deref())
+    })
+}
+
+/// Parses a `CUBERUN_RECV_TIMEOUT_MS` value, clamping to [1 ms, 1 h] so a
+/// zero can't turn every receive into an instant panic and a stray large
+/// number can't hang CI for days.
+fn parse_recv_timeout(raw: Option<&str>) -> Duration {
+    match raw.and_then(|s| s.trim().parse::<u64>().ok()) {
+        Some(ms) => Duration::from_millis(ms.clamp(1, 3_600_000)),
+        None => DEFAULT_RECV_TIMEOUT,
+    }
+}
 
 /// Aggregate statistics of one SPMD run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -66,12 +87,13 @@ impl<T> NodeCtx<T> {
     /// `dim`, blocking until it arrives.
     ///
     /// # Panics
-    /// After 30 s of silence (deadlocked node program), or if the peer
-    /// panicked.
+    /// After the receive timeout elapses in silence (30 s by default,
+    /// overridable via `CUBERUN_RECV_TIMEOUT_MS`; a deadlocked node
+    /// program), or if the peer panicked.
     #[track_caller]
     pub fn recv(&self, dim: u32) -> T {
         assert!(dim < self.n, "dimension {dim} out of range on node {}", self.id);
-        self.rx[dim as usize].recv_timeout(RECV_TIMEOUT).unwrap_or_else(|e| {
+        self.rx[dim as usize].recv_timeout(recv_timeout()).unwrap_or_else(|e| {
             panic!("node {} recv on dim {dim}: {e} (deadlocked node program?)", self.id)
         })
     }
@@ -312,5 +334,20 @@ mod tests {
     #[should_panic(expected = "refusing to spawn")]
     fn giant_cube_rejected() {
         let _ = run_spmd::<u64, _, _>(11, |_| ());
+    }
+
+    #[test]
+    fn recv_timeout_parses_and_clamps() {
+        // Plain values parse as milliseconds (whitespace tolerated).
+        assert_eq!(parse_recv_timeout(Some("250")), Duration::from_millis(250));
+        assert_eq!(parse_recv_timeout(Some(" 1500 ")), Duration::from_millis(1500));
+        // Zero clamps up to 1 ms, absurd values down to an hour.
+        assert_eq!(parse_recv_timeout(Some("0")), Duration::from_millis(1));
+        assert_eq!(parse_recv_timeout(Some("999999999999")), Duration::from_secs(3600));
+        // Unset or garbage falls back to the 30 s default.
+        assert_eq!(parse_recv_timeout(None), DEFAULT_RECV_TIMEOUT);
+        assert_eq!(parse_recv_timeout(Some("fast")), DEFAULT_RECV_TIMEOUT);
+        assert_eq!(parse_recv_timeout(Some("-5")), DEFAULT_RECV_TIMEOUT);
+        assert_eq!(parse_recv_timeout(Some("")), DEFAULT_RECV_TIMEOUT);
     }
 }

@@ -95,14 +95,16 @@ pub struct SimNet<P> {
     /// Message slot per directed link, indexed `dst * n + dim`: sent this
     /// round, delivered at the boundary.
     outgoing: Vec<Option<P>>,
-    /// Slots filled in `outgoing` this round, in send order.
-    outgoing_idx: Vec<usize>,
+    /// Slots filled in `outgoing` this round, in send order, with each
+    /// message's element count cached so round boundaries never re-read
+    /// the payloads.
+    outgoing_idx: Vec<(usize, u32)>,
     /// Messages delivered at the last round boundary, awaiting recv
     /// (same indexing as `outgoing`).
     inbox: Vec<Option<P>>,
     /// Slots the last boundary delivered into (consumed ones stay listed
     /// until the next boundary; their slot is `None`).
-    inbox_idx: Vec<usize>,
+    inbox_idx: Vec<(usize, u32)>,
     /// Dimensions used per node this round (bit mask), for port checks.
     dims_used: Vec<u64>,
     /// Nodes with a non-zero `dims_used` mask this round.
@@ -208,9 +210,14 @@ impl<P: Payload> SimNet<P> {
             self.report.rounds
         );
         self.outgoing[slot] = Some(data);
-        self.outgoing_idx.push(slot);
-        self.mark_dim(src.index(), dim);
-        self.mark_dim(dst.index(), dim);
+        self.outgoing_idx.push((slot, elems as u32));
+        // Port-usage masks only feed the one-port legality check; under
+        // all-port rules skip the bookkeeping (two random-access writes
+        // per send on the hottest path).
+        if self.params.ports == PortMode::OnePort {
+            self.mark_dim(src.index(), dim);
+            self.mark_dim(dst.index(), dim);
+        }
         let src_slot = self.slot(src, dim);
         self.link_totals[src_slot] += elems as u64;
         self.report.total_messages += 1;
@@ -254,7 +261,7 @@ impl<P: Payload> SimNet<P> {
     pub fn drain_dim(&mut self, dim: u32, out: &mut Vec<(NodeId, P)>) {
         out.clear();
         let n = self.n as usize;
-        for &slot in &self.inbox_idx {
+        for &(slot, _) in &self.inbox_idx {
             if slot % n == dim as usize {
                 if let Some(data) = self.inbox[slot].take() {
                     out.push((NodeId((slot / n) as u64), data));
@@ -262,6 +269,36 @@ impl<P: Payload> SimNet<P> {
             }
         }
         out.sort_unstable_by_key(|e| e.0.index());
+    }
+
+    /// Drains into `out` every message delivered at the last round
+    /// boundary, regardless of dimension, as `(destination, dimension,
+    /// payload)` triples **in send order** (the order the previous
+    /// round's `send`/`send_batch` calls were made). `out` is cleared
+    /// first, so a caller can recycle one buffer across rounds.
+    ///
+    /// The all-port sibling of [`SimNet::drain_dim`]: a router that uses
+    /// every dimension each round empties its whole inbox in one
+    /// O(messages) pass instead of `n` per-dimension sweeps. Send order
+    /// is deterministic, so a caller that commits sends in a fixed order
+    /// gets its deliveries back in that same fixed order.
+    pub fn drain_all(&mut self, out: &mut Vec<(NodeId, u32, P)>) {
+        out.clear();
+        self.drain_all_with(|dst, dim, data| out.push((dst, dim, data)));
+    }
+
+    /// [`SimNet::drain_all`] without the intermediate buffer: hands each
+    /// delivered message straight to `consume` as `(destination,
+    /// dimension, payload)`, in send order. For consumers that scatter
+    /// deliveries into their own per-node storage anyway, this saves one
+    /// buffer round-trip per message.
+    pub fn drain_all_with(&mut self, mut consume: impl FnMut(NodeId, u32, P)) {
+        let n = self.n as usize;
+        for &(slot, _) in &self.inbox_idx {
+            if let Some(data) = self.inbox[slot].take() {
+                consume(NodeId((slot / n) as u64), (slot % n) as u32, data);
+            }
+        }
     }
 
     /// Receives the message delivered to `dst` on dimension `dim` at the
@@ -311,7 +348,7 @@ impl<P: Payload> SimNet<P> {
     /// delivered at the previous boundary were never received.
     #[track_caller]
     pub fn finish_round(&mut self) {
-        for &slot in &self.inbox_idx {
+        for &(slot, _) in &self.inbox_idx {
             if self.inbox[slot].is_some() {
                 let (dst, dim) = (slot / self.n as usize, slot % self.n as usize);
                 panic!(
@@ -333,8 +370,8 @@ impl<P: Payload> SimNet<P> {
         let mut max_pkts = 0usize;
         let mut max_elems = 0usize;
         let mut round_total = 0u64;
-        for &slot in &self.outgoing_idx {
-            let elems = self.outgoing[slot].as_ref().map_or(0, Payload::elems);
+        for &(_, elems) in &self.outgoing_idx {
+            let elems = elems as usize;
             max_pkts = max_pkts.max(self.params.packets(elems));
             max_elems = max_elems.max(elems);
             round_total += elems as u64;
@@ -356,13 +393,9 @@ impl<P: Payload> SimNet<P> {
             let mut events: Vec<crate::report::LinkEvent> = self
                 .outgoing_idx
                 .iter()
-                .map(|&slot| {
+                .map(|&(slot, elems)| {
                     let (dst, dim) = ((slot / n) as u64, (slot % n) as u32);
-                    crate::report::LinkEvent {
-                        src: dst ^ (1 << dim),
-                        dim,
-                        elems: self.outgoing[slot].as_ref().map_or(0, Payload::elems) as u32,
-                    }
+                    crate::report::LinkEvent { src: dst ^ (1 << dim), dim, elems }
                 })
                 .collect();
             events.sort_by_key(|e| (e.src, e.dim));
@@ -404,7 +437,7 @@ impl<P: Payload> SimNet<P> {
             "{} messages sent but the round never finished",
             self.outgoing_idx.len()
         );
-        let pending = self.inbox_idx.iter().filter(|&&s| self.inbox[s].is_some()).count();
+        let pending = self.inbox_idx.iter().filter(|&&(s, _)| self.inbox[s].is_some()).count();
         assert!(pending == 0, "{pending} delivered messages never received");
         self.report.max_link_elems = self.link_totals.iter().copied().max().unwrap_or(0);
         self.report
@@ -622,6 +655,41 @@ mod tests {
         let r = net.finalize();
         assert_eq!(r.rounds, 1);
         assert_eq!(r.total_messages, num);
+    }
+
+    #[test]
+    fn drain_all_returns_send_order() {
+        let mut net = unit_net(2, PortMode::AllPorts);
+        // Deliberately interleave dims and nodes; drain_all must echo
+        // this exact send order back.
+        net.send(NodeId(3), 1, vec![1]);
+        net.send(NodeId(0), 0, vec![2]);
+        net.send(NodeId(2), 1, vec![3]);
+        net.finish_round();
+        let mut got = Vec::new();
+        net.drain_all(&mut got);
+        assert_eq!(
+            got,
+            vec![(NodeId(1), 1, vec![1]), (NodeId(1), 0, vec![2]), (NodeId(0), 1, vec![3]),]
+        );
+        let _ = net.finalize();
+    }
+
+    #[test]
+    fn drain_all_skips_already_received() {
+        let mut net = unit_net(2, PortMode::AllPorts);
+        net.send(NodeId(0), 0, vec![1]);
+        net.send(NodeId(0), 1, vec![2]);
+        net.finish_round();
+        assert_eq!(net.recv(NodeId(1), 0), vec![1]);
+        let mut got = Vec::new();
+        net.drain_all(&mut got);
+        assert_eq!(got, vec![(NodeId(2), 1, vec![2])]);
+        // Buffer is cleared on reuse, and an empty inbox drains to empty.
+        net.finish_round();
+        net.drain_all(&mut got);
+        assert!(got.is_empty());
+        let _ = net.finalize();
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! Run with `cargo run --release --example machines`.
 
 use boolcube::comm::ecube::{ecube_route, RouteMsg};
-use boolcube::comm::BlockMsg;
+use boolcube::comm::Block;
 use boolcube::layout::{Assignment, Encoding, Layout};
 use boolcube::sim::{MachineParams, PortMode, SimNet};
 use boolcube::transpose::two_dim::{tr, Packet};
@@ -20,7 +20,7 @@ use boolcube::transpose::{transpose_spt, verify};
 /// router delivers (dimension-ordered, pipelined).
 fn cm_transpose_time(n: u32, elems_per_node: usize) -> f64 {
     let half = n / 2;
-    let mut net: SimNet<BlockMsg<u64>> = SimNet::new(n, MachineParams::connection_machine());
+    let mut net: SimNet<Block<u64>> = SimNet::new(n, MachineParams::connection_machine());
     let msgs: Vec<RouteMsg<u64>> = (0..(1u64 << n))
         .filter(|&x| tr(x, half) != x)
         .map(|x| RouteMsg {

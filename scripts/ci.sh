@@ -22,9 +22,32 @@ echo "==> rustfmt check"
 cargo fmt --check
 
 echo "==> perf smoke: n=10 all-to-all schedule (time-bounded)"
-timeout 300 cargo test --release -q -p cubecomm --test perf_smoke -- --ignored
+timeout 300 cargo test --release -q -p cubecomm --test perf_smoke -- --ignored \
+    n10_all_to_all_completes_within_bound
+
+echo "==> perf smoke: n=12 router transpose (time-bounded)"
+timeout 300 cargo test --release -q -p cubecomm --test perf_smoke -- --ignored \
+    n12_router_transpose_completes_within_bound
 
 echo "==> perf smoke: n=10 fieldmap exchange sweep (time-bounded)"
 timeout 300 cargo test --release -q -p cubetranspose --test perf_smoke -- --ignored
+
+echo "==> router figures: CSVs must match committed baselines at every thread count"
+fig_tmp="$(mktemp -d)"
+trap 'rm -rf "$fig_tmp"' EXIT
+for threads in 1 default; do
+    rm -rf "$fig_tmp"/*
+    if [ "$threads" = default ]; then
+        env -u CUBEBENCH_THREADS cargo run --release -q -p cubebench --bin figures -- \
+            --csv "$fig_tmp" fig14b fig16 fig17 fig18 >/dev/null
+    else
+        CUBEBENCH_THREADS="$threads" cargo run --release -q -p cubebench --bin figures -- \
+            --csv "$fig_tmp" fig14b fig16 fig17 fig18 >/dev/null
+    fi
+    for fig in fig14b fig16 fig17 fig18; do
+        diff -u "results/$fig.csv" "$fig_tmp/$fig.csv" \
+            || { echo "FAIL: $fig.csv diverges from baseline (CUBEBENCH_THREADS=$threads)"; exit 1; }
+    done
+done
 
 echo "CI gate passed."

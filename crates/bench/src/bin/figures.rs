@@ -4,6 +4,8 @@
 //! cargo run --release -p cubebench --bin figures            # everything
 //! cargo run --release -p cubebench --bin figures fig10 tab3 # a subset
 //! cargo run --release -p cubebench --bin figures --csv out/ # also CSV files
+//! cargo run --release -p cubebench --bin figures --lint     # statically
+//!                       # verify the routed figures' schedules first
 //! ```
 
 use cubebench::experiments as exp;
@@ -14,6 +16,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut csv_dir: Option<String> = None;
     let mut plot = false;
+    let mut lint = false;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -24,6 +27,8 @@ fn main() {
             }));
         } else if a == "--plot" {
             plot = true;
+        } else if a == "--lint" {
+            lint = true;
         } else {
             wanted.push(a);
         }
@@ -62,6 +67,31 @@ fn main() {
 
     let run_all = wanted.is_empty() || wanted.iter().any(|w| w == "all");
     let selected = |name: &str| run_all || wanted.iter().any(|w| w == name);
+
+    // Static schedule verification before any data generation: lint the
+    // selected routed figures' communication schedules with cubecheck
+    // and abort on the first invariant violation.
+    if lint {
+        let mut violations = 0usize;
+        for name in cubecheck::workloads::FIGURES {
+            if !selected(name) {
+                continue;
+            }
+            let workloads = cubecheck::workloads::figure(name).expect("lintable figure");
+            for w in &workloads {
+                let low = cubecheck::lower(&w.schedule, &w.params);
+                for d in cubecheck::check_all(&low, &w.params) {
+                    eprintln!("{d}");
+                    violations += 1;
+                }
+            }
+            eprintln!("lint: {name}: {} schedules checked", workloads.len());
+        }
+        if violations > 0 {
+            eprintln!("lint: {violations} schedule violation(s); not generating figures");
+            std::process::exit(1);
+        }
+    }
 
     if let Some(dir) = &csv_dir {
         std::fs::create_dir_all(dir).expect("create csv dir");

@@ -1,0 +1,56 @@
+//! Lints the figure workloads' communication schedules.
+//!
+//! ```text
+//! cubecheck --all-figures        lint every figure workload
+//! cubecheck --list               list lintable figures
+//! cubecheck fig16 fig18          lint specific figures
+//! ```
+//!
+//! Exits nonzero if any schedule violates an invariant; CI runs
+//! `--all-figures` so a schedule regression fails the build before it
+//! bends a curve.
+
+use cubecheck::workloads::{figure, FIGURES};
+use cubecheck::{check_all, lower};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for name in FIGURES {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let names: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "--all-figures") {
+        FIGURES.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    let mut violations = 0usize;
+    for name in names {
+        let Some(workloads) = figure(name) else {
+            eprintln!("cubecheck: unknown figure '{name}' (try --list)");
+            return ExitCode::FAILURE;
+        };
+        let (mut schedules, mut claims) = (0usize, 0u64);
+        for w in workloads {
+            let low = lower(&w.schedule, &w.params);
+            schedules += 1;
+            claims += low.claims.len() as u64;
+            for d in check_all(&low, &w.params) {
+                eprintln!("{d}");
+                violations += 1;
+            }
+        }
+        println!("{name}: {schedules} schedules, {claims} link claims checked");
+    }
+    if violations > 0 {
+        eprintln!("cubecheck: {violations} violation(s)");
+        ExitCode::FAILURE
+    } else {
+        println!("cubecheck: all invariants hold");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,121 @@
+//! Cross-validation of a lowered schedule against a simulated run.
+//!
+//! The checkers are only worth trusting if the static plan is really the
+//! schedule the engine executes. This module compares a [`Lowered`]
+//! schedule with the [`CommReport`] of an execution recorded under
+//! [`cubesim::SimNet::record_links`]: round counts, the exact
+//! `(src, dim, elems)` link set of every round, and the report's message
+//! / element / packet totals must all agree.
+
+use crate::ir::Lowered;
+use cubesim::CommReport;
+
+/// Compares plan and execution; returns one human-readable line per
+/// mismatch (empty = equivalent). The report must come from a run with
+/// link recording enabled and must cover *only* the planned operation.
+pub fn cross_validate(low: &Lowered, report: &CommReport) -> Vec<String> {
+    let mut errs = Vec::new();
+    if report.link_history.len() != report.rounds {
+        errs.push(format!(
+            "report has {} link-history rounds for {} rounds — was record_links enabled \
+             before the run?",
+            report.link_history.len(),
+            report.rounds
+        ));
+        return errs;
+    }
+    if low.rounds != report.rounds {
+        errs.push(format!("round count: plan has {}, execution ran {}", low.rounds, report.rounds));
+    }
+    // Per-round link sets, as sorted (src, dim, elems) triples.
+    let rounds = low.rounds.min(report.rounds);
+    let mut planned: Vec<Vec<(u64, u32, u64)>> = vec![Vec::new(); rounds];
+    for c in &low.claims {
+        if c.round < rounds {
+            planned[c.round].push((c.src, c.dim, c.elems));
+        }
+    }
+    for (r, plan_links) in planned.iter_mut().enumerate() {
+        plan_links.sort_unstable();
+        let mut run_links: Vec<(u64, u32, u64)> =
+            report.link_history[r].iter().map(|e| (e.src, e.dim, u64::from(e.elems))).collect();
+        run_links.sort_unstable();
+        if *plan_links != run_links {
+            let detail = plan_links
+                .iter()
+                .find(|l| !run_links.contains(l))
+                .map(|&(s, d, e)| format!("plan-only link (src {s}, dim {d}, {e} elems)"))
+                .or_else(|| {
+                    run_links
+                        .iter()
+                        .find(|l| !plan_links.contains(l))
+                        .map(|&(s, d, e)| format!("run-only link (src {s}, dim {d}, {e} elems)"))
+                })
+                .unwrap_or_else(|| "same links, different multiplicities".to_string());
+            errs.push(format!(
+                "round {r}: plan claims {} links, run used {} — first difference: {detail}",
+                plan_links.len(),
+                run_links.len()
+            ));
+        }
+    }
+    let (msgs, elems, packets) = (low.claims.len() as u64, low.total_elems(), low.total_packets());
+    if msgs != report.total_messages {
+        errs.push(format!("total messages: plan {} vs run {}", msgs, report.total_messages));
+    }
+    if elems != report.total_elems {
+        errs.push(format!("total elems: plan {} vs run {}", elems, report.total_elems));
+    }
+    if packets != report.total_packets {
+        errs.push(format!("total packets: plan {} vs run {}", packets, report.total_packets));
+    }
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::lower;
+    use cubecomm::exchange::all_to_all_exchange;
+    use cubecomm::plan::all_to_all_exchange_plan;
+    use cubecomm::BufferPolicy;
+    use cubesim::{MachineParams, PortMode, SimNet};
+
+    #[test]
+    fn exchange_plan_matches_execution() {
+        let n = 3;
+        let params = MachineParams::unit(PortMode::OnePort);
+        let sizes: Vec<Vec<u64>> =
+            (0..8).map(|s| (0..8).map(|d| u64::from(s != d) * 2).collect()).collect();
+        let plan = all_to_all_exchange_plan(n, &sizes, BufferPolicy::Ideal, PortMode::OnePort);
+        let low = lower(&plan, &params);
+
+        let mut net = SimNet::new(n, params);
+        net.record_links();
+        let blocks: Vec<Vec<Vec<u64>>> =
+            sizes.iter().map(|row| row.iter().map(|&e| vec![7u64; e as usize]).collect()).collect();
+        let _ = all_to_all_exchange(&mut net, blocks, BufferPolicy::Ideal);
+        let report = net.finalize();
+        let errs = cross_validate(&low, &report);
+        assert!(errs.is_empty(), "{}", errs.join("\n"));
+    }
+
+    #[test]
+    fn mismatch_is_reported() {
+        let n = 2;
+        let params = MachineParams::unit(PortMode::OnePort);
+        let sizes = vec![vec![1u64; 4]; 4];
+        let plan = all_to_all_exchange_plan(n, &sizes, BufferPolicy::Ideal, PortMode::OnePort);
+        let mut low = lower(&plan, &params);
+        low.claims[0].elems += 1; // corrupt one link claim
+
+        let mut net = SimNet::new(n, params);
+        net.record_links();
+        let blocks: Vec<Vec<Vec<u64>>> =
+            sizes.iter().map(|row| row.iter().map(|&e| vec![0u64; e as usize]).collect()).collect();
+        let _ = all_to_all_exchange(&mut net, blocks, BufferPolicy::Ideal);
+        let errs = cross_validate(&low, &net.finalize());
+        assert!(!errs.is_empty());
+        assert!(errs.iter().any(|e| e.contains("plan-only link")), "{}", errs.join("\n"));
+    }
+}

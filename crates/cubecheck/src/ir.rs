@@ -1,0 +1,114 @@
+//! The analysis IR: a schedule flattened into per-round link claims.
+
+use cubecomm::plan::{BlockMeta, CommSchedule};
+use cubesim::{MachineParams, PortMode};
+
+/// One directed-link activation claimed by a schedule: in `round`, node
+/// `src` sends `elems` elements (`packets` packets under the machine's
+/// `B_m`) across dimension `dim`, carrying the listed blocks.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LinkClaim {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Sending node address.
+    pub src: u64,
+    /// Dimension crossed; the receiver is `src ^ (1 << dim)`.
+    pub dim: u32,
+    /// Elements carried.
+    pub elems: u64,
+    /// Packets the message fragments into under the machine's `B_m`.
+    pub packets: u64,
+    /// Block ids carried (indices into [`Lowered::blocks`]).
+    pub blocks: Vec<u32>,
+}
+
+/// A lowered schedule: everything the checkers and the cross-validator
+/// consume. Owns its data so tests can corrupt individual claims.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Lowered {
+    /// Schedule name, carried into diagnostics.
+    pub name: String,
+    /// Cube dimension.
+    pub n: u32,
+    /// Port discipline the schedule claims to satisfy.
+    pub ports: PortMode,
+    /// Whether the schedule is dimension-ordered (see
+    /// [`CommSchedule::dimension_ordered`]).
+    pub dimension_ordered: bool,
+    /// Number of rounds (claims may leave some rounds empty).
+    pub rounds: usize,
+    /// Block metadata, indexed by the ids in the claims.
+    pub blocks: Vec<BlockMeta>,
+    /// All link claims, in schedule order (rounds ascending, send order
+    /// within a round).
+    pub claims: Vec<LinkClaim>,
+    /// Local-copy charges as `(round, node, elems)`.
+    pub copies: Vec<(usize, u64, u64)>,
+}
+
+impl Lowered {
+    /// Total elements over all claims.
+    pub fn total_elems(&self) -> u64 {
+        self.claims.iter().map(|c| c.elems).sum()
+    }
+
+    /// Total packets over all claims.
+    pub fn total_packets(&self) -> u64 {
+        self.claims.iter().map(|c| c.packets).sum()
+    }
+}
+
+/// Flattens a schedule into link claims, sizing packets against the
+/// machine's `B_m`.
+pub fn lower(schedule: &CommSchedule, params: &MachineParams) -> Lowered {
+    let mut claims = Vec::new();
+    let mut copies = Vec::new();
+    for (round, r) in schedule.rounds.iter().enumerate() {
+        for msg in &r.msgs {
+            let elems = schedule.msg_elems(msg);
+            claims.push(LinkClaim {
+                round,
+                src: msg.src.bits(),
+                dim: msg.dim,
+                elems,
+                packets: params.packets(elems as usize) as u64,
+                blocks: msg.blocks.clone(),
+            });
+        }
+        for &(node, elems) in &r.copies {
+            copies.push((round, node.bits(), elems));
+        }
+    }
+    Lowered {
+        name: schedule.name.clone(),
+        n: schedule.n,
+        ports: schedule.ports,
+        dimension_ordered: schedule.dimension_ordered,
+        rounds: schedule.rounds.len(),
+        blocks: schedule.blocks.clone(),
+        claims,
+        copies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubecomm::plan::all_to_all_exchange_plan;
+    use cubecomm::BufferPolicy;
+
+    #[test]
+    fn lowering_counts_packets_against_bm() {
+        let sizes = vec![vec![5u64; 4]; 4];
+        let plan = all_to_all_exchange_plan(2, &sizes, BufferPolicy::Ideal, PortMode::OnePort);
+        let params = cubesim::MachineParams::unit(PortMode::OnePort).with_max_packet(4);
+        let low = lower(&plan, &params);
+        assert_eq!(low.rounds, 2);
+        // Each claim carries 2 blocks x 5 elems = 10 -> 3 packets of <= 4.
+        for c in &low.claims {
+            assert_eq!(c.elems, 10);
+            assert_eq!(c.packets, 3);
+        }
+        assert_eq!(low.total_elems(), 10 * 8);
+    }
+}

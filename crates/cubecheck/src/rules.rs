@@ -1,0 +1,379 @@
+//! The invariant checkers.
+//!
+//! Each checker consumes a [`Lowered`] schedule and returns structured
+//! [`Diag`]s; [`check_all`] runs all five. The checkers are independent
+//! by construction — the corruption tests in `tests/corruption.rs` rely
+//! on a single broken invariant firing exactly its own rule.
+
+use crate::diag::{Diag, Rule};
+use crate::ir::{LinkClaim, Lowered};
+use cubesim::{MachineParams, PortMode};
+use std::collections::{HashMap, HashSet};
+
+/// Runs every checker; diagnostics come back grouped by rule, in
+/// schedule order within each rule.
+pub fn check_all(low: &Lowered, params: &MachineParams) -> Vec<Diag> {
+    let mut diags = check_port_model(low);
+    diags.extend(check_link_exclusive(low));
+    diags.extend(check_packet_budget(low, params));
+    diags.extend(check_conservation(low));
+    diags.extend(check_deadlock_free(low));
+    diags
+}
+
+fn diag(low: &Lowered, rule: Rule, detail: String) -> Diag {
+    Diag {
+        schedule: low.name.clone(),
+        rule,
+        round: None,
+        node: None,
+        dim: None,
+        block: None,
+        detail,
+    }
+}
+
+/// Claims grouped by round (rounds beyond [`Lowered::rounds`] included,
+/// so corrupted schedules still group sanely).
+fn claims_by_round(low: &Lowered) -> Vec<Vec<&LinkClaim>> {
+    let rounds = low.rounds.max(low.claims.iter().map(|c| c.round + 1).max().unwrap_or(0));
+    let mut by_round: Vec<Vec<&LinkClaim>> = vec![Vec::new(); rounds];
+    for c in &low.claims {
+        by_round[c.round].push(c);
+    }
+    by_round
+}
+
+/// Port-model compliance (paper §2): claims name real links, and under
+/// one-port communication each node touches at most one link per round.
+/// A node may send *and* receive on that one link (bidirectional
+/// exchange), so the constraint is on *distinct* links, both endpoints
+/// counted — exactly the discipline [`cubesim::SimNet`] enforces
+/// dynamically.
+pub fn check_port_model(low: &Lowered) -> Vec<Diag> {
+    let mut diags = Vec::new();
+    let num = 1u64 << low.n;
+    for c in &low.claims {
+        if c.dim >= low.n || c.src >= num {
+            let mut d =
+                diag(low, Rule::PortModel, format!("claim names no link of the {}-cube", low.n));
+            (d.round, d.node, d.dim) = (Some(c.round), Some(c.src), Some(c.dim));
+            diags.push(d);
+        }
+    }
+    if low.ports != PortMode::OnePort {
+        return diags;
+    }
+    for (round, claims) in claims_by_round(low).iter().enumerate() {
+        // node -> the one dimension it may use this round.
+        let mut used: HashMap<u64, u32> = HashMap::new();
+        let mut reported: HashSet<u64> = HashSet::new();
+        for c in claims {
+            if c.dim >= low.n || c.src >= num {
+                continue; // already reported structurally
+            }
+            for endpoint in [c.src, c.src ^ (1 << c.dim)] {
+                match used.entry(endpoint) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(c.dim);
+                    }
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        if *e.get() != c.dim && reported.insert(endpoint) {
+                            let mut d = diag(
+                                low,
+                                Rule::PortModel,
+                                format!(
+                                    "one-port node uses links on dims {} and {} in one round",
+                                    e.get(),
+                                    c.dim
+                                ),
+                            );
+                            (d.round, d.node, d.dim) = (Some(round), Some(endpoint), Some(c.dim));
+                            diags.push(d);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// Edge-disjointness within a round (§3/§8.1): one message per directed
+/// link per round.
+pub fn check_link_exclusive(low: &Lowered) -> Vec<Diag> {
+    let mut diags = Vec::new();
+    for (round, claims) in claims_by_round(low).iter().enumerate() {
+        let mut seen: HashMap<(u64, u32), u32> = HashMap::new();
+        for c in claims {
+            *seen.entry((c.src, c.dim)).or_insert(0) += 1;
+        }
+        let mut dups: Vec<((u64, u32), u32)> = seen.into_iter().filter(|&(_, k)| k > 1).collect();
+        dups.sort_unstable();
+        for ((src, dim), count) in dups {
+            let mut d = diag(
+                low,
+                Rule::LinkExclusive,
+                format!("{count} messages claim one directed link in one round"),
+            );
+            (d.round, d.node, d.dim) = (Some(round), Some(src), Some(dim));
+            diags.push(d);
+        }
+    }
+    diags
+}
+
+/// Packet budget (§2): every message carries data and declares enough
+/// packets that none exceeds `B_m`.
+pub fn check_packet_budget(low: &Lowered, params: &MachineParams) -> Vec<Diag> {
+    let mut diags = Vec::new();
+    for c in &low.claims {
+        let detail = if c.elems == 0 {
+            Some("empty message (a start-up with no data)".to_string())
+        } else {
+            let need = params.packets(c.elems as usize) as u64;
+            (c.packets < need).then(|| {
+                format!(
+                    "{} elems need {} packets of <= {} elems, claim declares {}",
+                    c.elems, need, params.max_packet, c.packets
+                )
+            })
+        };
+        if let Some(detail) = detail {
+            let mut d = diag(low, Rule::PacketBudget, detail);
+            (d.round, d.node, d.dim) = (Some(c.round), Some(c.src), Some(c.dim));
+            diags.push(d);
+        }
+    }
+    diags
+}
+
+/// The hops of every block, gathered from the claims and sorted by
+/// round: `hops[id] = [(round, src, dim), ...]`.
+fn block_hops(low: &Lowered) -> Vec<Vec<(usize, u64, u32)>> {
+    let mut hops: Vec<Vec<(usize, u64, u32)>> = vec![Vec::new(); low.blocks.len()];
+    for c in &low.claims {
+        for &b in &c.blocks {
+            if let Some(h) = hops.get_mut(b as usize) {
+                h.push((c.round, c.src, c.dim));
+            }
+        }
+    }
+    for h in &mut hops {
+        h.sort_unstable();
+    }
+    hops
+}
+
+/// Element conservation (§3): claim sizes are exactly the sums of their
+/// blocks, and every block's hops chain its source to its destination,
+/// one claim per hop, rounds strictly increasing.
+pub fn check_conservation(low: &Lowered) -> Vec<Diag> {
+    let mut diags = Vec::new();
+    for c in &low.claims {
+        let mut sum = 0u64;
+        let mut bad_id = None;
+        for &b in &c.blocks {
+            match low.blocks.get(b as usize) {
+                Some(meta) => sum += meta.elems,
+                None => bad_id = bad_id.or(Some(b)),
+            }
+        }
+        if let Some(b) = bad_id {
+            let mut d = diag(low, Rule::Conservation, "claim carries an unknown block".into());
+            (d.round, d.node, d.dim, d.block) = (Some(c.round), Some(c.src), Some(c.dim), Some(b));
+            diags.push(d);
+        } else if sum != c.elems {
+            let mut d = diag(
+                low,
+                Rule::Conservation,
+                format!("claim declares {} elems but its blocks total {}", c.elems, sum),
+            );
+            (d.round, d.node, d.dim) = (Some(c.round), Some(c.src), Some(c.dim));
+            diags.push(d);
+        }
+    }
+    for (id, hops) in block_hops(low).iter().enumerate() {
+        let meta = &low.blocks[id];
+        let mut at = meta.src.bits();
+        let mut last_round = None;
+        let mut broken = false;
+        for &(round, src, dim) in hops {
+            if last_round == Some(round) {
+                let mut d =
+                    diag(low, Rule::Conservation, "block claimed twice in one round".into());
+                (d.round, d.node, d.dim, d.block) =
+                    (Some(round), Some(src), Some(dim), Some(id as u32));
+                diags.push(d);
+                broken = true;
+                break;
+            }
+            if src != at {
+                let mut d = diag(
+                    low,
+                    Rule::Conservation,
+                    format!("claimed to depart node {src} but the block is at node {at}"),
+                );
+                (d.round, d.node, d.dim, d.block) =
+                    (Some(round), Some(src), Some(dim), Some(id as u32));
+                diags.push(d);
+                broken = true;
+                break;
+            }
+            at ^= 1 << dim;
+            last_round = Some(round);
+        }
+        if !broken && at != meta.dst.bits() {
+            let mut d = diag(
+                low,
+                Rule::Conservation,
+                format!("element dropped: delivery chain ends at node {at}, not node {}", meta.dst),
+            );
+            (d.node, d.block) = (Some(at), Some(id as u32));
+            diags.push(d);
+        }
+    }
+    diags
+}
+
+/// Deadlock freedom for dimension-ordered schedules: the channel
+/// dependency graph — one channel per `(node, dim)`, one edge per
+/// consecutive hop pair of any block — must be acyclic (the Dally–Seitz
+/// condition the e-cube order guarantees). Schedules not flagged
+/// dimension-ordered are skipped: their safety argument is the
+/// round-synchronous barrier, not channel ordering.
+pub fn check_deadlock_free(low: &Lowered) -> Vec<Diag> {
+    if !low.dimension_ordered {
+        return Vec::new();
+    }
+    let n = u64::from(low.n.max(1));
+    let chan = |src: u64, dim: u32| -> u64 { src * n + u64::from(dim) };
+    let mut edges: HashSet<(u64, u64)> = HashSet::new();
+    for hops in block_hops(low) {
+        for pair in hops.windows(2) {
+            let (_, s1, d1) = pair[0];
+            let (_, s2, d2) = pair[1];
+            edges.insert((chan(s1, d1), chan(s2, d2)));
+        }
+    }
+    let mut adj: HashMap<u64, Vec<u64>> = HashMap::new();
+    for &(a, b) in &edges {
+        adj.entry(a).or_default().push(b);
+        adj.entry(b).or_default();
+    }
+    // Iterative three-color DFS; a back edge is a cycle.
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut color: HashMap<u64, u8> = adj.keys().map(|&c| (c, WHITE)).collect();
+    let mut roots: Vec<u64> = adj.keys().copied().collect();
+    roots.sort_unstable();
+    for root in roots {
+        if color[&root] != WHITE {
+            continue;
+        }
+        // Stack of (channel, next-neighbor index).
+        let mut stack: Vec<(u64, usize)> = vec![(root, 0)];
+        color.insert(root, GRAY);
+        while let Some(frame) = stack.last_mut() {
+            let (c, i) = (frame.0, frame.1);
+            frame.1 += 1;
+            match adj[&c].get(i).copied() {
+                None => {
+                    color.insert(c, BLACK);
+                    stack.pop();
+                }
+                Some(next) => match color[&next] {
+                    WHITE => {
+                        color.insert(next, GRAY);
+                        stack.push((next, 0));
+                    }
+                    GRAY => {
+                        // Reconstruct the cycle from the gray stack.
+                        let start = stack.iter().position(|&(x, _)| x == next).unwrap_or(0);
+                        let cycle: Vec<String> = stack[start..]
+                            .iter()
+                            .map(|&(x, _)| format!("({}, dim {})", x / n, x % n))
+                            .collect();
+                        let mut d = diag(
+                            low,
+                            Rule::DeadlockFree,
+                            format!("channel dependency cycle: {} -> back", cycle.join(" -> ")),
+                        );
+                        (d.node, d.dim) = (Some(next / n), Some((next % n) as u32));
+                        return vec![d];
+                    }
+                    _ => {}
+                },
+            }
+        }
+    }
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubeaddr::NodeId;
+    use cubecomm::plan::{all_to_all_exchange_plan, ecube_route_plan, one_to_all_sbt_plan};
+    use cubecomm::BufferPolicy;
+
+    fn unit(ports: PortMode) -> MachineParams {
+        MachineParams::unit(ports)
+    }
+
+    #[test]
+    fn clean_exchange_plan_passes_all_rules() {
+        let sizes = vec![vec![3u64; 8]; 8];
+        for policy in [
+            BufferPolicy::Ideal,
+            BufferPolicy::Unbuffered,
+            BufferPolicy::Buffered { min_direct: 6 },
+        ] {
+            let plan = all_to_all_exchange_plan(3, &sizes, policy, PortMode::OnePort);
+            let low = crate::ir::lower(&plan, &unit(PortMode::OnePort));
+            let diags = check_all(&low, &unit(PortMode::OnePort));
+            assert!(diags.is_empty(), "{policy:?}: {}", diags[0]);
+        }
+    }
+
+    #[test]
+    fn clean_router_and_sbt_plans_pass() {
+        let msgs: Vec<(NodeId, NodeId, u64)> =
+            (0..16u64).map(|x| (NodeId(x), NodeId(15 - x), 3)).collect();
+        let plan = ecube_route_plan(4, &msgs);
+        let low = crate::ir::lower(&plan, &unit(PortMode::AllPorts));
+        assert!(check_all(&low, &unit(PortMode::AllPorts)).is_empty());
+
+        let sizes: Vec<u64> = (0..16).map(|d| d % 4).collect();
+        let plan = one_to_all_sbt_plan(4, NodeId(3), &sizes);
+        let low = crate::ir::lower(&plan, &unit(PortMode::OnePort));
+        assert!(check_all(&low, &unit(PortMode::OnePort)).is_empty());
+    }
+
+    #[test]
+    fn one_port_violation_detected() {
+        // Two claims at the same node on different dims in one round.
+        let msgs = vec![(NodeId(0), NodeId(1), 2), (NodeId(0), NodeId(2), 2)];
+        let plan = ecube_route_plan(2, &msgs);
+        let mut low = crate::ir::lower(&plan, &unit(PortMode::OnePort));
+        low.ports = PortMode::OnePort; // the router plans n-port; reinterpret
+        let diags = check_port_model(&low);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::PortModel);
+        assert_eq!(diags[0].node, Some(0));
+        // Same schedule under n-port is clean.
+        low.ports = PortMode::AllPorts;
+        assert!(check_port_model(&low).is_empty());
+    }
+
+    #[test]
+    fn bidirectional_exchange_is_one_port_legal() {
+        // Nodes 0 and 1 swap over dim 0 in the same round: both endpoints
+        // use one link. SimNet allows this; so must the checker.
+        let sizes: Vec<Vec<u64>> = vec![vec![0, 2], vec![2, 0]];
+        let plan = all_to_all_exchange_plan(1, &sizes, BufferPolicy::Ideal, PortMode::OnePort);
+        let low = crate::ir::lower(&plan, &unit(PortMode::OnePort));
+        assert!(check_all(&low, &unit(PortMode::OnePort)).is_empty());
+    }
+}

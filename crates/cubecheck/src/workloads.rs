@@ -1,0 +1,146 @@
+//! The figure workloads, as static schedules.
+//!
+//! Figures 14(b) and 16–18 all route the node-permutation transpose
+//! `x → tr(x)` through the dimension-ordered router; each workload here
+//! is the corresponding [`CommSchedule`] (built by
+//! [`cubecomm::plan::ecube_route_plan`]) paired with the figure's
+//! machine model, at every benchmarked parameter point. The `cubecheck`
+//! binary lints them all; `cubebench`'s figure driver can do the same
+//! before generating data (`--lint`).
+
+use cubeaddr::NodeId;
+use cubecomm::plan::{ecube_route_plan, CommSchedule};
+use cubesim::{MachineParams, PortMode};
+use cubetranspose::two_dim::tr;
+
+/// One lintable workload: a schedule plus the machine it targets.
+pub struct FigureWorkload {
+    /// Workload name, e.g. `fig16/n10`.
+    pub name: String,
+    /// The static schedule.
+    pub schedule: CommSchedule,
+    /// The machine model of the figure (sets `B_m` for the packet rule).
+    pub params: MachineParams,
+}
+
+/// The transpose permutation messages of the figures: one message
+/// `x → tr(x)` of `elems` elements per off-diagonal node.
+pub fn transpose_msgs(n: u32, elems: u64) -> Vec<(NodeId, NodeId, u64)> {
+    let half = n / 2;
+    (0..(1u64 << n))
+        .filter(|&x| tr(x, half) != x)
+        .map(|x| (NodeId(x), NodeId(tr(x, half)), elems))
+        .collect()
+}
+
+fn workload(
+    figure: &str,
+    n: u32,
+    elems: u64,
+    params: MachineParams,
+    tag: String,
+) -> FigureWorkload {
+    let mut schedule = ecube_route_plan(n, &transpose_msgs(n, elems));
+    schedule.name = format!("{figure}/{tag}");
+    FigureWorkload { name: schedule.name.clone(), schedule, params }
+}
+
+/// Figure 14(b): iPSC routing logic, all ports, `2^(m-n)` elements per
+/// node, for `n ∈ {2, 4, 6}` and `m ∈ {8, 10, …, 16}`.
+pub fn fig14b() -> Vec<FigureWorkload> {
+    let params = MachineParams::intel_ipsc().with_ports(PortMode::AllPorts);
+    [2u32, 4, 6]
+        .into_iter()
+        .flat_map(|n| (8..=16u32).step_by(2).map(move |m| (n, m)))
+        .map(|(n, m_log)| {
+            let per = 1u64 << (m_log - n);
+            workload("fig14b", n, per, params.clone(), format!("n{n}/m{m_log}"))
+        })
+        .collect()
+}
+
+/// Figure 16: Connection Machine, one element per processor,
+/// `n ∈ {6, 8, …, 14}`.
+pub fn fig16() -> Vec<FigureWorkload> {
+    (6..=14u32)
+        .step_by(2)
+        .map(|n| workload("fig16", n, 1, MachineParams::connection_machine(), format!("n{n}")))
+        .collect()
+}
+
+/// Figure 17: Connection Machine, `2^e` elements per processor for
+/// `e ∈ {0, …, 5}`, `n ∈ {8, 10, 12}`.
+pub fn fig17() -> Vec<FigureWorkload> {
+    [8u32, 10, 12]
+        .into_iter()
+        .flat_map(|n| (0..=5u32).map(move |e| (n, e)))
+        .map(|(n, e_log)| {
+            workload(
+                "fig17",
+                n,
+                1 << e_log,
+                MachineParams::connection_machine(),
+                format!("n{n}/e{e_log}"),
+            )
+        })
+        .collect()
+}
+
+/// Figure 18: Connection Machine, fixed `2^m`-element matrices over
+/// growing machines: `m ∈ {14, 16, 18}`, `n ∈ {8, …, min(14, m)}`.
+pub fn fig18() -> Vec<FigureWorkload> {
+    [14u32, 16, 18]
+        .into_iter()
+        .flat_map(|m| (8..=m.min(14)).step_by(2).map(move |n| (m, n)))
+        .map(|(m_log, n)| {
+            workload(
+                "fig18",
+                n,
+                1 << (m_log - n),
+                MachineParams::connection_machine(),
+                format!("m{m_log}/n{n}"),
+            )
+        })
+        .collect()
+}
+
+/// Names of all lintable figures.
+pub const FIGURES: [&str; 4] = ["fig14b", "fig16", "fig17", "fig18"];
+
+/// The workloads of one figure, by name.
+pub fn figure(name: &str) -> Option<Vec<FigureWorkload>> {
+    match name {
+        "fig14b" => Some(fig14b()),
+        "fig16" => Some(fig16()),
+        "fig17" => Some(fig17()),
+        "fig18" => Some(fig18()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_figure_resolves() {
+        for name in FIGURES {
+            assert!(figure(name).is_some());
+            assert!(!figure(name).unwrap().is_empty());
+        }
+        assert!(figure("fig9").is_none());
+    }
+
+    #[test]
+    fn transpose_msgs_match_the_permutation() {
+        let msgs = transpose_msgs(4, 3);
+        // n = 4: tr swaps the two halves; fixed points are x with equal
+        // halves (4 of 16), so 12 messages.
+        assert_eq!(msgs.len(), 12);
+        for (src, dst, elems) in msgs {
+            assert_eq!(elems, 3);
+            assert_ne!(src, dst);
+            assert_eq!(tr(src.bits(), 2), dst.bits());
+        }
+    }
+}

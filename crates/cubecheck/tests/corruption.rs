@@ -1,0 +1,143 @@
+//! Deliberately corrupted schedules: each corruption must trigger
+//! exactly the intended rule, with the right location attached — the
+//! checkers' precision tests (the recall side is the equivalence suite).
+
+use cubeaddr::NodeId;
+use cubecheck::{check_all, lower, Diag, Rule};
+use cubecomm::plan::{
+    all_to_all_exchange_plan, ecube_route_plan, BlockMeta, CommSchedule, PlanRound, PlannedMsg,
+};
+use cubecomm::BufferPolicy;
+use cubesim::{MachineParams, PortMode};
+
+fn rules_of(diags: &[Diag]) -> Vec<Rule> {
+    let mut rules: Vec<Rule> = diags.iter().map(|d| d.rule).collect();
+    rules.dedup();
+    rules
+}
+
+/// Duplicate link claim: splitting one exchange message into two
+/// messages on the same directed link in the same round breaks *only*
+/// edge-disjointness (sizes, chains and ports all stay intact).
+#[test]
+fn duplicate_link_claim_fires_link_exclusive_only() {
+    let sizes = vec![vec![1u64; 4]; 4];
+    let plan = all_to_all_exchange_plan(2, &sizes, BufferPolicy::Ideal, PortMode::OnePort);
+    let params = MachineParams::unit(PortMode::OnePort);
+    let mut low = lower(&plan, &params);
+
+    let victim = low
+        .claims
+        .iter()
+        .position(|c| c.blocks.len() >= 2)
+        .expect("all-to-all claims carry >= 2 blocks");
+    let mut split = low.claims[victim].clone();
+    let moved = split.blocks.split_off(1);
+    split.elems = split.blocks.iter().map(|&b| low.blocks[b as usize].elems).sum();
+    split.packets = params.packets(split.elems as usize) as u64;
+    let mut second = low.claims[victim].clone();
+    second.blocks = moved;
+    second.elems = second.blocks.iter().map(|&b| low.blocks[b as usize].elems).sum();
+    second.packets = params.packets(second.elems as usize) as u64;
+    let (round, src, dim) = (split.round, split.src, split.dim);
+    low.claims[victim] = split;
+    low.claims.push(second);
+
+    let diags = check_all(&low, &params);
+    assert_eq!(rules_of(&diags), vec![Rule::LinkExclusive], "{diags:?}");
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].round, Some(round));
+    assert_eq!(diags[0].node, Some(src));
+    assert_eq!(diags[0].dim, Some(dim));
+}
+
+/// Oversized packet: declaring fewer packets than `⌈S/B_m⌉` requires
+/// breaks only the packet budget.
+#[test]
+fn oversized_packet_fires_packet_budget_only() {
+    let plan = ecube_route_plan(2, &[(NodeId(0), NodeId(3), 4)]);
+    let params = MachineParams::unit(PortMode::AllPorts).with_max_packet(2);
+    let mut low = lower(&plan, &params);
+    assert_eq!(low.claims[0].packets, 2);
+    low.claims[0].packets = 1; // one packet of 4 > B_m = 2
+
+    let diags = check_all(&low, &params);
+    assert_eq!(rules_of(&diags), vec![Rule::PacketBudget], "{diags:?}");
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].round, Some(low.claims[0].round));
+    assert_eq!(diags[0].node, Some(0));
+    assert_eq!(diags[0].dim, Some(low.claims[0].dim));
+}
+
+/// Cyclic channel dependencies: four blocks chasing each other around
+/// the 2-cube. Every round is edge-disjoint and every block arrives, but
+/// the channel dependency graph is the 4-cycle
+/// `(0,d0) → (1,d1) → (3,d0) → (2,d1) → (0,d0)` — the configuration
+/// dimension-ordered routing exists to exclude.
+#[test]
+fn cyclic_channel_dependency_fires_deadlock_free_only() {
+    let msg =
+        |src: u64, dim: u32, block: u32| PlannedMsg { src: NodeId(src), dim, blocks: vec![block] };
+    let plan = CommSchedule {
+        name: "corrupt/cycle".into(),
+        n: 2,
+        ports: PortMode::AllPorts,
+        dimension_ordered: true, // claims an order it does not have
+        blocks: vec![
+            BlockMeta { src: NodeId(0), dst: NodeId(3), elems: 1 },
+            BlockMeta { src: NodeId(1), dst: NodeId(2), elems: 1 },
+            BlockMeta { src: NodeId(3), dst: NodeId(0), elems: 1 },
+            BlockMeta { src: NodeId(2), dst: NodeId(1), elems: 1 },
+        ],
+        rounds: vec![
+            PlanRound {
+                msgs: vec![msg(0, 0, 0), msg(1, 1, 1), msg(3, 0, 2), msg(2, 1, 3)],
+                copies: vec![],
+            },
+            PlanRound {
+                msgs: vec![msg(1, 1, 0), msg(3, 0, 1), msg(2, 1, 2), msg(0, 0, 3)],
+                copies: vec![],
+            },
+        ],
+    };
+    let params = MachineParams::unit(PortMode::AllPorts);
+    let low = lower(&plan, &params);
+    let diags = check_all(&low, &params);
+    assert_eq!(rules_of(&diags), vec![Rule::DeadlockFree], "{diags:?}");
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].detail.contains("cycle"), "{}", diags[0]);
+    assert!(diags[0].node.is_some());
+}
+
+/// Dropped element: deleting the final hop of a routed block leaves its
+/// delivery chain short of the destination — conservation, and only
+/// conservation, with the block named.
+#[test]
+fn dropped_element_fires_conservation_only() {
+    let plan = ecube_route_plan(2, &[(NodeId(0), NodeId(3), 2)]);
+    let params = MachineParams::unit(PortMode::AllPorts);
+    let mut low = lower(&plan, &params);
+    assert_eq!(low.claims.len(), 2, "0 -> 3 takes two hops");
+    let last = low.claims.iter().map(|c| c.round).max().unwrap();
+    low.claims.retain(|c| c.round != last);
+
+    let diags = check_all(&low, &params);
+    assert_eq!(rules_of(&diags), vec![Rule::Conservation], "{diags:?}");
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].block, Some(0));
+    assert_eq!(diags[0].node, Some(1), "chain stops at the intermediate node");
+    assert!(diags[0].detail.contains("dropped"), "{}", diags[0]);
+}
+
+/// Sanity: the uncorrupted versions of all the fixtures are clean.
+#[test]
+fn uncorrupted_fixtures_are_clean() {
+    let params = MachineParams::unit(PortMode::OnePort);
+    let sizes = vec![vec![1u64; 4]; 4];
+    let plan = all_to_all_exchange_plan(2, &sizes, BufferPolicy::Ideal, PortMode::OnePort);
+    assert!(check_all(&lower(&plan, &params), &params).is_empty());
+
+    let params = MachineParams::unit(PortMode::AllPorts).with_max_packet(2);
+    let plan = ecube_route_plan(2, &[(NodeId(0), NodeId(3), 4)]);
+    assert!(check_all(&lower(&plan, &params), &params).is_empty());
+}

@@ -1,0 +1,223 @@
+//! Plan ⇔ execution equivalence, on random schedules, at multiple
+//! thread settings.
+//!
+//! For every engine with a static planner, the lowered plan's per-round
+//! link claims must coincide exactly — round counts, link sets, element
+//! counts, message/packet totals — with the `CommReport` of a real
+//! execution recorded under `record_links`. The execution runs under
+//! `cubesim::par::with_threads` at 1 and 2 workers, pinning the
+//! determinism claim the engines make ("results do not depend on the
+//! thread count") to the static schedule. Every random plan must also
+//! pass `check_all` cleanly: no false positives.
+
+use cubeaddr::{DimSet, NodeId};
+use cubecomm::ecube::{ecube_route, RouteMsg};
+use cubecomm::exchange::all_to_all_exchange;
+use cubecomm::one_to_all::{one_to_all_rotated_sbts, one_to_all_sbt};
+use cubecomm::plan::{
+    all_to_all_exchange_plan, all_to_all_sbnt_plan, ecube_route_plan, one_to_all_sbt_plan,
+    one_to_all_trees_plan, some_to_all_plan, CommSchedule,
+};
+use cubecomm::sbnt::all_to_all_sbnt;
+use cubecomm::sbt::Sbt;
+use cubecomm::some_to_all::some_to_all;
+use cubecomm::{Block, BlockMsg, BufferPolicy};
+use cubesim::par::with_threads;
+use cubesim::{CommReport, MachineParams, PortMode, SimNet};
+use proptest::prelude::*;
+
+/// Thread settings every execution is replayed at (satellite 1: the
+/// proptest runs in CI at >= 2 settings).
+const THREADS: [usize; 2] = [1, 2];
+
+/// Deterministic pseudo-random size matrix (same hash as
+/// `cubecomm/tests/props.rs`), zeros included.
+fn random_sizes(n: u32, seed: u64, max_b: u64) -> Vec<Vec<u64>> {
+    let num = 1usize << n;
+    (0..num as u64)
+        .map(|s| {
+            (0..num as u64)
+                .map(|d| {
+                    let h =
+                        (s.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(d).wrapping_mul(seed | 1))
+                            >> 33;
+                    h % (max_b + 1)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn payloads(sizes: &[Vec<u64>]) -> Vec<Vec<Vec<u64>>> {
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(s, row)| {
+            row.iter()
+                .enumerate()
+                .map(|(d, &e)| {
+                    (0..e).map(|i| (s as u64) * 1_000_000 + (d as u64) * 1000 + i).collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Lowers `plan` against `params` and requires (a) zero diagnostics and
+/// (b) exact agreement with the recorded execution.
+fn assert_equivalent(plan: &CommSchedule, params: &MachineParams, report: &CommReport) {
+    let low = cubecheck::lower(plan, params);
+    let diags = cubecheck::check_all(&low, params);
+    assert!(diags.is_empty(), "{}: {}", plan.name, diags[0]);
+    let errs = cubecheck::cross_validate(&low, report);
+    assert!(errs.is_empty(), "{}:\n{}", plan.name, errs.join("\n"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The exchange planner mirrors `all_to_all_exchange` under all
+    /// three buffering policies.
+    #[test]
+    fn exchange_plan_equivalent(n in 1u32..5, seed in any::<u64>(), max_b in 0u64..6) {
+        let sizes = random_sizes(n, seed, max_b);
+        let params = MachineParams::unit(PortMode::OnePort).with_max_packet(3);
+        for policy in [
+            BufferPolicy::Ideal,
+            BufferPolicy::Unbuffered,
+            BufferPolicy::Buffered { min_direct: 2 },
+        ] {
+            let plan = all_to_all_exchange_plan(n, &sizes, policy, PortMode::OnePort);
+            for t in THREADS {
+                let report = with_threads(t, || {
+                    let mut net = SimNet::new(n, params.clone());
+                    net.record_links();
+                    let _ = all_to_all_exchange(&mut net, payloads(&sizes), policy);
+                    net.finalize()
+                });
+                assert_equivalent(&plan, &params, &report);
+            }
+        }
+    }
+
+    /// The SBnT planner mirrors `all_to_all_sbnt`.
+    #[test]
+    fn sbnt_plan_equivalent(n in 1u32..5, seed in any::<u64>(), max_b in 0u64..6) {
+        let sizes = random_sizes(n, seed, max_b);
+        let params = MachineParams::unit(PortMode::AllPorts);
+        let plan = all_to_all_sbnt_plan(n, &sizes);
+        for t in THREADS {
+            let report = with_threads(t, || {
+                let mut net = SimNet::new(n, params.clone());
+                net.record_links();
+                let _ = all_to_all_sbnt(&mut net, payloads(&sizes));
+                net.finalize()
+            });
+            assert_equivalent(&plan, &params, &report);
+        }
+    }
+
+    /// The SBT and rotated-tree planners mirror the one-to-all engines.
+    #[test]
+    fn one_to_all_plans_equivalent(n in 1u32..5, root_raw in any::<u64>(), len in 0u64..6) {
+        let root = NodeId(root_raw & cubeaddr::mask(n));
+        let sizes: Vec<u64> = (0..(1u64 << n)).map(|d| (len + d) % 5).collect();
+        let blocks: Vec<Vec<u64>> =
+            sizes.iter().enumerate().map(|(d, &e)| vec![d as u64; e as usize]).collect();
+
+        let params = MachineParams::unit(PortMode::OnePort);
+        let plan = one_to_all_sbt_plan(n, root, &sizes);
+        for t in THREADS {
+            let report = with_threads(t, || {
+                let mut net = SimNet::new(n, params.clone());
+                net.record_links();
+                let _ = one_to_all_sbt(&mut net, root, blocks.clone());
+                net.finalize()
+            });
+            assert_equivalent(&plan, &params, &report);
+        }
+
+        let params = MachineParams::unit(PortMode::AllPorts);
+        let trees: Vec<Sbt> = (0..n).map(|k| Sbt::rotated(n, root, k)).collect();
+        if !trees.is_empty() {
+            let plan = one_to_all_trees_plan(n, &sizes, &trees);
+            for t in THREADS {
+                let report = with_threads(t, || {
+                    let mut net = SimNet::new(n, params.clone());
+                    net.record_links();
+                    let _ = one_to_all_rotated_sbts(&mut net, root, blocks.clone());
+                    net.finalize()
+                });
+                assert_equivalent(&plan, &params, &report);
+            }
+        }
+    }
+
+    /// The some-to-all planner mirrors `some_to_all` for random
+    /// dimension splits.
+    #[test]
+    fn some_to_all_plan_equivalent(n in 1u32..5, mask_raw in any::<u64>(), seed in any::<u64>()) {
+        let l_dims = DimSet(mask_raw & cubeaddr::mask(n));
+        let k_dims = l_dims.complement(n);
+        let sources = 1usize << l_dims.len();
+        let num = 1usize << n;
+        let sizes: Vec<Vec<u64>> = (0..sources as u64)
+            .map(|i| (0..num as u64).map(|d| (i + d + seed) % 4).collect())
+            .collect();
+        let blocks: Vec<Vec<Vec<u64>>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                row.iter().map(|&e| vec![i as u64; e as usize]).collect()
+            })
+            .collect();
+        let params = MachineParams::unit(PortMode::OnePort);
+        let plan =
+            some_to_all_plan(n, l_dims, k_dims, &sizes, BufferPolicy::Ideal, PortMode::OnePort);
+        for t in THREADS {
+            let report = with_threads(t, || {
+                let mut net: SimNet<BlockMsg<u64>> = SimNet::new(n, params.clone());
+                net.record_links();
+                let _ = some_to_all(&mut net, l_dims, k_dims, blocks.clone(), BufferPolicy::Ideal);
+                net.finalize()
+            });
+            assert_equivalent(&plan, &params, &report);
+        }
+    }
+
+    /// The e-cube flight planner mirrors the flat router, including its
+    /// contention serialization, at both thread settings (the router is
+    /// the one engine with a parallel data plane).
+    #[test]
+    fn ecube_plan_equivalent(n in 1u32..5, seed in any::<u64>(), count in 0usize..12) {
+        let num = 1u64 << n;
+        let msgs: Vec<(NodeId, NodeId, u64)> = (0..count as u64)
+            .map(|i| {
+                let h = i.wrapping_add(1).wrapping_mul(seed | 1);
+                let src = (h >> 7) % num;
+                let dst = (h >> 29) % num;
+                let elems = (h >> 51) % 4; // zeros exercise the skip path
+                (NodeId(src), NodeId(dst), elems)
+            })
+            .collect();
+        let params = MachineParams::unit(PortMode::AllPorts);
+        let plan = ecube_route_plan(n, &msgs);
+        for t in THREADS {
+            let report = with_threads(t, || {
+                let mut net: SimNet<Block<u64>> = SimNet::new(n, params.clone());
+                net.record_links();
+                let route_msgs: Vec<RouteMsg<u64>> = msgs
+                    .iter()
+                    .map(|&(src, dst, elems)| RouteMsg {
+                        src,
+                        dst,
+                        data: vec![src.bits(); elems as usize],
+                    })
+                    .collect();
+                let _ = ecube_route(&mut net, route_msgs);
+                net.finalize()
+            });
+            assert_equivalent(&plan, &params, &report);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Perf smoke: planning and checking must stay cheap enough for CI.
+//!
+//! Ignored by default; `scripts/ci.sh` runs it in release under a
+//! timeout. The bounds are deliberately generous — they catch
+//! complexity regressions (an accidental O(N²) in the planner or a
+//! checker), not jitter.
+
+use cubeaddr::NodeId;
+use cubecheck::workloads::transpose_msgs;
+use cubecomm::plan::{all_to_all_exchange_plan, ecube_route_plan, exchange_plan, BlockMeta};
+use cubecomm::BufferPolicy;
+use cubesim::{MachineParams, PortMode};
+use std::time::Instant;
+
+#[test]
+#[ignore = "perf smoke; run in release via scripts/ci.sh"]
+fn planning_and_checking_stay_fast() {
+    // Router flight plan at the largest benchmarked size.
+    let start = Instant::now();
+    let msgs = transpose_msgs(14, 4);
+    let router = ecube_route_plan(14, &msgs);
+    let router_build = start.elapsed();
+    assert!(router_build.as_secs_f64() < 10.0, "n=14 router plan took {router_build:?}");
+
+    // Transpose-pair exchange plan at bench size.
+    let n = 14u32;
+    let blocks: Vec<BlockMeta> = transpose_msgs(n, 8)
+        .into_iter()
+        .map(|(src, dst, elems)| BlockMeta { src, dst, elems })
+        .collect();
+    let dims: Vec<u32> = (0..n).rev().collect();
+    let start = Instant::now();
+    let exchange =
+        exchange_plan(n, blocks, &dims, BufferPolicy::Ideal, PortMode::OnePort, "smoke/exchange");
+    let exchange_build = start.elapsed();
+    assert!(exchange_build.as_secs_f64() < 10.0, "n=14 exchange plan took {exchange_build:?}");
+    assert!(!exchange.rounds.is_empty());
+
+    // Full rule sweep on a checked-size workload: n=12 all-to-all
+    // exchange (4096 blocks) plus the n=14 router plan above.
+    let params = MachineParams::connection_machine();
+    let sizes: Vec<Vec<u64>> =
+        (0..16).map(|s: u64| (0..16).map(|d| u64::from(s != d)).collect()).collect();
+    let small = all_to_all_exchange_plan(4, &sizes, BufferPolicy::Ideal, PortMode::OnePort);
+    let start = Instant::now();
+    for plan in [&router, &small] {
+        let low = cubecheck::lower(plan, &params);
+        let diags = cubecheck::check_all(&low, &params);
+        assert!(diags.is_empty(), "{}", diags[0]);
+    }
+    let check = start.elapsed();
+    assert!(check.as_secs_f64() < 20.0, "rule sweep took {check:?}");
+
+    // A routed pair sanity anchor so the smoke also guards correctness.
+    let single = ecube_route_plan(4, &[(NodeId(0), NodeId(15), 1)]);
+    assert_eq!(single.rounds.len(), 4);
+}

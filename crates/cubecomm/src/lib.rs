@@ -20,11 +20,15 @@
 //!   `l` all-to-all steps in the order of Theorem 1.
 //! * [`ecube`] — a dimension-ordered store-and-forward router, the
 //!   "routing logic" baseline of the experiments.
+//! * [`plan`] — static, payload-free introspection of all the above: the
+//!   schedules as first-class data, for the `cubecheck` invariant
+//!   checkers and for planning-cost benchmarks.
 
 pub mod block;
 pub mod ecube;
 pub mod exchange;
 pub mod one_to_all;
+pub mod plan;
 pub mod sbnt;
 pub mod sbt;
 pub mod some_to_all;

@@ -1,0 +1,700 @@
+//! Static schedule introspection: metadata-only communication plans.
+//!
+//! Every routing engine in this crate executes a *schedule* — a sequence
+//! of synchronous rounds, each moving a set of `(source, dimension)`
+//! messages — but historically only exposed the execution interface:
+//! the schedule existed implicitly, observable solely through
+//! [`cubesim::SimNet`]'s dynamic accounting. The builders here produce
+//! the same schedules as first-class data ([`CommSchedule`]) without a
+//! simulator and without payloads: blocks are `(src, dst, elems)`
+//! records ([`BlockMeta`]), and each planned round lists which block ids
+//! cross which directed links.
+//!
+//! Each builder mirrors its engine's control flow *exactly* — the same
+//! partitioning, chunking, grouping and FIFO order — so that a plan's
+//! per-round link claims coincide, round for round and link for link,
+//! with the [`cubesim::CommReport::link_history`] an execution records.
+//! The `cubecheck` crate's equivalence property tests enforce this
+//! coincidence on random schedules; its static checkers then prove the
+//! paper's structural invariants (port legality, edge-disjointness,
+//! `B_m` packet budgets, conservation, deadlock freedom) on the plan
+//! alone.
+//!
+//! Builders never panic on *invariant* violations (a plan for a broken
+//! schedule is still a plan — `cubecheck` reports the breakage as
+//! diagnostics); they only assert on malformed inputs (shape mismatches,
+//! zero-element blocks).
+
+use crate::exchange::BufferPolicy;
+use crate::sbnt::sbnt_path_dims;
+use crate::sbt::Sbt;
+use crate::some_to_all;
+use cubeaddr::{DimSet, NodeId};
+use cubesim::PortMode;
+use std::collections::{BTreeMap, VecDeque};
+
+/// A block's metadata: everything the cost model and the invariants see.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BlockMeta {
+    /// Originating node (also the initial holder in every built plan).
+    pub src: NodeId,
+    /// Final destination node.
+    pub dst: NodeId,
+    /// Payload size in matrix elements (must be positive).
+    pub elems: u64,
+}
+
+/// One planned message: the blocks crossing one directed link in one
+/// round. Block ids index [`CommSchedule::blocks`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PlannedMsg {
+    /// Sending node.
+    pub src: NodeId,
+    /// Dimension crossed (the receiver is `src.neighbor(dim)`).
+    pub dim: u32,
+    /// Ids of the blocks travelling in this message.
+    pub blocks: Vec<u32>,
+}
+
+/// One planned round: its messages plus any local-copy work charged in
+/// the same round (the gather pass of the buffered exchange policy).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct PlanRound {
+    /// Messages sent this round, in the engine's send order.
+    pub msgs: Vec<PlannedMsg>,
+    /// `(node, elements)` local-copy charges for this round.
+    pub copies: Vec<(NodeId, u64)>,
+}
+
+/// A complete static communication schedule.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CommSchedule {
+    /// Human-readable schedule name (carried into diagnostics).
+    pub name: String,
+    /// Cube dimension.
+    pub n: u32,
+    /// Port discipline the schedule claims to satisfy.
+    pub ports: PortMode,
+    /// True when the schedule routes every block through a dimension
+    /// order consistent with a fixed channel order (the e-cube router's
+    /// ascending scan, the exchange family's fixed dimension sequence,
+    /// the unrotated SBT's logical order) — the precondition of the
+    /// channel-dependency-graph deadlock-freedom check. Cyclic-shift
+    /// families (SBnT, rotated-tree sets) are *not* dimension-ordered;
+    /// their safety comes from round-synchronous batching instead.
+    pub dimension_ordered: bool,
+    /// The blocks moved by the schedule; ids are indices into this list.
+    pub blocks: Vec<BlockMeta>,
+    /// The rounds, in execution order. Rounds with no messages are
+    /// real: an execution still pays a round boundary there.
+    pub rounds: Vec<PlanRound>,
+}
+
+impl CommSchedule {
+    /// Total elements carried by one planned message.
+    pub fn msg_elems(&self, msg: &PlannedMsg) -> u64 {
+        msg.blocks.iter().map(|&i| self.blocks[i as usize].elems).sum()
+    }
+
+    /// Total messages over all rounds.
+    pub fn total_messages(&self) -> u64 {
+        self.rounds.iter().map(|r| r.msgs.len() as u64).sum()
+    }
+
+    /// Total elements over all links over all rounds.
+    pub fn total_elems(&self) -> u64 {
+        self.rounds.iter().flat_map(|r| &r.msgs).map(|m| self.msg_elems(m)).sum()
+    }
+}
+
+/// Validates block metadata shared by every builder: positive sizes and
+/// in-range endpoints.
+#[track_caller]
+fn check_blocks(n: u32, blocks: &[BlockMeta]) {
+    let num = 1u64 << n;
+    assert!(blocks.len() < u32::MAX as usize, "block id space exhausted");
+    for b in blocks {
+        assert!(b.elems > 0, "zero-element block {} -> {}: drop virtual blocks", b.src, b.dst);
+        assert!(b.src.bits() < num && b.dst.bits() < num, "block endpoints outside the {n}-cube");
+    }
+}
+
+/// Mirrors `exchange::memory_chunks` on block ids: sort by
+/// `(dst, src)` (the local storage order of the blocked array) and split
+/// into the `2^step` near-equal runs the iPSC implementation sees.
+fn chunk_ids(mut ids: Vec<u32>, step_index: usize, blocks: &[BlockMeta]) -> Vec<Vec<u32>> {
+    if ids.is_empty() {
+        return Vec::new();
+    }
+    ids.sort_by_key(|&i| (blocks[i as usize].dst, blocks[i as usize].src));
+    let want = 1usize << step_index.min(62);
+    let chunks = want.min(ids.len());
+    let per = ids.len().div_ceil(chunks);
+    ids.chunks(per).map(<[u32]>::to_vec).collect()
+}
+
+/// Plans [`crate::exchange::exchange_over_dims`]: the standard exchange
+/// algorithm over `dims` in order, starting from every block at its
+/// source, under the given send policy.
+///
+/// Blocks must have pairwise distinct `(src, dst)` pairs — the engine's
+/// in-place partition does not preserve the order of equal `(dst, src)`
+/// sort keys, so duplicate pairs could chunk differently in the plan
+/// than in the execution.
+#[track_caller]
+pub fn exchange_plan(
+    n: u32,
+    blocks: Vec<BlockMeta>,
+    dims: &[u32],
+    policy: BufferPolicy,
+    ports: PortMode,
+    name: impl Into<String>,
+) -> CommSchedule {
+    check_blocks(n, &blocks);
+    {
+        let mut pairs: Vec<(NodeId, NodeId)> = blocks.iter().map(|b| (b.src, b.dst)).collect();
+        pairs.sort_unstable();
+        assert!(
+            pairs.windows(2).all(|w| w[0] != w[1]),
+            "exchange plans need pairwise distinct (src, dst) block pairs"
+        );
+    }
+    let num = 1usize << n;
+    let mut held: Vec<Vec<u32>> = vec![Vec::new(); num];
+    for (i, b) in blocks.iter().enumerate() {
+        held[b.src.index()].push(i as u32);
+    }
+    let elems_of = |ids: &[u32]| -> u64 { ids.iter().map(|&i| blocks[i as usize].elems).sum() };
+    let mut rounds: Vec<PlanRound> = Vec::new();
+    for (step_index, &j) in dims.iter().enumerate() {
+        // Partition each node's holdings into keep / send on the dst bit.
+        let mut to_send: Vec<Vec<u32>> = Vec::with_capacity(num);
+        for (x, slot) in held.iter_mut().enumerate() {
+            let xbit = (x as u64 >> j) & 1;
+            let (keep, send): (Vec<u32>, Vec<u32>) =
+                slot.drain(..).partition(|&i| (blocks[i as usize].dst.bits() >> j) & 1 == xbit);
+            *slot = keep;
+            to_send.push(send);
+        }
+        match policy {
+            BufferPolicy::Ideal => {
+                // One round per dimension, sends or not: the engine
+                // always pays the round boundary.
+                let msgs = to_send
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, send)| !send.is_empty())
+                    .map(|(x, send)| PlannedMsg {
+                        src: NodeId(x as u64),
+                        dim: j,
+                        blocks: send.clone(),
+                    })
+                    .collect();
+                rounds.push(PlanRound { msgs, copies: Vec::new() });
+            }
+            BufferPolicy::Unbuffered => {
+                let chunked: Vec<Vec<Vec<u32>>> = to_send
+                    .iter()
+                    .map(|send| chunk_ids(send.clone(), step_index, &blocks))
+                    .collect();
+                let max_chunks = chunked.iter().map(Vec::len).max().unwrap_or(0);
+                // One sub-round per chunk ordinal; a step nobody sends in
+                // costs no rounds at all (max_chunks = 0).
+                for i in 0..max_chunks {
+                    let msgs = chunked
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, chunks)| i < chunks.len())
+                        .map(|(x, chunks)| PlannedMsg {
+                            src: NodeId(x as u64),
+                            dim: j,
+                            blocks: chunks[i].clone(),
+                        })
+                        .collect();
+                    rounds.push(PlanRound { msgs, copies: Vec::new() });
+                }
+            }
+            BufferPolicy::Buffered { min_direct } => {
+                // (direct chunks, gathered ids) per node, as the engine
+                // splits them.
+                let split: Vec<(Vec<Vec<u32>>, Vec<u32>)> = to_send
+                    .iter()
+                    .map(|send| {
+                        let mut direct = Vec::new();
+                        let mut gathered = Vec::new();
+                        for chunk in chunk_ids(send.clone(), step_index, &blocks) {
+                            if elems_of(&chunk) >= min_direct as u64 {
+                                direct.push(chunk);
+                            } else {
+                                gathered.extend(chunk);
+                            }
+                        }
+                        (direct, gathered)
+                    })
+                    .collect();
+                let max_direct = split.iter().map(|(d, _)| d.len()).max().unwrap_or(0);
+                for i in 0..max_direct {
+                    let msgs = split
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, (direct, _))| i < direct.len())
+                        .map(|(x, (direct, _))| PlannedMsg {
+                            src: NodeId(x as u64),
+                            dim: j,
+                            blocks: direct[i].clone(),
+                        })
+                        .collect();
+                    rounds.push(PlanRound { msgs, copies: Vec::new() });
+                }
+                if split.iter().any(|(_, g)| !g.is_empty()) {
+                    let mut round = PlanRound::default();
+                    for (x, (_, gathered)) in split.iter().enumerate() {
+                        if !gathered.is_empty() {
+                            round.copies.push((NodeId(x as u64), elems_of(gathered)));
+                            round.msgs.push(PlannedMsg {
+                                src: NodeId(x as u64),
+                                dim: j,
+                                blocks: gathered.clone(),
+                            });
+                        }
+                    }
+                    rounds.push(round);
+                }
+            }
+        }
+        // The step's sends land at the dimension-j neighbor. (Within a
+        // step the engine delivers per sub-round, but delivered blocks
+        // never re-send in the same step, so moving them once at the end
+        // plans identically.)
+        for (x, send) in to_send.into_iter().enumerate() {
+            held[x ^ (1usize << j)].extend(send);
+        }
+    }
+    CommSchedule { name: name.into(), n, ports, dimension_ordered: true, blocks, rounds }
+}
+
+/// Plans [`crate::exchange::all_to_all_exchange`]: one block per
+/// `(src, dst)` pair (zero sizes dropped, the diagonal kept in place),
+/// exchanged over all `n` dimensions highest first.
+#[track_caller]
+pub fn all_to_all_exchange_plan(
+    n: u32,
+    sizes: &[Vec<u64>],
+    policy: BufferPolicy,
+    ports: PortMode,
+) -> CommSchedule {
+    let num = 1usize << n;
+    assert_eq!(sizes.len(), num, "need one size row per source");
+    let mut blocks = Vec::new();
+    for (s, per_dst) in sizes.iter().enumerate() {
+        assert_eq!(per_dst.len(), num, "need one (possibly zero) size per destination");
+        for (d, &elems) in per_dst.iter().enumerate() {
+            if elems > 0 {
+                blocks.push(BlockMeta { src: NodeId(s as u64), dst: NodeId(d as u64), elems });
+            }
+        }
+    }
+    let dims: Vec<u32> = (0..n).rev().collect();
+    exchange_plan(n, blocks, &dims, policy, ports, format!("all_to_all_exchange/n{n}"))
+}
+
+/// Plans [`crate::some_to_all::some_to_all`]: sources are the nodes whose
+/// `k_dims` bits are zero (ascending); splitting over `k_dims` runs
+/// first (Theorem 1), then all-to-all over `l_dims`, both highest
+/// dimension first.
+#[track_caller]
+pub fn some_to_all_plan(
+    n: u32,
+    l_dims: DimSet,
+    k_dims: DimSet,
+    sizes: &[Vec<u64>],
+    policy: BufferPolicy,
+    ports: PortMode,
+) -> CommSchedule {
+    assert!(l_dims.is_disjoint(k_dims), "l and k dimension sets overlap");
+    assert_eq!(l_dims.union(k_dims), DimSet::all(n), "l ∪ k must cover the cube dimensions");
+    let num = 1usize << n;
+    let sources = some_to_all::subcube_nodes(n, k_dims);
+    assert_eq!(sizes.len(), sources.len(), "one size row per source node");
+    let mut blocks = Vec::new();
+    for (src, per_dst) in sources.iter().zip(sizes) {
+        assert_eq!(per_dst.len(), num, "one (possibly zero) size per destination");
+        for (d, &elems) in per_dst.iter().enumerate() {
+            if elems > 0 {
+                blocks.push(BlockMeta { src: *src, dst: NodeId(d as u64), elems });
+            }
+        }
+    }
+    let dims = some_to_all::phase_order(l_dims, k_dims, true);
+    exchange_plan(n, blocks, &dims, policy, ports, format!("some_to_all/n{n}/k{:#b}", k_dims.0))
+}
+
+/// Plans [`crate::one_to_all::one_to_all_sbt`]: SBT routing from `root`,
+/// one round per logical dimension, subtree data sent all at once.
+/// `sizes[d]` is the element count destined to node `d` (zeros dropped).
+#[track_caller]
+pub fn one_to_all_sbt_plan(n: u32, root: NodeId, sizes: &[u64]) -> CommSchedule {
+    let num = 1usize << n;
+    assert_eq!(sizes.len(), num, "one size per destination node");
+    let tree = Sbt::new(n, root);
+    let blocks: Vec<BlockMeta> = sizes
+        .iter()
+        .enumerate()
+        .filter(|&(_, &e)| e > 0)
+        .map(|(d, &elems)| BlockMeta { src: root, dst: NodeId(d as u64), elems })
+        .collect();
+    check_blocks(n, &blocks);
+    let mut held: Vec<Vec<u32>> = vec![Vec::new(); num];
+    held[root.index()] = (0..blocks.len() as u32).collect();
+    let mut rounds = Vec::new();
+    for j in 0..n {
+        let mut round = PlanRound::default();
+        let dim = tree.physical_dim(j);
+        for lx in 0..(1u64 << j) {
+            let x = tree.physical(lx);
+            let (keep, send): (Vec<u32>, Vec<u32>) = held[x.index()]
+                .drain(..)
+                .partition(|&i| (tree.logical(blocks[i as usize].dst) >> j) & 1 == 0);
+            held[x.index()] = keep;
+            if !send.is_empty() {
+                held[x.neighbor(dim).index()].extend(&send);
+                round.msgs.push(PlannedMsg { src: x, dim, blocks: send });
+            }
+        }
+        rounds.push(round);
+    }
+    CommSchedule {
+        name: format!("one_to_all_sbt/n{n}/root{root}"),
+        n,
+        ports: PortMode::OnePort,
+        // The unrotated, unreflected SBT routes logical = physical
+        // dimensions in ascending order.
+        dimension_ordered: true,
+        blocks,
+        rounds,
+    }
+}
+
+/// Plans [`crate::one_to_all::one_to_all_trees`]: every destination's
+/// data split into `trees.len()` near-equal parts (first parts take the
+/// remainder), each part routed down its own tree, all trees
+/// concurrently (n-port).
+///
+/// Also plans the derived families: pass `n` rotated trees for
+/// [`crate::one_to_all::one_to_all_rotated_sbts`], or the standard +
+/// reflected pair for [`crate::one_to_all::one_to_all_reflected_pair`].
+#[track_caller]
+pub fn one_to_all_trees_plan(n: u32, sizes: &[u64], trees: &[Sbt]) -> CommSchedule {
+    let num = 1usize << n;
+    assert_eq!(sizes.len(), num, "one size per destination node");
+    assert!(!trees.is_empty());
+    let root = trees[0].root();
+    for t in trees {
+        assert_eq!(t.n(), n, "tree on the wrong cube");
+        assert_eq!(t.root(), root, "trees must share the root");
+    }
+    let k_trees = trees.len() as u64;
+    // Block per (destination, tree) slice, mirroring split_even sizing:
+    // part k of a total gets `total/k_trees` plus one of the first
+    // `total mod k_trees` remainders.
+    let mut blocks = Vec::new();
+    let mut held: Vec<Vec<Vec<u32>>> = (0..trees.len()).map(|_| vec![Vec::new(); num]).collect();
+    for (d, &total) in sizes.iter().enumerate() {
+        let (base, extra) = (total / k_trees, total % k_trees);
+        for k in 0..k_trees {
+            let elems = base + u64::from(k < extra);
+            if elems > 0 {
+                held[k as usize][root.index()].push(blocks.len() as u32);
+                blocks.push(BlockMeta { src: root, dst: NodeId(d as u64), elems });
+            }
+        }
+    }
+    check_blocks(n, &blocks);
+    let mut rounds = Vec::new();
+    for j in 0..n {
+        let mut round = PlanRound::default();
+        for (k, tree) in trees.iter().enumerate() {
+            let dim = tree.physical_dim(j);
+            for lx in 0..(1u64 << j) {
+                let x = tree.physical(lx);
+                let (keep, send): (Vec<u32>, Vec<u32>) = held[k][x.index()]
+                    .drain(..)
+                    .partition(|&i| (tree.logical(blocks[i as usize].dst) >> j) & 1 == 0);
+                held[k][x.index()] = keep;
+                if !send.is_empty() {
+                    held[k][x.neighbor(dim).index()].extend(&send);
+                    round.msgs.push(PlannedMsg { src: x, dim, blocks: send });
+                }
+            }
+        }
+        rounds.push(round);
+    }
+    CommSchedule {
+        name: format!("one_to_all_trees/n{n}/root{root}/k{}", trees.len()),
+        n,
+        ports: PortMode::AllPorts,
+        // Rotated/reflected trees cross dimensions in cyclically shifted
+        // orders; no single channel order covers the family.
+        dimension_ordered: false,
+        blocks,
+        rounds,
+    }
+}
+
+/// Plans [`crate::sbnt::all_to_all_sbnt`]: every block follows its SBnT
+/// path one hop per round, blocks queued at a node for the same port
+/// travelling as one message.
+#[track_caller]
+pub fn all_to_all_sbnt_plan(n: u32, sizes: &[Vec<u64>]) -> CommSchedule {
+    let num = 1usize << n;
+    assert_eq!(sizes.len(), num, "one size row per source");
+    struct InFlight {
+        id: u32,
+        dims: Vec<u32>,
+        pos: usize,
+    }
+    let mut blocks = Vec::new();
+    let mut pending: Vec<Vec<InFlight>> = (0..num).map(|_| Vec::new()).collect();
+    for (s, per_dst) in sizes.iter().enumerate() {
+        assert_eq!(per_dst.len(), num, "one (possibly zero) size per destination");
+        for (d, &elems) in per_dst.iter().enumerate() {
+            if elems == 0 {
+                continue;
+            }
+            let (src, dst) = (NodeId(s as u64), NodeId(d as u64));
+            let id = blocks.len() as u32;
+            blocks.push(BlockMeta { src, dst, elems });
+            if s != d {
+                pending[s].push(InFlight { id, dims: sbnt_path_dims(src, dst, n), pos: 0 });
+            }
+        }
+    }
+    check_blocks(n, &blocks);
+    let mut rounds = Vec::new();
+    while pending.iter().any(|p| !p.is_empty()) {
+        let mut round = PlanRound::default();
+        let mut hops: Vec<(NodeId, u32, Vec<InFlight>)> = Vec::new();
+        for (x, slot) in pending.iter_mut().enumerate() {
+            let mut by_dim: BTreeMap<u32, Vec<InFlight>> = BTreeMap::new();
+            for f in slot.drain(..) {
+                by_dim.entry(f.dims[f.pos]).or_default().push(f);
+            }
+            for (dim, group) in by_dim {
+                hops.push((NodeId(x as u64), dim, group));
+            }
+        }
+        for (x, dim, group) in &hops {
+            round.msgs.push(PlannedMsg {
+                src: *x,
+                dim: *dim,
+                blocks: group.iter().map(|f| f.id).collect(),
+            });
+        }
+        rounds.push(round);
+        for (x, dim, group) in hops {
+            let land = x.neighbor(dim);
+            for mut f in group {
+                f.pos += 1;
+                if f.pos < f.dims.len() {
+                    pending[land.index()].push(f);
+                }
+            }
+        }
+    }
+    CommSchedule {
+        name: format!("all_to_all_sbnt/n{n}"),
+        n,
+        ports: PortMode::AllPorts,
+        // SBnT forwarding follows set bits cyclically to the left from
+        // the base port — not consistent with any fixed channel order.
+        dimension_ordered: false,
+        blocks,
+        rounds,
+    }
+}
+
+/// Plans [`crate::ecube::ecube_route`]: dimension-ordered store-and-
+/// forward routing, one message per directed link per round, FIFO per
+/// link, with the flat router's exact staging order (lanes ascending,
+/// dimensions ascending per lane, commits dimension-major).
+///
+/// `msgs` are `(src, dst, elems)`; zero-element and local messages plan
+/// no hops (local blocks still appear in the plan's block list, with an
+/// empty path — conservation treats them as already delivered).
+#[track_caller]
+pub fn ecube_route_plan(n: u32, msgs: &[(NodeId, NodeId, u64)]) -> CommSchedule {
+    let num = 1usize << n;
+    let nd = n as usize;
+    // One FIFO per (node, dim); only paths' nodes ever queue, but the
+    // flat lattice keeps the planner simple — empty VecDeques do not
+    // allocate.
+    let mut queues: Vec<VecDeque<u32>> = (0..num * nd.max(1)).map(|_| VecDeque::new()).collect();
+    let mut blocks = Vec::new();
+    let mut in_flight = 0usize;
+    for &(src, dst, elems) in msgs {
+        if elems == 0 {
+            continue;
+        }
+        let id = blocks.len() as u32;
+        blocks.push(BlockMeta { src, dst, elems });
+        let diff = src.bits() ^ dst.bits();
+        if diff != 0 {
+            queues[src.index() * nd + diff.trailing_zeros() as usize].push_back(id);
+            in_flight += 1;
+        }
+    }
+    check_blocks(n, &blocks);
+    let mut rounds = Vec::new();
+    // Per-dimension commit buffers: heads pop lanes-ascending then
+    // dims-ascending, commit dimension-major — the router's send order.
+    let mut commit: Vec<Vec<(NodeId, u32)>> = (0..nd).map(|_| Vec::new()).collect();
+    while in_flight > 0 {
+        for x in 0..num {
+            for d in 0..nd {
+                if let Some(&id) = queues[x * nd + d].front() {
+                    queues[x * nd + d].pop_front();
+                    commit[d].push((NodeId(x as u64), id));
+                }
+            }
+        }
+        let mut round = PlanRound::default();
+        for (d, staged) in commit.iter().enumerate() {
+            for &(src, id) in staged {
+                round.msgs.push(PlannedMsg { src, dim: d as u32, blocks: vec![id] });
+            }
+        }
+        rounds.push(round);
+        // Land in send order: retire arrivals, requeue the rest on their
+        // next e-cube dimension.
+        for (d, staged) in commit.iter_mut().enumerate() {
+            for (src, id) in staged.drain(..) {
+                let land = src.neighbor(d as u32);
+                let diff = land.bits() ^ blocks[id as usize].dst.bits();
+                if diff == 0 {
+                    in_flight -= 1;
+                } else {
+                    queues[land.index() * nd + diff.trailing_zeros() as usize].push_back(id);
+                }
+            }
+        }
+    }
+    CommSchedule {
+        name: format!("ecube_route/n{n}"),
+        n,
+        ports: PortMode::AllPorts,
+        dimension_ordered: true,
+        blocks,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchange_plan_counts_match_formula() {
+        // n=2 all-to-all, 1 elem per pair, Ideal: 2 rounds, every node
+        // sends 2 blocks per round.
+        let n = 2;
+        let sizes = vec![vec![1u64; 4]; 4];
+        let plan = all_to_all_exchange_plan(n, &sizes, BufferPolicy::Ideal, PortMode::OnePort);
+        assert_eq!(plan.rounds.len(), 2);
+        assert_eq!(plan.blocks.len(), 16);
+        for round in &plan.rounds {
+            assert_eq!(round.msgs.len(), 4);
+            for m in &round.msgs {
+                assert_eq!(plan.msg_elems(m), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn unbuffered_plan_subrounds_sum_to_n_minus_one() {
+        let n = 3;
+        let sizes = vec![vec![2u64; 8]; 8];
+        let plan = all_to_all_exchange_plan(n, &sizes, BufferPolicy::Unbuffered, PortMode::OnePort);
+        assert_eq!(plan.rounds.len(), (1 << n) - 1);
+    }
+
+    #[test]
+    fn buffered_plan_charges_copies_for_gathered_chunks() {
+        // Mirrors exchange::tests::buffered_charges_copy_only_for_small_chunks.
+        let n = 3;
+        let sizes = vec![vec![4u64; 8]; 8];
+        let plan = all_to_all_exchange_plan(
+            n,
+            &sizes,
+            BufferPolicy::Buffered { min_direct: 8 },
+            PortMode::OnePort,
+        );
+        assert_eq!(plan.rounds.len(), 4);
+        let copied: u64 = plan.rounds.iter().flat_map(|r| &r.copies).map(|&(_, e)| e).sum();
+        // Last step: every node gathers 4 chunks x 4 elements = 16.
+        assert_eq!(copied, 16 * 8);
+    }
+
+    #[test]
+    fn sbt_plan_has_n_rounds_and_conserves_elems() {
+        let n = 4;
+        let sizes: Vec<u64> = (0..16u64).map(|d| d % 3 + 1).collect();
+        let plan = one_to_all_sbt_plan(n, NodeId(5), &sizes);
+        assert_eq!(plan.rounds.len(), n as usize);
+        let total: u64 = plan.blocks.iter().map(|b| b.elems).sum();
+        assert_eq!(total, sizes.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn trees_plan_splits_like_split_even() {
+        let n = 2;
+        let trees: Vec<Sbt> = (0..n).map(|k| Sbt::rotated(n, NodeId(0), k)).collect();
+        let plan = one_to_all_trees_plan(n, &[0, 5, 2, 1], &trees);
+        // dst 1: 5 elems over 2 trees -> 3 + 2; dst 2: 1 + 1; dst 3: 1.
+        let sizes: Vec<u64> = plan.blocks.iter().map(|b| b.elems).collect();
+        assert_eq!(sizes.iter().sum::<u64>(), 8);
+        assert!(sizes.contains(&3) && sizes.contains(&2));
+    }
+
+    #[test]
+    fn sbnt_plan_round_count_is_max_path_length() {
+        let n = 4;
+        let sizes = vec![vec![1u64; 16]; 16];
+        let plan = all_to_all_sbnt_plan(n, &sizes);
+        assert_eq!(plan.rounds.len(), n as usize);
+    }
+
+    #[test]
+    fn ecube_plan_single_message_takes_distance_rounds() {
+        let plan = ecube_route_plan(4, &[(NodeId(0), NodeId(0b1011), 2)]);
+        assert_eq!(plan.rounds.len(), 3);
+        for round in &plan.rounds {
+            assert_eq!(round.msgs.len(), 1);
+        }
+        // Hops ascend dimensions 0, 1, 3.
+        let dims: Vec<u32> = plan.rounds.iter().map(|r| r.msgs[0].dim).collect();
+        assert_eq!(dims, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn ecube_plan_contention_serializes() {
+        // Mirrors ecube::tests::contention_serializes: both messages
+        // queue on (1, dim 0); the second waits a round.
+        let plan = ecube_route_plan(2, &[(NodeId(1), NodeId(0), 1), (NodeId(1), NodeId(2), 1)]);
+        assert_eq!(plan.rounds.len(), 3);
+        assert_eq!(plan.rounds[0].msgs.len(), 1);
+    }
+
+    #[test]
+    fn local_and_empty_router_messages_plan_no_hops() {
+        let plan = ecube_route_plan(2, &[(NodeId(2), NodeId(2), 5), (NodeId(0), NodeId(3), 0)]);
+        assert!(plan.rounds.is_empty());
+        assert_eq!(plan.blocks.len(), 1); // the local block survives; the empty one is dropped
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct (src, dst)")]
+    fn exchange_plan_rejects_duplicate_pairs() {
+        let b = BlockMeta { src: NodeId(0), dst: NodeId(1), elems: 1 };
+        let _ = exchange_plan(1, vec![b, b], &[0], BufferPolicy::Ideal, PortMode::OnePort, "dup");
+    }
+}

@@ -91,7 +91,7 @@ pub fn all_to_some<T: Clone + Send + Sync>(
 }
 
 /// Nodes of the subcube where all `k_dims` bits are zero, ascending.
-fn subcube_nodes(n: u32, k_dims: DimSet) -> Vec<NodeId> {
+pub(crate) fn subcube_nodes(n: u32, k_dims: DimSet) -> Vec<NodeId> {
     NodeId::all(n).filter(|x| x.bits() & k_dims.0 == 0).collect()
 }
 
@@ -125,7 +125,7 @@ fn seed_sources<T>(
     held
 }
 
-fn phase_order(l_dims: DimSet, k_dims: DimSet, split_first: bool) -> Vec<u32> {
+pub(crate) fn phase_order(l_dims: DimSet, k_dims: DimSet, split_first: bool) -> Vec<u32> {
     let mut dims: Vec<u32> = Vec::new();
     if split_first {
         dims.extend(k_dims.iter_desc());

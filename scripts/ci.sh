@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Full local CI gate: build, tests, lints, formatting, perf smoke.
+# Full local CI gate: build, tests, lints, formatting, static schedule
+# analysis, perf smoke.
 #
 # Usage: scripts/ci.sh
 #
@@ -9,40 +10,78 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> tier-1: release build"
+# Name every step so a failure reports *which* gate broke, not just a
+# bare nonzero exit from somewhere in the script.
+CURRENT_STEP="startup"
+begin() {
+    CURRENT_STEP="$1"
+    echo "==> $1"
+}
+fig_tmp="$(mktemp -d)"
+trap 'rm -rf "$fig_tmp"' EXIT
+trap 'echo "FAIL: CI step \"$CURRENT_STEP\" failed" >&2' ERR
+
+begin "tier-1: release build"
 cargo build --release
 
-echo "==> tier-1: workspace tests"
+begin "tier-1: workspace tests"
 cargo test -q --workspace
 
-echo "==> clippy (deny warnings)"
+begin "clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> rustfmt check"
+begin "rustfmt check"
 cargo fmt --check
 
-echo "==> perf smoke: n=10 all-to-all schedule (time-bounded)"
+begin "lint policy: no new code outside the allowlisted kernel module"
+# The workspace denies the corresponding rustc lint ([workspace.lints]);
+# this grep additionally pins the one module-level allow carve-out to
+# crates/core/src/local.rs, so a new allow attribute elsewhere fails
+# even before clippy sees it.
+violations="$(grep -rln 'uns[a]fe' \
+    --include='*.rs' crates shims src tests examples 2>/dev/null \
+    | grep -v '^crates/core/src/local.rs$' || true)"
+if [ -n "$violations" ]; then
+    echo "FAIL: non-allowlisted files mention the denied keyword:" >&2
+    echo "$violations" >&2
+    false
+fi
+
+begin "cubecheck: static invariants of the figure schedules"
+cargo run --release -q -p cubecheck -- --all-figures
+
+begin "cubecheck: plan/execution equivalence at 1 and 2 worker threads"
+# The equivalence suite loops its executions over with_threads(1|2)
+# internally; running it under both ambient settings also pins the
+# thread-local default path.
+CUBEBENCH_THREADS=1 cargo test --release -q -p cubecheck --test equivalence
+CUBEBENCH_THREADS=2 cargo test --release -q -p cubecheck --test equivalence
+
+begin "perf smoke: n=10 all-to-all schedule (time-bounded)"
 timeout 300 cargo test --release -q -p cubecomm --test perf_smoke -- --ignored \
     n10_all_to_all_completes_within_bound
 
-echo "==> perf smoke: n=12 router transpose (time-bounded)"
+begin "perf smoke: n=12 router transpose (time-bounded)"
 timeout 300 cargo test --release -q -p cubecomm --test perf_smoke -- --ignored \
     n12_router_transpose_completes_within_bound
 
-echo "==> perf smoke: n=10 fieldmap exchange sweep (time-bounded)"
+begin "perf smoke: n=10 fieldmap exchange sweep (time-bounded)"
 timeout 300 cargo test --release -q -p cubetranspose --test perf_smoke -- --ignored
 
-echo "==> router figures: CSVs must match committed baselines at every thread count"
-fig_tmp="$(mktemp -d)"
-trap 'rm -rf "$fig_tmp"' EXIT
+begin "perf smoke: n=14 schedule construction + rule sweep (time-bounded)"
+timeout 300 cargo test --release -q -p cubecheck --test perf_smoke -- --ignored
+
+begin "router figures: CSVs must match committed baselines at every thread count"
 for threads in 1 default; do
     rm -rf "$fig_tmp"/*
     if [ "$threads" = default ]; then
         env -u CUBEBENCH_THREADS cargo run --release -q -p cubebench --bin figures -- \
             --csv "$fig_tmp" fig14b fig16 fig17 fig18 >/dev/null
     else
+        # The threads=1 pass also statically lints the four figures'
+        # schedules from inside the figures driver (--lint).
         CUBEBENCH_THREADS="$threads" cargo run --release -q -p cubebench --bin figures -- \
-            --csv "$fig_tmp" fig14b fig16 fig17 fig18 >/dev/null
+            --lint --csv "$fig_tmp" fig14b fig16 fig17 fig18 >/dev/null
     fi
     for fig in fig14b fig16 fig17 fig18; do
         diff -u "results/$fig.csv" "$fig_tmp/$fig.csv" \

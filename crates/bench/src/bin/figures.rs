@@ -79,7 +79,8 @@ fn main() {
             }
             let workloads = cubecheck::workloads::figure(name).expect("lintable figure");
             for w in &workloads {
-                let low = cubecheck::lower(&w.schedule, &w.params);
+                let mut low = cubecheck::lower(&w.schedule, &w.params);
+                low.name = w.name.clone();
                 for d in cubecheck::check_all(&low, &w.params) {
                     eprintln!("{d}");
                     violations += 1;

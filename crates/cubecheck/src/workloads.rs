@@ -7,18 +7,34 @@
 //! machine model, at every benchmarked parameter point. The `cubecheck`
 //! binary lints them all; `cubebench`'s figure driver can do the same
 //! before generating data (`--lint`).
+//!
+//! Schedules are built through a process-wide [`PlanCache`] (see
+//! [`plan_cache`]): figures sharing a parameter point (the same `n` and
+//! element count) share one construction, and re-lints are warm hits.
+//! The cache hands out `Arc`s, so a workload's schedule is shared, not
+//! cloned; the figure-specific display name lives on the workload (and
+//! is copied onto the lowered IR for diagnostics), not on the schedule.
 
 use cubeaddr::NodeId;
-use cubecomm::plan::{ecube_route_plan, CommSchedule};
+use cubecomm::plan::{ecube_route_plan_cached, CommSchedule, PlanCache};
 use cubesim::{MachineParams, PortMode};
 use cubetranspose::two_dim::tr;
+use std::sync::{Arc, OnceLock};
+
+/// The process-wide plan cache feeding every figure workload. Sized to
+/// hold all distinct parameter points of all figures at once (the four
+/// figures use 31 distinct `(n, elems)` transpose plans).
+pub fn plan_cache() -> &'static PlanCache {
+    static CACHE: OnceLock<PlanCache> = OnceLock::new();
+    CACHE.get_or_init(|| PlanCache::new(64))
+}
 
 /// One lintable workload: a schedule plus the machine it targets.
 pub struct FigureWorkload {
     /// Workload name, e.g. `fig16/n10`.
     pub name: String,
-    /// The static schedule.
-    pub schedule: CommSchedule,
+    /// The static schedule (shared through [`plan_cache`]).
+    pub schedule: Arc<CommSchedule>,
     /// The machine model of the figure (sets `B_m` for the packet rule).
     pub params: MachineParams,
 }
@@ -40,9 +56,8 @@ fn workload(
     params: MachineParams,
     tag: String,
 ) -> FigureWorkload {
-    let mut schedule = ecube_route_plan(n, &transpose_msgs(n, elems));
-    schedule.name = format!("{figure}/{tag}");
-    FigureWorkload { name: schedule.name.clone(), schedule, params }
+    let schedule = ecube_route_plan_cached(plan_cache(), n, &transpose_msgs(n, elems));
+    FigureWorkload { name: format!("{figure}/{tag}"), schedule, params }
 }
 
 /// Figure 14(b): iPSC routing logic, all ports, `2^(m-n)` elements per
@@ -104,6 +119,14 @@ pub fn fig18() -> Vec<FigureWorkload> {
         .collect()
 }
 
+/// The n=16 CI smoke: one Connection-Machine transpose plan at the
+/// scale the ROADMAP gated on fast construction (65 536 nodes, one
+/// element per processor). Not part of [`FIGURES`] — CI invokes it by
+/// name under a time bound (`scripts/ci.sh`).
+pub fn n16_smoke() -> Vec<FigureWorkload> {
+    vec![workload("n16-smoke", 16, 1, MachineParams::connection_machine(), "n16".into())]
+}
+
 /// Names of all lintable figures.
 pub const FIGURES: [&str; 4] = ["fig14b", "fig16", "fig17", "fig18"];
 
@@ -114,6 +137,7 @@ pub fn figure(name: &str) -> Option<Vec<FigureWorkload>> {
         "fig16" => Some(fig16()),
         "fig17" => Some(fig17()),
         "fig18" => Some(fig18()),
+        "n16-smoke" => Some(n16_smoke()),
         _ => None,
     }
 }
@@ -129,6 +153,17 @@ mod tests {
             assert!(!figure(name).unwrap().is_empty());
         }
         assert!(figure("fig9").is_none());
+        assert_eq!(figure("n16-smoke").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn repeated_figures_share_cached_plans() {
+        let a = fig16();
+        let b = fig16();
+        for (wa, wb) in a.iter().zip(&b) {
+            assert!(Arc::ptr_eq(&wa.schedule, &wb.schedule), "{} rebuilt", wa.name);
+        }
+        assert!(plan_cache().stats().hits >= a.len() as u64);
     }
 
     #[test]

@@ -54,7 +54,7 @@ fn memory_chunks<T>(
 }
 
 /// Send policy for one exchange step (paper §8.1).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum BufferPolicy {
     /// One message per step, no copy charged: the idealized model used in
     /// the complexity sections (equivalently: copy time ignored).

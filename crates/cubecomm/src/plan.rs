@@ -20,21 +20,36 @@
 //! `B_m` packet budgets, conservation, deadlock freedom) on the plan
 //! alone.
 //!
+//! Construction is factored and fast (see [`skeleton`]): the
+//! node-independent round structure is computed once directly from
+//! block addresses and instantiated per node by relabeling, with the
+//! allocation-heavy per-round materialization fanned over
+//! [`cubesim::par`] (byte-identical output at any `CUBEBENCH_THREADS`).
+//! The pre-optimization planners survive verbatim in [`reference`],
+//! pinned to the fast builders by equivalence property tests. A keyed
+//! LRU [`PlanCache`] (see [`cache`]) plus the `*_cached` wrappers below
+//! make repeated requests for the same shape pay construction once.
+//!
 //! Builders never panic on *invariant* violations (a plan for a broken
 //! schedule is still a plan — `cubecheck` reports the breakage as
 //! diagnostics); they only assert on malformed inputs (shape mismatches,
 //! zero-element blocks).
 
+pub mod cache;
+pub mod reference;
+mod skeleton;
+
+pub use cache::{fingerprint, CacheStats, MachineKey, PlanCache, PlanKey};
+
 use crate::exchange::BufferPolicy;
-use crate::sbnt::sbnt_path_dims;
 use crate::sbt::Sbt;
 use crate::some_to_all;
 use cubeaddr::{DimSet, NodeId};
 use cubesim::PortMode;
-use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 /// A block's metadata: everything the cost model and the invariants see.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct BlockMeta {
     /// Originating node (also the initial holder in every built plan).
     pub src: NodeId,
@@ -159,117 +174,7 @@ pub fn exchange_plan(
             "exchange plans need pairwise distinct (src, dst) block pairs"
         );
     }
-    let num = 1usize << n;
-    let mut held: Vec<Vec<u32>> = vec![Vec::new(); num];
-    for (i, b) in blocks.iter().enumerate() {
-        held[b.src.index()].push(i as u32);
-    }
-    let elems_of = |ids: &[u32]| -> u64 { ids.iter().map(|&i| blocks[i as usize].elems).sum() };
-    let mut rounds: Vec<PlanRound> = Vec::new();
-    for (step_index, &j) in dims.iter().enumerate() {
-        // Partition each node's holdings into keep / send on the dst bit.
-        let mut to_send: Vec<Vec<u32>> = Vec::with_capacity(num);
-        for (x, slot) in held.iter_mut().enumerate() {
-            let xbit = (x as u64 >> j) & 1;
-            let (keep, send): (Vec<u32>, Vec<u32>) =
-                slot.drain(..).partition(|&i| (blocks[i as usize].dst.bits() >> j) & 1 == xbit);
-            *slot = keep;
-            to_send.push(send);
-        }
-        match policy {
-            BufferPolicy::Ideal => {
-                // One round per dimension, sends or not: the engine
-                // always pays the round boundary.
-                let msgs = to_send
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, send)| !send.is_empty())
-                    .map(|(x, send)| PlannedMsg {
-                        src: NodeId(x as u64),
-                        dim: j,
-                        blocks: send.clone(),
-                    })
-                    .collect();
-                rounds.push(PlanRound { msgs, copies: Vec::new() });
-            }
-            BufferPolicy::Unbuffered => {
-                let chunked: Vec<Vec<Vec<u32>>> = to_send
-                    .iter()
-                    .map(|send| chunk_ids(send.clone(), step_index, &blocks))
-                    .collect();
-                let max_chunks = chunked.iter().map(Vec::len).max().unwrap_or(0);
-                // One sub-round per chunk ordinal; a step nobody sends in
-                // costs no rounds at all (max_chunks = 0).
-                for i in 0..max_chunks {
-                    let msgs = chunked
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, chunks)| i < chunks.len())
-                        .map(|(x, chunks)| PlannedMsg {
-                            src: NodeId(x as u64),
-                            dim: j,
-                            blocks: chunks[i].clone(),
-                        })
-                        .collect();
-                    rounds.push(PlanRound { msgs, copies: Vec::new() });
-                }
-            }
-            BufferPolicy::Buffered { min_direct } => {
-                // (direct chunks, gathered ids) per node, as the engine
-                // splits them.
-                let split: Vec<(Vec<Vec<u32>>, Vec<u32>)> = to_send
-                    .iter()
-                    .map(|send| {
-                        let mut direct = Vec::new();
-                        let mut gathered = Vec::new();
-                        for chunk in chunk_ids(send.clone(), step_index, &blocks) {
-                            if elems_of(&chunk) >= min_direct as u64 {
-                                direct.push(chunk);
-                            } else {
-                                gathered.extend(chunk);
-                            }
-                        }
-                        (direct, gathered)
-                    })
-                    .collect();
-                let max_direct = split.iter().map(|(d, _)| d.len()).max().unwrap_or(0);
-                for i in 0..max_direct {
-                    let msgs = split
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, (direct, _))| i < direct.len())
-                        .map(|(x, (direct, _))| PlannedMsg {
-                            src: NodeId(x as u64),
-                            dim: j,
-                            blocks: direct[i].clone(),
-                        })
-                        .collect();
-                    rounds.push(PlanRound { msgs, copies: Vec::new() });
-                }
-                if split.iter().any(|(_, g)| !g.is_empty()) {
-                    let mut round = PlanRound::default();
-                    for (x, (_, gathered)) in split.iter().enumerate() {
-                        if !gathered.is_empty() {
-                            round.copies.push((NodeId(x as u64), elems_of(gathered)));
-                            round.msgs.push(PlannedMsg {
-                                src: NodeId(x as u64),
-                                dim: j,
-                                blocks: gathered.clone(),
-                            });
-                        }
-                    }
-                    rounds.push(round);
-                }
-            }
-        }
-        // The step's sends land at the dimension-j neighbor. (Within a
-        // step the engine delivers per sub-round, but delivered blocks
-        // never re-send in the same step, so moving them once at the end
-        // plans identically.)
-        for (x, send) in to_send.into_iter().enumerate() {
-            held[x ^ (1usize << j)].extend(send);
-        }
-    }
+    let rounds = skeleton::exchange_rounds(n, &blocks, dims, policy);
     CommSchedule { name: name.into(), n, ports, dimension_ordered: true, blocks, rounds }
 }
 
@@ -344,25 +249,7 @@ pub fn one_to_all_sbt_plan(n: u32, root: NodeId, sizes: &[u64]) -> CommSchedule 
         .map(|(d, &elems)| BlockMeta { src: root, dst: NodeId(d as u64), elems })
         .collect();
     check_blocks(n, &blocks);
-    let mut held: Vec<Vec<u32>> = vec![Vec::new(); num];
-    held[root.index()] = (0..blocks.len() as u32).collect();
-    let mut rounds = Vec::new();
-    for j in 0..n {
-        let mut round = PlanRound::default();
-        let dim = tree.physical_dim(j);
-        for lx in 0..(1u64 << j) {
-            let x = tree.physical(lx);
-            let (keep, send): (Vec<u32>, Vec<u32>) = held[x.index()]
-                .drain(..)
-                .partition(|&i| (tree.logical(blocks[i as usize].dst) >> j) & 1 == 0);
-            held[x.index()] = keep;
-            if !send.is_empty() {
-                held[x.neighbor(dim).index()].extend(&send);
-                round.msgs.push(PlannedMsg { src: x, dim, blocks: send });
-            }
-        }
-        rounds.push(round);
-    }
+    let rounds = skeleton::sbt_rounds(n, &blocks, &tree);
     CommSchedule {
         name: format!("one_to_all_sbt/n{n}/root{root}"),
         n,
@@ -398,37 +285,19 @@ pub fn one_to_all_trees_plan(n: u32, sizes: &[u64], trees: &[Sbt]) -> CommSchedu
     // part k of a total gets `total/k_trees` plus one of the first
     // `total mod k_trees` remainders.
     let mut blocks = Vec::new();
-    let mut held: Vec<Vec<Vec<u32>>> = (0..trees.len()).map(|_| vec![Vec::new(); num]).collect();
+    let mut tree_of: Vec<u32> = Vec::new();
     for (d, &total) in sizes.iter().enumerate() {
         let (base, extra) = (total / k_trees, total % k_trees);
         for k in 0..k_trees {
             let elems = base + u64::from(k < extra);
             if elems > 0 {
-                held[k as usize][root.index()].push(blocks.len() as u32);
+                tree_of.push(k as u32);
                 blocks.push(BlockMeta { src: root, dst: NodeId(d as u64), elems });
             }
         }
     }
     check_blocks(n, &blocks);
-    let mut rounds = Vec::new();
-    for j in 0..n {
-        let mut round = PlanRound::default();
-        for (k, tree) in trees.iter().enumerate() {
-            let dim = tree.physical_dim(j);
-            for lx in 0..(1u64 << j) {
-                let x = tree.physical(lx);
-                let (keep, send): (Vec<u32>, Vec<u32>) = held[k][x.index()]
-                    .drain(..)
-                    .partition(|&i| (tree.logical(blocks[i as usize].dst) >> j) & 1 == 0);
-                held[k][x.index()] = keep;
-                if !send.is_empty() {
-                    held[k][x.neighbor(dim).index()].extend(&send);
-                    round.msgs.push(PlannedMsg { src: x, dim, blocks: send });
-                }
-            }
-        }
-        rounds.push(round);
-    }
+    let rounds = skeleton::trees_rounds(n, &blocks, trees, &tree_of);
     CommSchedule {
         name: format!("one_to_all_trees/n{n}/root{root}/k{}", trees.len()),
         n,
@@ -448,59 +317,17 @@ pub fn one_to_all_trees_plan(n: u32, sizes: &[u64], trees: &[Sbt]) -> CommSchedu
 pub fn all_to_all_sbnt_plan(n: u32, sizes: &[Vec<u64>]) -> CommSchedule {
     let num = 1usize << n;
     assert_eq!(sizes.len(), num, "one size row per source");
-    struct InFlight {
-        id: u32,
-        dims: Vec<u32>,
-        pos: usize,
-    }
     let mut blocks = Vec::new();
-    let mut pending: Vec<Vec<InFlight>> = (0..num).map(|_| Vec::new()).collect();
     for (s, per_dst) in sizes.iter().enumerate() {
         assert_eq!(per_dst.len(), num, "one (possibly zero) size per destination");
         for (d, &elems) in per_dst.iter().enumerate() {
-            if elems == 0 {
-                continue;
-            }
-            let (src, dst) = (NodeId(s as u64), NodeId(d as u64));
-            let id = blocks.len() as u32;
-            blocks.push(BlockMeta { src, dst, elems });
-            if s != d {
-                pending[s].push(InFlight { id, dims: sbnt_path_dims(src, dst, n), pos: 0 });
+            if elems > 0 {
+                blocks.push(BlockMeta { src: NodeId(s as u64), dst: NodeId(d as u64), elems });
             }
         }
     }
     check_blocks(n, &blocks);
-    let mut rounds = Vec::new();
-    while pending.iter().any(|p| !p.is_empty()) {
-        let mut round = PlanRound::default();
-        let mut hops: Vec<(NodeId, u32, Vec<InFlight>)> = Vec::new();
-        for (x, slot) in pending.iter_mut().enumerate() {
-            let mut by_dim: BTreeMap<u32, Vec<InFlight>> = BTreeMap::new();
-            for f in slot.drain(..) {
-                by_dim.entry(f.dims[f.pos]).or_default().push(f);
-            }
-            for (dim, group) in by_dim {
-                hops.push((NodeId(x as u64), dim, group));
-            }
-        }
-        for (x, dim, group) in &hops {
-            round.msgs.push(PlannedMsg {
-                src: *x,
-                dim: *dim,
-                blocks: group.iter().map(|f| f.id).collect(),
-            });
-        }
-        rounds.push(round);
-        for (x, dim, group) in hops {
-            let land = x.neighbor(dim);
-            for mut f in group {
-                f.pos += 1;
-                if f.pos < f.dims.len() {
-                    pending[land.index()].push(f);
-                }
-            }
-        }
-    }
+    let rounds = skeleton::sbnt_rounds(n, &blocks);
     CommSchedule {
         name: format!("all_to_all_sbnt/n{n}"),
         n,
@@ -523,61 +350,13 @@ pub fn all_to_all_sbnt_plan(n: u32, sizes: &[Vec<u64>]) -> CommSchedule {
 /// empty path — conservation treats them as already delivered).
 #[track_caller]
 pub fn ecube_route_plan(n: u32, msgs: &[(NodeId, NodeId, u64)]) -> CommSchedule {
-    let num = 1usize << n;
-    let nd = n as usize;
-    // One FIFO per (node, dim); only paths' nodes ever queue, but the
-    // flat lattice keeps the planner simple — empty VecDeques do not
-    // allocate.
-    let mut queues: Vec<VecDeque<u32>> = (0..num * nd.max(1)).map(|_| VecDeque::new()).collect();
-    let mut blocks = Vec::new();
-    let mut in_flight = 0usize;
-    for &(src, dst, elems) in msgs {
-        if elems == 0 {
-            continue;
-        }
-        let id = blocks.len() as u32;
-        blocks.push(BlockMeta { src, dst, elems });
-        let diff = src.bits() ^ dst.bits();
-        if diff != 0 {
-            queues[src.index() * nd + diff.trailing_zeros() as usize].push_back(id);
-            in_flight += 1;
-        }
-    }
+    let blocks: Vec<BlockMeta> = msgs
+        .iter()
+        .filter(|&&(_, _, elems)| elems > 0)
+        .map(|&(src, dst, elems)| BlockMeta { src, dst, elems })
+        .collect();
     check_blocks(n, &blocks);
-    let mut rounds = Vec::new();
-    // Per-dimension commit buffers: heads pop lanes-ascending then
-    // dims-ascending, commit dimension-major — the router's send order.
-    let mut commit: Vec<Vec<(NodeId, u32)>> = (0..nd).map(|_| Vec::new()).collect();
-    while in_flight > 0 {
-        for x in 0..num {
-            for d in 0..nd {
-                if let Some(&id) = queues[x * nd + d].front() {
-                    queues[x * nd + d].pop_front();
-                    commit[d].push((NodeId(x as u64), id));
-                }
-            }
-        }
-        let mut round = PlanRound::default();
-        for (d, staged) in commit.iter().enumerate() {
-            for &(src, id) in staged {
-                round.msgs.push(PlannedMsg { src, dim: d as u32, blocks: vec![id] });
-            }
-        }
-        rounds.push(round);
-        // Land in send order: retire arrivals, requeue the rest on their
-        // next e-cube dimension.
-        for (d, staged) in commit.iter_mut().enumerate() {
-            for (src, id) in staged.drain(..) {
-                let land = src.neighbor(d as u32);
-                let diff = land.bits() ^ blocks[id as usize].dst.bits();
-                if diff == 0 {
-                    in_flight -= 1;
-                } else {
-                    queues[land.index() * nd + diff.trailing_zeros() as usize].push_back(id);
-                }
-            }
-        }
-    }
+    let rounds = skeleton::ecube_rounds(n, &blocks);
     CommSchedule {
         name: format!("ecube_route/n{n}"),
         n,
@@ -586,6 +365,104 @@ pub fn ecube_route_plan(n: u32, msgs: &[(NodeId, NodeId, u64)]) -> CommSchedule 
         blocks,
         rounds,
     }
+}
+
+// --- Cached front-ends -------------------------------------------------
+//
+// One wrapper per planner: the cache key fingerprints the *complete*
+// planner input (see `cache` module docs on keying), so a hit is
+// guaranteed byte-identical to the cold construction it replaces.
+
+/// [`exchange_plan`] through a [`PlanCache`].
+#[track_caller]
+pub fn exchange_plan_cached(
+    cache: &PlanCache,
+    n: u32,
+    blocks: &[BlockMeta],
+    dims: &[u32],
+    policy: BufferPolicy,
+    ports: PortMode,
+    name: &str,
+) -> Arc<CommSchedule> {
+    let key = PlanKey::new("exchange", n)
+        .with_fingerprint(fingerprint(&(blocks, dims, policy, ports, name)));
+    cache.get_or_build(key, || exchange_plan(n, blocks.to_vec(), dims, policy, ports, name))
+}
+
+/// [`all_to_all_exchange_plan`] through a [`PlanCache`].
+#[track_caller]
+pub fn all_to_all_exchange_plan_cached(
+    cache: &PlanCache,
+    n: u32,
+    sizes: &[Vec<u64>],
+    policy: BufferPolicy,
+    ports: PortMode,
+) -> Arc<CommSchedule> {
+    let key = PlanKey::new("all_to_all_exchange", n)
+        .with_fingerprint(fingerprint(&(sizes, policy, ports)));
+    cache.get_or_build(key, || all_to_all_exchange_plan(n, sizes, policy, ports))
+}
+
+/// [`some_to_all_plan`] through a [`PlanCache`].
+#[track_caller]
+pub fn some_to_all_plan_cached(
+    cache: &PlanCache,
+    n: u32,
+    l_dims: DimSet,
+    k_dims: DimSet,
+    sizes: &[Vec<u64>],
+    policy: BufferPolicy,
+    ports: PortMode,
+) -> Arc<CommSchedule> {
+    let key = PlanKey::new("some_to_all", n)
+        .with_fingerprint(fingerprint(&(l_dims.0, k_dims.0, sizes, policy, ports)));
+    cache.get_or_build(key, || some_to_all_plan(n, l_dims, k_dims, sizes, policy, ports))
+}
+
+/// [`one_to_all_sbt_plan`] through a [`PlanCache`].
+#[track_caller]
+pub fn one_to_all_sbt_plan_cached(
+    cache: &PlanCache,
+    n: u32,
+    root: NodeId,
+    sizes: &[u64],
+) -> Arc<CommSchedule> {
+    let key = PlanKey::new("one_to_all_sbt", n).with_fingerprint(fingerprint(&(root, sizes)));
+    cache.get_or_build(key, || one_to_all_sbt_plan(n, root, sizes))
+}
+
+/// [`one_to_all_trees_plan`] through a [`PlanCache`].
+#[track_caller]
+pub fn one_to_all_trees_plan_cached(
+    cache: &PlanCache,
+    n: u32,
+    sizes: &[u64],
+    trees: &[Sbt],
+) -> Arc<CommSchedule> {
+    let key = PlanKey::new("one_to_all_trees", n).with_fingerprint(fingerprint(&(sizes, trees)));
+    cache.get_or_build(key, || one_to_all_trees_plan(n, sizes, trees))
+}
+
+/// [`all_to_all_sbnt_plan`] through a [`PlanCache`].
+#[track_caller]
+pub fn all_to_all_sbnt_plan_cached(
+    cache: &PlanCache,
+    n: u32,
+    sizes: &[Vec<u64>],
+) -> Arc<CommSchedule> {
+    let key = PlanKey::new("all_to_all_sbnt", n).with_fingerprint(fingerprint(&sizes));
+    cache.get_or_build(key, || all_to_all_sbnt_plan(n, sizes))
+}
+
+/// [`ecube_route_plan`] through a [`PlanCache`].
+#[track_caller]
+pub fn ecube_route_plan_cached(
+    cache: &PlanCache,
+    n: u32,
+    msgs: &[(NodeId, NodeId, u64)],
+) -> Arc<CommSchedule> {
+    let key = PlanKey::new("ecube_route", n).with_fingerprint(fingerprint(&msgs));
+    cache.get_or_build(key, || ecube_route_plan(n, msgs))
 }
 
 #[cfg(test)]

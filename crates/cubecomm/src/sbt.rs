@@ -20,7 +20,7 @@ use cubeaddr::{bit_reverse, mask, shuffle, unshuffle, NodeId};
 
 /// A spanning binomial tree on an `n`-cube: root node, dimension rotation
 /// `k`, and optional reflection.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Sbt {
     n: u32,
     root: NodeId,

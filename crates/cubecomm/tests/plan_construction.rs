@@ -1,0 +1,328 @@
+//! Property tests pinning the factored, parallel plan builders to their
+//! reference implementations — the `plan_reference` discipline.
+//!
+//! Three properties, each over every planner:
+//!
+//! 1. **Reference equivalence:** the fast skeleton-based builders in
+//!    `cubecomm::plan` emit [`CommSchedule`]s byte-identical to the
+//!    original per-node simulations preserved in
+//!    `cubecomm::plan::reference` (same rounds, same message order, same
+//!    block ids, same copies).
+//! 2. **Cold = cached:** a warm [`PlanCache`] hit returns a plan
+//!    byte-identical to an uncached construction of the same inputs
+//!    (and the very same `Arc` on the second fetch).
+//! 3. **Thread independence:** construction under
+//!    `cubesim::par::with_threads` at 1, 2 and 5 workers produces
+//!    identical output — the parallel merge is deterministic.
+
+use cubeaddr::{DimSet, NodeId};
+use cubecomm::exchange::BufferPolicy;
+use cubecomm::plan::{self, reference, BlockMeta, CommSchedule, PlanCache};
+use cubecomm::sbt::Sbt;
+use cubesim::{par, PortMode};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Deterministic pseudo-random size matrix (zeros allowed — dropped
+/// blocks), the same generator idiom as `tests/props.rs`.
+fn random_sizes(n: u32, seed: u64, max_b: u64) -> Vec<Vec<u64>> {
+    let num = 1usize << n;
+    (0..num as u64)
+        .map(|s| {
+            (0..num as u64)
+                .map(|d| {
+                    let h =
+                        (s.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(d).wrapping_mul(seed | 1))
+                            >> 33;
+                    h % (max_b + 1)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn random_vec(n: u32, seed: u64, max_b: u64) -> Vec<u64> {
+    random_sizes(n, seed, max_b).swap_remove(0)
+}
+
+/// A seed-shuffled permutation of the dimensions (Fisher–Yates with a
+/// splitmix-style stream).
+fn random_dims(n: u32, seed: u64) -> Vec<u32> {
+    let mut dims: Vec<u32> = (0..n).collect();
+    let mut state = seed | 1;
+    for i in (1..dims.len()).rev() {
+        state = state.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(0xD1B54A32D192ED03);
+        dims.swap(i, (state >> 33) as usize % (i + 1));
+    }
+    dims
+}
+
+/// Exchange blocks with pairwise distinct (src, dst): the nonzero
+/// entries of a random size matrix.
+fn random_blocks(n: u32, seed: u64, max_b: u64) -> Vec<BlockMeta> {
+    let mut blocks = Vec::new();
+    for (s, row) in random_sizes(n, seed, max_b).into_iter().enumerate() {
+        for (d, elems) in row.into_iter().enumerate() {
+            if elems > 0 {
+                blocks.push(BlockMeta { src: NodeId(s as u64), dst: NodeId(d as u64), elems });
+            }
+        }
+    }
+    blocks
+}
+
+fn random_msgs(n: u32, seed: u64, max_b: u64) -> Vec<(NodeId, NodeId, u64)> {
+    let num = 1u64 << n;
+    random_vec(n, seed, max_b)
+        .into_iter()
+        .enumerate()
+        .map(|(i, h)| (NodeId(i as u64), NodeId(h.wrapping_mul(i as u64 + 1) % num), h))
+        .collect()
+}
+
+/// Asserts byte-identity field by field so a mismatch names the layer.
+fn assert_identical(fast: &CommSchedule, reference: &CommSchedule, what: &str) {
+    assert_eq!(fast.n, reference.n, "{what}: n");
+    assert_eq!(fast.name, reference.name, "{what}: name");
+    assert_eq!(fast.ports, reference.ports, "{what}: ports");
+    assert_eq!(fast.dimension_ordered, reference.dimension_ordered, "{what}: dimension_ordered");
+    assert_eq!(fast.blocks, reference.blocks, "{what}: blocks");
+    assert_eq!(fast.rounds.len(), reference.rounds.len(), "{what}: round count");
+    for (i, (f, r)) in fast.rounds.iter().zip(&reference.rounds).enumerate() {
+        assert_eq!(f, r, "{what}: round {i}");
+    }
+}
+
+/// Every planner as a boxed closure over shared random inputs, paired
+/// with its reference twin (where one exists).
+type Planner = (&'static str, Box<dyn Fn() -> CommSchedule>, Option<Box<dyn Fn() -> CommSchedule>>);
+
+fn planners(n: u32, seed: u64, max_b: u64, policy: BufferPolicy) -> Vec<Planner> {
+    let sizes = random_sizes(n, seed, max_b);
+    let blocks = random_blocks(n, seed, max_b);
+    let dims = random_dims(n, seed);
+    let root = NodeId(seed % (1 << n));
+    let one_sizes = random_vec(n, seed, max_b);
+    let msgs = random_msgs(n, seed, max_b);
+    let rotated: Vec<Sbt> = (0..n).map(|k| Sbt::rotated(n, root, k)).collect();
+    let k_dims = DimSet::from_dims((0..n).filter(|d| (seed >> d) & 1 == 1));
+    let l_dims = k_dims.complement(n);
+
+    let mut out: Vec<Planner> = Vec::new();
+    {
+        let (b, d) = (blocks.clone(), dims.clone());
+        out.push((
+            "exchange",
+            Box::new(move || {
+                plan::exchange_plan(n, b.clone(), &d, policy, PortMode::OnePort, "prop/exchange")
+            }),
+            Some({
+                let (b, d) = (blocks.clone(), dims.clone());
+                Box::new(move || {
+                    reference::exchange_plan(
+                        n,
+                        b.clone(),
+                        &d,
+                        policy,
+                        PortMode::OnePort,
+                        "prop/exchange",
+                    )
+                })
+            }),
+        ));
+    }
+    {
+        let s = sizes.clone();
+        out.push((
+            "all_to_all_exchange",
+            Box::new(move || plan::all_to_all_exchange_plan(n, &s, policy, PortMode::OnePort)),
+            None, // delegates to exchange_plan; covered by the twin above
+        ));
+    }
+    {
+        let s = sizes.clone();
+        out.push((
+            "some_to_all",
+            Box::new(move || {
+                let rows = 1usize << (n - k_dims.len());
+                plan::some_to_all_plan(n, l_dims, k_dims, &s[..rows], policy, PortMode::OnePort)
+            }),
+            None, // delegates to exchange_plan
+        ));
+    }
+    {
+        let s = one_sizes.clone();
+        out.push((
+            "one_to_all_sbt",
+            Box::new(move || plan::one_to_all_sbt_plan(n, root, &s)),
+            Some({
+                let s = one_sizes.clone();
+                Box::new(move || reference::one_to_all_sbt_plan(n, root, &s))
+            }),
+        ));
+    }
+    {
+        let (s, t) = (one_sizes.clone(), rotated.clone());
+        out.push((
+            "one_to_all_trees",
+            Box::new(move || plan::one_to_all_trees_plan(n, &s, &t)),
+            Some({
+                let (s, t) = (one_sizes.clone(), rotated.clone());
+                Box::new(move || reference::one_to_all_trees_plan(n, &s, &t))
+            }),
+        ));
+    }
+    {
+        let s = sizes.clone();
+        out.push((
+            "all_to_all_sbnt",
+            Box::new(move || plan::all_to_all_sbnt_plan(n, &s)),
+            Some({
+                let s = sizes.clone();
+                Box::new(move || reference::all_to_all_sbnt_plan(n, &s))
+            }),
+        ));
+    }
+    {
+        let m = msgs.clone();
+        out.push((
+            "ecube_route",
+            Box::new(move || plan::ecube_route_plan(n, &m)),
+            Some({
+                let m = msgs.clone();
+                Box::new(move || reference::ecube_route_plan(n, &m))
+            }),
+        ));
+    }
+    out
+}
+
+fn policy_strategy() -> impl Strategy<Value = BufferPolicy> {
+    (0u64..17).prop_map(|v| match v {
+        0 => BufferPolicy::Ideal,
+        1 => BufferPolicy::Unbuffered,
+        m => BufferPolicy::Buffered { min_direct: (m - 1) as usize },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property 1: fast builders == reference simulations, byte for
+    /// byte, for random inputs under every buffering policy.
+    #[test]
+    fn factored_builders_match_reference(
+        n in 1u32..5,
+        seed in any::<u64>(),
+        max_b in 0u64..6,
+        policy in policy_strategy(),
+    ) {
+        for (what, fast, twin) in planners(n, seed, max_b, policy) {
+            if let Some(twin) = twin {
+                assert_identical(&fast(), &twin(), what);
+            }
+        }
+    }
+
+    /// Property 2: a cache hit is byte-identical to a cold build, and a
+    /// repeat fetch returns the very same `Arc`.
+    #[test]
+    fn cached_plans_match_cold_construction(
+        n in 1u32..5,
+        seed in any::<u64>(),
+        max_b in 0u64..6,
+        policy in policy_strategy(),
+    ) {
+        let cache = PlanCache::new(16);
+        let sizes = random_sizes(n, seed, max_b);
+        let blocks = random_blocks(n, seed, max_b);
+        let dims = random_dims(n, seed);
+        let root = NodeId(seed % (1 << n));
+        let one_sizes = random_vec(n, seed, max_b);
+        let msgs = random_msgs(n, seed, max_b);
+        let trees: Vec<Sbt> = (0..n).map(|k| Sbt::rotated(n, root, k)).collect();
+        let k_dims = DimSet::from_dims((0..n).filter(|d| (seed >> d) & 1 == 1));
+        let l_dims = k_dims.complement(n);
+        let rows = 1usize << (n - k_dims.len());
+
+        let pairs: Vec<(&str, CommSchedule, Arc<CommSchedule>, Arc<CommSchedule>)> = vec![
+            (
+                "exchange",
+                plan::exchange_plan(
+                    n, blocks.clone(), &dims, policy, PortMode::OnePort, "prop/exchange",
+                ),
+                plan::exchange_plan_cached(
+                    &cache, n, &blocks, &dims, policy, PortMode::OnePort, "prop/exchange",
+                ),
+                plan::exchange_plan_cached(
+                    &cache, n, &blocks, &dims, policy, PortMode::OnePort, "prop/exchange",
+                ),
+            ),
+            (
+                "all_to_all_exchange",
+                plan::all_to_all_exchange_plan(n, &sizes, policy, PortMode::OnePort),
+                plan::all_to_all_exchange_plan_cached(&cache, n, &sizes, policy, PortMode::OnePort),
+                plan::all_to_all_exchange_plan_cached(&cache, n, &sizes, policy, PortMode::OnePort),
+            ),
+            (
+                "some_to_all",
+                plan::some_to_all_plan(n, l_dims, k_dims, &sizes[..rows], policy, PortMode::OnePort),
+                plan::some_to_all_plan_cached(
+                    &cache, n, l_dims, k_dims, &sizes[..rows], policy, PortMode::OnePort,
+                ),
+                plan::some_to_all_plan_cached(
+                    &cache, n, l_dims, k_dims, &sizes[..rows], policy, PortMode::OnePort,
+                ),
+            ),
+            (
+                "one_to_all_sbt",
+                plan::one_to_all_sbt_plan(n, root, &one_sizes),
+                plan::one_to_all_sbt_plan_cached(&cache, n, root, &one_sizes),
+                plan::one_to_all_sbt_plan_cached(&cache, n, root, &one_sizes),
+            ),
+            (
+                "one_to_all_trees",
+                plan::one_to_all_trees_plan(n, &one_sizes, &trees),
+                plan::one_to_all_trees_plan_cached(&cache, n, &one_sizes, &trees),
+                plan::one_to_all_trees_plan_cached(&cache, n, &one_sizes, &trees),
+            ),
+            (
+                "all_to_all_sbnt",
+                plan::all_to_all_sbnt_plan(n, &sizes),
+                plan::all_to_all_sbnt_plan_cached(&cache, n, &sizes),
+                plan::all_to_all_sbnt_plan_cached(&cache, n, &sizes),
+            ),
+            (
+                "ecube_route",
+                plan::ecube_route_plan(n, &msgs),
+                plan::ecube_route_plan_cached(&cache, n, &msgs),
+                plan::ecube_route_plan_cached(&cache, n, &msgs),
+            ),
+        ];
+        for (what, cold, first, second) in &pairs {
+            assert_identical(first, cold, what);
+            assert!(Arc::ptr_eq(first, second), "{what}: repeat fetch must hit");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, pairs.len() as u64, "one miss per planner");
+        assert_eq!(stats.hits, pairs.len() as u64, "one hit per planner");
+    }
+
+    /// Property 3: construction is byte-identical at 1, 2 and 5 worker
+    /// threads for every planner.
+    #[test]
+    fn construction_is_thread_count_independent(
+        n in 1u32..5,
+        seed in any::<u64>(),
+        max_b in 0u64..6,
+        policy in policy_strategy(),
+    ) {
+        for (what, fast, _) in planners(n, seed, max_b, policy) {
+            let serial = par::with_threads(1, &fast);
+            for threads in [2usize, 5] {
+                let parallel = par::with_threads(threads, &fast);
+                assert_identical(&parallel, &serial, &format!("{what} @ {threads} threads"));
+            }
+        }
+    }
+}

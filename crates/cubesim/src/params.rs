@@ -3,7 +3,7 @@
 //! experiments.
 
 /// Port discipline of a node (paper §2, "Implementation issues").
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum PortMode {
     /// At most one link used per node per communication step. "One-port
     /// communication is a good approximation of the capabilities of the

@@ -65,11 +65,20 @@ begin "perf smoke: n=12 router transpose (time-bounded)"
 timeout 300 cargo test --release -q -p cubecomm --test perf_smoke -- --ignored \
     n12_router_transpose_completes_within_bound
 
+begin "perf smoke: n=12 warm plan-cache fetch >= 10x cold build"
+timeout 300 cargo test --release -q -p cubecomm --test perf_smoke -- --ignored \
+    n12_warm_cache_fetch_beats_cold_build_10x
+
 begin "perf smoke: n=10 fieldmap exchange sweep (time-bounded)"
 timeout 300 cargo test --release -q -p cubetranspose --test perf_smoke -- --ignored
 
 begin "perf smoke: n=14 schedule construction + rule sweep (time-bounded)"
 timeout 300 cargo test --release -q -p cubecheck --test perf_smoke -- --ignored
+
+begin "cubecheck: n=16 plan lint smoke (time-bounded)"
+# 65 536-node flight plan, feasible since factored construction; the
+# bound catches a return to per-node recomputation.
+timeout 300 cargo run --release -q -p cubecheck -- n16-smoke
 
 begin "router figures: CSVs must match committed baselines at every thread count"
 for threads in 1 default; do

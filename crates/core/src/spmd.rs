@@ -1,20 +1,54 @@
-//! SPMD node programs: the paper's algorithms on real threads.
+//! SPMD node programs: the paper's algorithms with real message passing.
 //!
 //! The simulator ([`cubesim`]) charges the cost model; these programs run
-//! the same algorithms on the [`cuberun`] runtime — one OS thread per
-//! cube node, one channel per link — the way an iPSC node program (or a
-//! thin MPI layer) executes them. Every node derives its entire behaviour
-//! from its own address, exactly like the paper's pseudo-code: there is
-//! no global coordinator.
+//! the same algorithms on the [`cuberun`] runtime — every cube node a
+//! virtual node multiplexed onto a fixed worker pool — the way an iPSC
+//! node program (or a thin MPI layer) executes them. Every node derives
+//! its entire behaviour from its own address, exactly like the paper's
+//! pseudo-code: there is no global coordinator, and at `n = 16` the full
+//! 65 536-node Connection-Machine configuration runs on a handful of
+//! worker threads.
 //!
 //! The results are bit-identical to the simulator drivers, which the test
-//! suite checks.
+//! suite checks, and [`spmd_transpose_exchange_threads`] keeps the same
+//! exchange program on the pre-scheduler thread-per-node runtime for
+//! equivalence tests and old-vs-new benchmarks.
 
 use cubelayout::{DistMatrix, Layout, TransposeSpec};
 use cuberun::{run_spmd, RunStats};
 
 /// One routed element in an SPMD message: `(dst_node, dst_local, value)`.
 type Elem<T> = (u64, u64, T);
+
+/// Precomputes each node's initial routed elements for an exchange
+/// transpose (what the node program would derive from the layout maps).
+fn exchange_initial<T: Copy>(
+    m: &DistMatrix<T>,
+    spec: &TransposeSpec,
+    num: usize,
+) -> Vec<Vec<Elem<T>>> {
+    let mut initial: Vec<Vec<Elem<T>>> = (0..num).map(|_| Vec::new()).collect();
+    for mv in spec.moves() {
+        let value = m.node(mv.src)[mv.src_local as usize];
+        initial[mv.src.index()].push((mv.dst.bits(), mv.dst_local, value));
+    }
+    initial
+}
+
+/// Places a node's final held elements into its local buffer, checking
+/// that nothing was misrouted, duplicated or lost.
+fn place_held<T: Copy + Default>(me: u64, held: Vec<Elem<T>>, per_after: usize) -> Vec<T> {
+    let mut local = vec![T::default(); per_after];
+    let mut seen = vec![false; per_after];
+    for (dst, dst_local, value) in held {
+        assert_eq!(dst, me, "element for {dst} stranded at {me}");
+        assert!(!seen[dst_local as usize], "duplicate at local {dst_local}");
+        seen[dst_local as usize] = true;
+        local[dst_local as usize] = value;
+    }
+    assert!(seen.iter().all(|&s| s), "node {me} missing elements");
+    local
+}
 
 /// Runs the standard-exchange transposition as an SPMD program: every
 /// node partitions its held elements by the destination's bit in the
@@ -33,38 +67,54 @@ pub fn spmd_transpose_exchange<T: Copy + Default + Send + Sync>(
     let n = after.n();
     let num = after.num_nodes();
     let per_after = after.elems_per_node();
+    let initial = exchange_initial(m, &spec, num);
 
-    // Precompute each node's initial routed elements (what the node
-    // program would derive from the layout maps).
-    let mut initial: Vec<Vec<Elem<T>>> = (0..num).map(|_| Vec::new()).collect();
-    for mv in spec.moves() {
-        let value = m.node(mv.src)[mv.src_local as usize];
-        initial[mv.src.index()].push((mv.dst.bits(), mv.dst_local, value));
-    }
+    let (results, stats) = run_spmd::<Vec<Elem<T>>, _, _, _>(n, |ctx| {
+        let initial = &initial;
+        async move {
+            let me = ctx.id().bits();
+            let mut held = initial[ctx.id().index()].clone();
+            for j in (0..n).rev() {
+                let (keep, send): (Vec<_>, Vec<_>) =
+                    held.into_iter().partition(|&(dst, _, _)| (dst >> j) & 1 == (me >> j) & 1);
+                held = keep;
+                // Both partners always exchange (possibly empty vectors):
+                // the synchronous exchange keeps every pair in lock step.
+                let incoming = ctx.exchange(j, send).await;
+                held.extend(incoming);
+            }
+            place_held(me, held, per_after)
+        }
+    });
 
-    let (results, stats) = run_spmd::<Vec<Elem<T>>, _, _>(n, |ctx| {
+    (DistMatrix::from_buffers(after.clone(), results), stats)
+}
+
+/// The same standard-exchange transposition on the pre-scheduler
+/// thread-per-node runtime ([`cuberun::reference`]) — the "before" side
+/// of the old-vs-new benchmark, and an equivalence check that the
+/// cooperative scheduler changed the execution substrate, not the
+/// algorithm. Capped at `n <= 10` by the reference runtime.
+pub fn spmd_transpose_exchange_threads<T: Copy + Default + Send + Sync>(
+    m: &DistMatrix<T>,
+    after: &Layout,
+) -> (DistMatrix<T>, RunStats) {
+    let spec = TransposeSpec::with_after(m.layout().clone(), after.clone());
+    let n = after.n();
+    let num = after.num_nodes();
+    let per_after = after.elems_per_node();
+    let initial = exchange_initial(m, &spec, num);
+
+    let (results, stats) = cuberun::reference::run_spmd_threads::<Vec<Elem<T>>, _, _>(n, |ctx| {
         let me = ctx.id().bits();
         let mut held = initial[ctx.id().index()].clone();
         for j in (0..n).rev() {
             let (keep, send): (Vec<_>, Vec<_>) =
                 held.into_iter().partition(|&(dst, _, _)| (dst >> j) & 1 == (me >> j) & 1);
             held = keep;
-            // Both partners always exchange (possibly empty vectors): the
-            // synchronous exchange keeps every pair in lock step.
-            let incoming = ctx.exchange(j, send);
-            held.extend(incoming);
+            held.extend(ctx.exchange(j, send));
         }
-        // Everything held is now ours; place it.
-        let mut local = vec![T::default(); per_after];
-        let mut seen = vec![false; per_after];
-        for (dst, dst_local, value) in held {
-            assert_eq!(dst, me, "element for {dst} stranded at {me}");
-            assert!(!seen[dst_local as usize], "duplicate at local {dst_local}");
-            seen[dst_local as usize] = true;
-            local[dst_local as usize] = value;
-        }
-        assert!(seen.iter().all(|&s| s), "node {me} missing elements");
-        local
+        place_held(me, held, per_after)
     });
 
     (DistMatrix::from_buffers(after.clone(), results), stats)
@@ -92,46 +142,49 @@ pub fn spmd_transpose_spt<T: Copy + Default + Send + Sync>(
 
     // Messages are source-tagged: a node may relay several arrays at once
     // (paths are edge-disjoint, not node-disjoint).
-    let (results, stats) = run_spmd::<(u64, Vec<T>), _, _>(n, |ctx| {
-        let me = ctx.id().bits();
-        // The global schedule: source x's array is at hop `step` of
-        // spt_path(x) at the start of step `step`. Every node scans all
-        // sources and plays its role — purely address arithmetic, no
-        // coordinator.
-        let mut held: std::collections::HashMap<u64, Vec<T>> = std::collections::HashMap::new();
-        if crate::two_dim::h_of(me, half) > 0 {
-            held.insert(me, buffers[me as usize].clone());
-        }
-        let walk = |x: u64, dims: &[u32]| dims.iter().fold(x, |p, &d| p ^ (1 << d));
-        for step in 0..n as usize {
-            let mut recv_dims: Vec<u32> = Vec::new();
-            for x in 0..(1u64 << n) {
-                let path = crate::two_dim::spt_path(x, half);
-                if step < path.len() {
-                    let pos = walk(x, &path[..step]);
-                    if pos == me {
-                        let arr = held.remove(&x).expect("schedule expects x's array here");
-                        ctx.send(path[step], (x, arr));
-                    }
-                    if pos ^ (1 << path[step]) == me {
-                        recv_dims.push(path[step]);
+    let (results, stats) = run_spmd::<(u64, Vec<T>), _, _, _>(n, |ctx| {
+        let buffers = &buffers;
+        async move {
+            let me = ctx.id().bits();
+            // The global schedule: source x's array is at hop `step` of
+            // spt_path(x) at the start of step `step`. Every node scans all
+            // sources and plays its role — purely address arithmetic, no
+            // coordinator.
+            let mut held: std::collections::HashMap<u64, Vec<T>> = std::collections::HashMap::new();
+            if crate::two_dim::h_of(me, half) > 0 {
+                held.insert(me, buffers[me as usize].clone());
+            }
+            let walk = |x: u64, dims: &[u32]| dims.iter().fold(x, |p, &d| p ^ (1 << d));
+            for step in 0..n as usize {
+                let mut recv_dims: Vec<u32> = Vec::new();
+                for x in 0..(1u64 << n) {
+                    let path = crate::two_dim::spt_path(x, half);
+                    if step < path.len() {
+                        let pos = walk(x, &path[..step]);
+                        if pos == me {
+                            let arr = held.remove(&x).expect("schedule expects x's array here");
+                            ctx.send(path[step], (x, arr));
+                        }
+                        if pos ^ (1 << path[step]) == me {
+                            recv_dims.push(path[step]);
+                        }
                     }
                 }
+                for d in recv_dims {
+                    let (x, arr) = ctx.recv(d).await;
+                    held.insert(x, arr);
+                }
             }
-            for d in recv_dims {
-                let (x, arr) = ctx.recv(d);
-                held.insert(x, arr);
-            }
+            // The unique source ending here is tr(me) (me itself when H = 0).
+            let src = crate::two_dim::tr(me, half);
+            let arr = if src == me {
+                buffers[me as usize].clone()
+            } else {
+                held.remove(&src).expect("destination array missing")
+            };
+            assert!(held.is_empty(), "node {me} ended holding stray arrays");
+            crate::local::transpose_flat(&arr, lr, lc)
         }
-        // The unique source ending here is tr(me) (me itself when H = 0).
-        let src = crate::two_dim::tr(me, half);
-        let arr = if src == me {
-            buffers[me as usize].clone()
-        } else {
-            held.remove(&src).expect("destination array missing")
-        };
-        assert!(held.is_empty(), "node {me} ended holding stray arrays");
-        crate::local::transpose_flat(&arr, lr, lc)
     });
 
     (DistMatrix::from_buffers(after.clone(), results), stats)
@@ -177,74 +230,77 @@ pub fn spmd_transpose_combined_gray<T: Copy + Default + Send + Sync>(
     let buffers: Vec<Vec<T>> =
         (0..num).map(|x| m.node(cubeaddr::NodeId(x as u64)).to_vec()).collect();
 
-    let (results, stats) = run_spmd::<Vec<T>, _, _>(n, |ctx| {
-        let me = ctx.id().bits();
-        let bit = |pos: u32| (me >> pos) & 1 == 1;
-        let mut buf = buffers[ctx.id().index()].clone();
-        let mut ebr = true; // even-block-row
-        let mut epbc = true; // even-parity-block-column
-        for j in (0..half).rev() {
-            let (hi, lo) = (bit(j + half), bit(j));
-            // The three action patterns of the case table.
-            enum Action {
-                Relay,
-                RowFirst,
-                ColFirst,
+    let (results, stats) = run_spmd::<Vec<T>, _, _, _>(n, |ctx| {
+        let buffers = &buffers;
+        async move {
+            let me = ctx.id().bits();
+            let bit = |pos: u32| (me >> pos) & 1 == 1;
+            let mut buf = buffers[ctx.id().index()].clone();
+            let mut ebr = true; // even-block-row
+            let mut epbc = true; // even-parity-block-column
+            for j in (0..half).rev() {
+                let (hi, lo) = (bit(j + half), bit(j));
+                // The three action patterns of the case table.
+                enum Action {
+                    Relay,
+                    RowFirst,
+                    ColFirst,
+                }
+                let action = match (ebr, epbc) {
+                    // (TT00),(TT11) relay; (TT01),(TT10) row-first.
+                    (true, true) => {
+                        if hi == lo {
+                            Action::Relay
+                        } else {
+                            Action::RowFirst
+                        }
+                    }
+                    // (FF01),(FF10) relay; (FF00),(FF11) row-first.
+                    (false, false) => {
+                        if hi != lo {
+                            Action::Relay
+                        } else {
+                            Action::RowFirst
+                        }
+                    }
+                    // (TF00),(TF11) col-first; (TF01),(TF10) row-first.
+                    (true, false) => {
+                        if hi == lo {
+                            Action::ColFirst
+                        } else {
+                            Action::RowFirst
+                        }
+                    }
+                    // (FT01),(FT10) col-first; (FT00),(FT11) row-first.
+                    (false, true) => {
+                        if hi != lo {
+                            Action::ColFirst
+                        } else {
+                            Action::RowFirst
+                        }
+                    }
+                };
+                match action {
+                    Action::Relay => {
+                        let tmp = ctx.recv(j + half).await;
+                        ctx.send(j, tmp);
+                    }
+                    Action::RowFirst => {
+                        ctx.send(j + half, std::mem::take(&mut buf));
+                        buf = ctx.recv(j).await;
+                    }
+                    Action::ColFirst => {
+                        ctx.send(j, std::mem::take(&mut buf));
+                        buf = ctx.recv(j + half).await;
+                    }
+                }
+                ebr = !bit(j + half);
+                if bit(j) {
+                    epbc = !epbc;
+                }
             }
-            let action = match (ebr, epbc) {
-                // (TT00),(TT11) relay; (TT01),(TT10) row-first.
-                (true, true) => {
-                    if hi == lo {
-                        Action::Relay
-                    } else {
-                        Action::RowFirst
-                    }
-                }
-                // (FF01),(FF10) relay; (FF00),(FF11) row-first.
-                (false, false) => {
-                    if hi != lo {
-                        Action::Relay
-                    } else {
-                        Action::RowFirst
-                    }
-                }
-                // (TF00),(TF11) col-first; (TF01),(TF10) row-first.
-                (true, false) => {
-                    if hi == lo {
-                        Action::ColFirst
-                    } else {
-                        Action::RowFirst
-                    }
-                }
-                // (FT01),(FT10) col-first; (FT00),(FT11) row-first.
-                (false, true) => {
-                    if hi != lo {
-                        Action::ColFirst
-                    } else {
-                        Action::RowFirst
-                    }
-                }
-            };
-            match action {
-                Action::Relay => {
-                    let tmp = ctx.recv(j + half);
-                    ctx.send(j, tmp);
-                }
-                Action::RowFirst => {
-                    ctx.send(j + half, std::mem::take(&mut buf));
-                    buf = ctx.recv(j);
-                }
-                Action::ColFirst => {
-                    ctx.send(j, std::mem::take(&mut buf));
-                    buf = ctx.recv(j + half);
-                }
-            }
-            ebr = !bit(j + half);
-            if bit(j) {
-                epbc = !epbc;
-            }
+            crate::local::transpose_flat(&buf, lr, lc)
         }
-        crate::local::transpose_flat(&buf, lr, lc)
     });
 
     (DistMatrix::from_buffers(after, results), stats)
@@ -291,6 +347,20 @@ mod tests {
     }
 
     #[test]
+    fn threads_reference_matches_pool_runtime() {
+        // Same exchange program on both runtimes: identical matrices and
+        // deterministic counters, regardless of pool size.
+        let before =
+            Layout::one_dim(4, 4, Direction::Rows, 4, Assignment::Consecutive, Encoding::Binary);
+        let m = labels(before.clone());
+        let (old, old_stats) = spmd_transpose_exchange_threads(&m, &before);
+        let (new, new_stats) = spmd_transpose_exchange(&m, &before);
+        assert_eq!(old, new);
+        assert_eq!(old_stats.messages, new_stats.messages);
+        assert_transposed(&before, &new);
+    }
+
+    #[test]
     fn spmd_spt_matches_simulator() {
         let before = Layout::square(3, 3, 1, Assignment::Consecutive, Encoding::Binary);
         let after = before.swapped_shape();
@@ -315,9 +385,9 @@ mod tests {
 
     #[test]
     fn paper_case_table_matches_semantic_combined_transpose() {
-        // The literal §6.3 pseudo-code (control-flag case table, on real
-        // threads) and the data-driven implementation compute identical
-        // results — validating the paper's case analysis.
+        // The literal §6.3 pseudo-code (control-flag case table, on the
+        // virtual-node runtime) and the data-driven implementation compute
+        // identical results — validating the paper's case analysis.
         for (p, half) in [(3u32, 2u32), (4, 2), (4, 3), (5, 2)] {
             let spec = crate::gray::MixedSpec::binary_rows_gray_cols(p, half);
             let m = labels(spec.before());

@@ -3,9 +3,11 @@
 //! These are the runtime-level counterparts of the `cubecomm` simulator
 //! algorithms: the spanning-binomial-tree broadcast/gather and the
 //! dimension-scan all-to-all, written against [`NodeCtx`] so any node
-//! program can call them mid-flight. Every collective is synchronous
-//! across the cube (all nodes must call it together, like MPI
-//! collectives).
+//! program can call them mid-flight (`broadcast(&ctx, root, v).await`).
+//! Every collective is synchronous across the cube (all nodes must call
+//! it together, like MPI collectives), but each participating virtual
+//! node suspends cooperatively — a 64K-node collective runs fine on one
+//! worker thread.
 
 use crate::runtime::NodeCtx;
 use cubeaddr::NodeId;
@@ -15,7 +17,7 @@ use cubeaddr::NodeId;
 /// SBT structure, logical dimensions ascending: after step `j`, the
 /// value is present on every node whose relative address uses only the
 /// low `j+1` dimensions.
-pub fn broadcast<T: Clone>(ctx: &NodeCtx<Option<T>>, root: NodeId, value: Option<T>) -> T {
+pub async fn broadcast<T: Clone>(ctx: &NodeCtx<Option<T>>, root: NodeId, value: Option<T>) -> T {
     let n = ctx.n();
     let rel = ctx.id().bits() ^ root.bits();
     let mut held: Option<T> = if rel == 0 {
@@ -31,7 +33,7 @@ pub fn broadcast<T: Clone>(ctx: &NodeCtx<Option<T>>, root: NodeId, value: Option
         if rel & !low_mask == 0 {
             ctx.send(j, held.clone());
         } else if rel & !(low_mask | (1 << j)) == 0 && rel & (1 << j) != 0 {
-            held = ctx.recv(j);
+            held = ctx.recv(j).await;
         }
     }
     held.expect("broadcast did not reach this node")
@@ -42,7 +44,7 @@ pub fn broadcast<T: Clone>(ctx: &NodeCtx<Option<T>>, root: NodeId, value: Option
 ///
 /// The standard exchange algorithm (§3.2), dimensions descending; each
 /// message carries `(origin, dest, payload)` triples.
-pub fn all_to_all<T: Clone + Send + 'static>(
+pub async fn all_to_all<T: Clone + Send + 'static>(
     ctx: &NodeCtx<Vec<(u64, u64, T)>>,
     blocks: Vec<T>,
 ) -> Vec<T> {
@@ -56,7 +58,7 @@ pub fn all_to_all<T: Clone + Send + 'static>(
         let (keep, send): (Vec<_>, Vec<_>) =
             held.into_iter().partition(|&(_, d, _)| (d >> j) & 1 == (me >> j) & 1);
         held = keep;
-        held.extend(ctx.exchange(j, send));
+        held.extend(ctx.exchange(j, send).await);
     }
     let mut out: Vec<Option<T>> = (0..num).map(|_| None).collect();
     for (s, d, b) in held {
@@ -72,7 +74,11 @@ pub fn all_to_all<T: Clone + Send + 'static>(
 
 /// Gather to `root`: the root returns every node's value in node order;
 /// other nodes return `None`. (Reverse SBT flow.)
-pub fn gather<T: Clone>(ctx: &NodeCtx<Vec<(u64, T)>>, root: NodeId, value: T) -> Option<Vec<T>> {
+pub async fn gather<T: Clone>(
+    ctx: &NodeCtx<Vec<(u64, T)>>,
+    root: NodeId,
+    value: T,
+) -> Option<Vec<T>> {
     let n = ctx.n();
     let rel = ctx.id().bits() ^ root.bits();
     let mut held: Vec<(u64, T)> = vec![(ctx.id().bits(), value)];
@@ -83,7 +89,7 @@ pub fn gather<T: Clone>(ctx: &NodeCtx<Vec<(u64, T)>>, root: NodeId, value: T) ->
         if rel & !(low_mask | (1 << j)) == 0 && rel & (1 << j) != 0 {
             ctx.send(j, std::mem::take(&mut held));
         } else if rel & !low_mask == 0 {
-            held.extend(ctx.recv(j));
+            held.extend(ctx.recv(j).await);
         }
     }
     if rel == 0 {
@@ -103,9 +109,9 @@ mod tests {
     #[test]
     fn broadcast_reaches_all_from_any_root() {
         for root in [0u64, 5, 7] {
-            let (results, _) = run_spmd(3, |ctx| {
+            let (results, _) = run_spmd(3, |ctx| async move {
                 let mine = (ctx.id().bits() == root).then(|| format!("hello from {root}"));
-                broadcast(ctx, NodeId(root), mine)
+                broadcast(&ctx, NodeId(root), mine).await
             });
             assert!(results.iter().all(|r| r == &format!("hello from {root}")));
         }
@@ -114,10 +120,10 @@ mod tests {
     #[test]
     fn all_to_all_delivers_everything() {
         let n = 3;
-        let (results, _) = run_spmd(n, |ctx| {
+        let (results, _) = run_spmd(n, |ctx| async move {
             let me = ctx.id().bits();
             let blocks: Vec<u64> = (0..ctx.num_nodes() as u64).map(|d| me * 100 + d).collect();
-            all_to_all(ctx, blocks)
+            all_to_all(&ctx, blocks).await
         });
         for (d, got) in results.iter().enumerate() {
             for (s, &v) in got.iter().enumerate() {
@@ -129,7 +135,11 @@ mod tests {
     #[test]
     fn gather_collects_in_node_order() {
         for root in [0u64, 6] {
-            let (results, _) = run_spmd(3, |ctx| gather(ctx, NodeId(root), ctx.id().bits() * 2));
+            let (results, _) =
+                run_spmd(
+                    3,
+                    |ctx| async move { gather(&ctx, NodeId(root), ctx.id().bits() * 2).await },
+                );
             for (x, r) in results.iter().enumerate() {
                 if x as u64 == root {
                     assert_eq!(r.as_ref().unwrap(), &(0..16).step_by(2).collect::<Vec<u64>>());

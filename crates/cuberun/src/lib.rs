@@ -1,26 +1,43 @@
-//! A real multithreaded SPMD runtime for Boolean *n*-cube node programs.
+//! A real message-passing SPMD runtime for Boolean *n*-cube node
+//! programs, at Connection-Machine scale.
 //!
-//! Where `cubesim` *simulates* the paper's machines under their
-//! cost model, this crate *executes* the same node programs with genuine
-//! parallelism: every cube node is an OS thread, and every directed cube
-//! link is a channel. The paper's pseudo-code — `send(buf, j)`,
-//! `recv(tmp, j)`, exchanges on a dimension — maps 1:1 onto
-//! [`NodeCtx::send`], [`NodeCtx::recv`] and [`NodeCtx::exchange`], so
-//! algorithms validated on the simulator can be run end-to-end with real
-//! message passing (the role an iPSC node program or a thin MPI layer
-//! plays for the original experiments).
+//! Where `cubesim` *simulates* the paper's machines under their cost
+//! model, this crate *executes* the same node programs with genuine
+//! message passing. Every cube node is a **virtual node**: an `async`
+//! node program compiled into a resumable state machine, multiplexed
+//! with all its siblings onto a fixed worker pool by a cooperative
+//! scheduler (flat per-link mailbox slab, park on empty `recv`, wake on
+//! `send` — see [`sched`]'s module docs for the protocol and the
+//! determinism argument). That is how the paper's machines actually
+//! worked — many logical processes per physical processor — and it lets
+//! `n = 16` (65 536 nodes, the paper's Connection Machine scale) run on
+//! a laptop's worth of threads.
+//!
+//! The paper's pseudo-code — `send(buf, j)`, `recv(tmp, j)`, exchanges
+//! on a dimension — maps 1:1 onto [`NodeCtx::send`], [`NodeCtx::recv`]
+//! and [`NodeCtx::exchange`], so algorithms validated on the simulator
+//! can be run end-to-end with real message passing (the role an iPSC
+//! node program or a thin MPI layer plays for the original experiments).
 //!
 //! ```
 //! use cuberun::run_spmd;
 //!
 //! // Every node swaps a value with its dimension-0 neighbor.
-//! let (results, stats) = run_spmd(3, |ctx| ctx.exchange(0, ctx.id().bits()));
+//! let (results, stats) =
+//!     run_spmd(3, |ctx| async move { ctx.exchange(0, ctx.id().bits()).await });
 //! assert_eq!(results, vec![1, 0, 3, 2, 5, 4, 7, 6]);
 //! assert_eq!(stats.messages, 8);
 //! ```
+//!
+//! The worker pool is sized by `CUBERUN_WORKERS` (falling back to the
+//! ambient `cubesim::par` thread count); results are byte-identical at
+//! any pool size. The pre-scheduler thread-per-node runtime survives in
+//! [`reference`] for equivalence tests and old-vs-new benchmarks.
 
 pub mod collectives;
+pub mod reference;
 pub mod runtime;
+mod sched;
 
 pub use collectives::{all_to_all, broadcast, gather};
-pub use runtime::{run_spmd, NodeCtx, RunStats};
+pub use runtime::{num_workers, run_spmd, with_stall_timeout, with_workers, NodeCtx, RunStats};

@@ -1,62 +1,157 @@
-//! Thread-per-node execution with channel-per-link message passing.
+//! Virtual-node SPMD execution: many cube nodes per worker thread.
+//!
+//! Node programs are written as `async` blocks against [`NodeCtx`]:
+//! `send` is immediate (links are buffered), `recv` *suspends* the node
+//! until the message arrives, parking the virtual node and yielding the
+//! worker instead of blocking an OS thread. The compiler turns each
+//! program into a resumable state machine, so 2^16 suspended nodes cost
+//! heap bytes, not stacks — the paper's Connection-Machine scale (n = 16,
+//! 64K nodes) runs on a handful of workers. See [`crate::sched`] for the
+//! scheduler internals and the determinism argument.
+//!
+//! The former thread-per-node runtime survives as [`crate::reference`]
+//! (equivalence tests and the old-vs-new benchmark run both).
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::sched::{self, lock, Shared, VSlot, WANT_BARRIER, WANT_NONE};
 use cubeaddr::NodeId;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Barrier, OnceLock};
+use std::cell::Cell;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::task::{Context, Poll};
 use std::time::Duration;
 
-/// Default for how long a blocking receive waits before declaring the
-/// node program deadlocked. Algorithms on these cube sizes complete in
-/// milliseconds; half a minute of silence is a bug, and a diagnostic
-/// panic beats a hung test suite.
-const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(30);
+/// Default for how long the scheduler tolerates a run making no progress
+/// before declaring the node programs deadlocked. Algorithms on these
+/// cube sizes complete in milliseconds; half a minute of global silence
+/// is a bug, and a diagnostic panic beats a hung test suite.
+const DEFAULT_STALL_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// The receive timeout, read once per process from the
-/// `CUBERUN_RECV_TIMEOUT_MS` environment variable: loaded CI machines
-/// widen it, deadlock stress tests tighten it. Unset or unparsable
-/// values fall back to [`DEFAULT_RECV_TIMEOUT`].
-fn recv_timeout() -> Duration {
+thread_local! {
+    /// Worker-count override installed by [`with_workers`].
+    static WORKERS_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Stall-timeout override installed by [`with_stall_timeout`].
+    static STALL_OVERRIDE: Cell<Option<Duration>> = const { Cell::new(None) };
+}
+
+/// The worker-pool size for [`run_spmd`]: the [`with_workers`] override
+/// if installed, else the `CUBERUN_WORKERS` environment variable, else
+/// the ambient `cubesim::par` thread count (`CUBEBENCH_THREADS` /
+/// available parallelism) — the pool is sized like the rest of the
+/// repo's data-plane fan-out unless explicitly overridden.
+pub fn num_workers() -> usize {
+    if let Some(w) = WORKERS_OVERRIDE.with(Cell::get) {
+        return w;
+    }
+    match std::env::var("CUBERUN_WORKERS") {
+        Ok(v) => v.trim().parse().unwrap_or(1).max(1),
+        Err(_) => cubesim::par::num_threads(),
+    }
+}
+
+/// Runs `f` with [`num_workers`] pinned to `workers` on the current
+/// thread (restored on exit, even across a panic). Used by the
+/// determinism tests to compare 1/2/5-worker runs without mutating the
+/// process environment.
+pub fn with_workers<R>(workers: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            WORKERS_OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(WORKERS_OVERRIDE.with(|o| o.replace(Some(workers.max(1)))));
+    f()
+}
+
+/// Runs `f` with the scheduler stall timeout pinned to `timeout` on the
+/// current thread (restored on exit, even across a panic). Deadlock
+/// tests tighten it; loaded CI machines widen it via the environment.
+pub fn with_stall_timeout<R>(timeout: Duration, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Duration>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            STALL_OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(STALL_OVERRIDE.with(|o| o.replace(Some(timeout))));
+    f()
+}
+
+/// The scheduler stall timeout: the [`with_stall_timeout`] override if
+/// installed, else `CUBERUN_STALL_TIMEOUT_MS`, else the historical
+/// `CUBERUN_RECV_TIMEOUT_MS` (this detector replaced the per-receive
+/// watchdog, which false-positived under heavy oversubscription — a
+/// virtual node can legitimately sit parked far longer than any one
+/// receive used to take). Unset or unparsable values fall back to
+/// [`DEFAULT_STALL_TIMEOUT`].
+fn stall_timeout() -> Duration {
+    if let Some(t) = STALL_OVERRIDE.with(Cell::get) {
+        return t;
+    }
     static TIMEOUT: OnceLock<Duration> = OnceLock::new();
     *TIMEOUT.get_or_init(|| {
-        parse_recv_timeout(std::env::var("CUBERUN_RECV_TIMEOUT_MS").ok().as_deref())
+        parse_stall_timeout(
+            std::env::var("CUBERUN_STALL_TIMEOUT_MS")
+                .or_else(|_| std::env::var("CUBERUN_RECV_TIMEOUT_MS"))
+                .ok()
+                .as_deref(),
+        )
     })
 }
 
-/// Parses a `CUBERUN_RECV_TIMEOUT_MS` value, clamping to [1 ms, 1 h] so a
-/// zero can't turn every receive into an instant panic and a stray large
-/// number can't hang CI for days.
-fn parse_recv_timeout(raw: Option<&str>) -> Duration {
+/// Parses a stall-timeout value in milliseconds, clamping to
+/// [1 ms, 1 h] so a zero can't turn every run into an instant panic and
+/// a stray large number can't hang CI for days.
+pub(crate) fn parse_stall_timeout(raw: Option<&str>) -> Duration {
     match raw.and_then(|s| s.trim().parse::<u64>().ok()) {
         Some(ms) => Duration::from_millis(ms.clamp(1, 3_600_000)),
-        None => DEFAULT_RECV_TIMEOUT,
+        None => DEFAULT_STALL_TIMEOUT,
     }
 }
 
 /// Aggregate statistics of one SPMD run.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+///
+/// `messages` and `barriers` are deterministic (scheduling-independent);
+/// the scheduler counters (`peak_live`, `parks`, `wakes`, `steals`)
+/// depend on timing and worker count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Total messages sent over all links.
     pub messages: u64,
-    /// Total global barrier episodes (as counted by node 0).
+    /// Total global barrier episodes.
     pub barriers: u64,
+    /// Size of the worker pool that executed the run.
+    pub workers: usize,
+    /// High-water mark of simultaneously live (spawned, unfinished)
+    /// virtual-node contexts — the memory footprint the cooperative
+    /// scheduler actually paid for.
+    pub peak_live: u32,
+    /// Times a virtual node parked (suspended on an empty mailbox or an
+    /// incomplete barrier).
+    pub parks: u64,
+    /// Times a parked node was woken by a message or barrier release.
+    pub wakes: u64,
+    /// Ready-queue entries each worker stole from its siblings
+    /// (`steals[w]` = contexts worker `w` claimed from other queues).
+    pub steals: Vec<u64>,
 }
 
-/// The per-node handle a node program runs against: its identity plus its
-/// `n` communication ports.
+/// The per-node handle a node program runs against: its identity plus
+/// its `n` communication ports. Obtained from [`run_spmd`]; `recv`,
+/// `exchange`, `barrier` and `all_reduce` are `async` and suspend the
+/// virtual node, never an OS thread.
 pub struct NodeCtx<T> {
     id: NodeId,
-    n: u32,
-    /// `tx[d]` sends to `id.neighbor(d)`.
-    tx: Vec<Sender<T>>,
-    /// `rx[d]` receives what `id.neighbor(d)` sent across dimension `d`.
-    rx: Vec<Receiver<T>>,
-    barrier: Arc<Barrier>,
-    messages: Arc<AtomicU64>,
-    barriers: Arc<AtomicU64>,
+    shared: Arc<Shared<T>>,
 }
 
 impl<T> NodeCtx<T> {
+    pub(crate) fn new(id: NodeId, shared: Arc<Shared<T>>) -> Self {
+        NodeCtx { id, shared }
+    }
+
     /// This node's cube address.
     pub fn id(&self) -> NodeId {
         self.id
@@ -64,59 +159,64 @@ impl<T> NodeCtx<T> {
 
     /// The cube dimension `n`.
     pub fn n(&self) -> u32 {
-        self.n
+        self.shared.n
     }
 
     /// Number of nodes `2^n`.
     pub fn num_nodes(&self) -> usize {
-        1 << self.n
+        self.shared.num
     }
 
-    /// Sends `msg` to the neighbor across dimension `dim` (non-blocking;
-    /// links are buffered).
+    /// Sends `msg` to the neighbor across dimension `dim` (immediate;
+    /// links are buffered). If the neighbor is parked on this link, it
+    /// is woken onto the sending worker's ready queue.
     #[track_caller]
     pub fn send(&self, dim: u32, msg: T) {
-        assert!(dim < self.n, "dimension {dim} out of range on node {}", self.id);
-        self.messages.fetch_add(1, Ordering::Relaxed);
-        // Receivers outlive the scoped threads, so failure means a peer
-        // panicked; propagate.
-        self.tx[dim as usize].send(msg).expect("peer node terminated");
+        assert!(dim < self.n(), "dimension {dim} out of range on node {}", self.id);
+        let sh = &*self.shared;
+        sh.messages.fetch_add(1, Ordering::Relaxed);
+        let peer = self.id.neighbor(dim).bits();
+        let woke = {
+            let mut slot = lock(sh.slot(peer, dim));
+            slot.queue.push_back(msg);
+            std::mem::take(&mut slot.parked)
+        };
+        if woke {
+            sh.wake(peer as u32);
+        }
     }
 
     /// Receives the next message from the neighbor across dimension
-    /// `dim`, blocking until it arrives.
+    /// `dim`, suspending this virtual node until it arrives.
     ///
     /// # Panics
-    /// After the receive timeout elapses in silence (30 s by default,
-    /// overridable via `CUBERUN_RECV_TIMEOUT_MS`; a deadlocked node
-    /// program), or if the peer panicked.
+    /// The run panics if no virtual node makes progress for the stall
+    /// timeout (30 s by default; `CUBERUN_STALL_TIMEOUT_MS` /
+    /// [`with_stall_timeout`]) — a deadlocked node program — or if any
+    /// node program panicked.
     #[track_caller]
-    pub fn recv(&self, dim: u32) -> T {
-        assert!(dim < self.n, "dimension {dim} out of range on node {}", self.id);
-        self.rx[dim as usize].recv_timeout(recv_timeout()).unwrap_or_else(|e| {
-            panic!("node {} recv on dim {dim}: {e} (deadlocked node program?)", self.id)
-        })
+    pub fn recv(&self, dim: u32) -> Recv<'_, T> {
+        assert!(dim < self.n(), "dimension {dim} out of range on node {}", self.id);
+        Recv { ctx: self, dim }
     }
 
     /// Bidirectional exchange across `dim`: sends `msg` and returns the
     /// neighbor's message (full-duplex links — one exchange costs one
     /// send on the paper's machines).
-    pub fn exchange(&self, dim: u32, msg: T) -> T {
+    pub async fn exchange(&self, dim: u32, msg: T) -> T {
         self.send(dim, msg);
-        self.recv(dim)
+        self.recv(dim).await
     }
 
     /// Global barrier over all nodes.
-    pub fn barrier(&self) {
-        if self.barrier.wait().is_leader() {
-            self.barriers.fetch_add(1, Ordering::Relaxed);
-        }
+    pub fn barrier(&self) -> BarrierWait<'_, T> {
+        BarrierWait { ctx: self, joined: None }
     }
 }
 
 impl<T: Clone> NodeCtx<T> {
-    /// All-reduce by dimension scan: every node contributes `value`; after
-    /// `n` exchange steps every node holds the fold of all `2^n`
+    /// All-reduce by dimension scan: every node contributes `value`;
+    /// after `n` exchange steps every node holds the fold of all `2^n`
     /// contributions (`combine` must be associative and commutative).
     ///
     /// This is the classic hypercube reduction the paper's machines used
@@ -128,107 +228,204 @@ impl<T: Clone> NodeCtx<T> {
     /// new accumulator. One clone and one `combine` per link per step —
     /// the minimum for owned channels — instead of a clone and a fold on
     /// both ends.
-    pub fn all_reduce(&self, value: T, mut combine: impl FnMut(T, T) -> T) -> T {
+    pub async fn all_reduce(&self, value: T, mut combine: impl FnMut(T, T) -> T) -> T {
         let mut acc = value;
-        for d in 0..self.n {
+        for d in 0..self.n() {
             if (self.id.0 >> d) & 1 == 0 {
-                let theirs = self.recv(d);
+                let theirs = self.recv(d).await;
                 acc = combine(acc, theirs);
                 self.send(d, acc.clone());
             } else {
                 self.send(d, acc);
-                acc = self.recv(d);
+                acc = self.recv(d).await;
             }
         }
         acc
     }
 }
 
-/// Runs `program` on every node of an `n`-cube concurrently (one OS
-/// thread per node, one channel pair per link) and returns the per-node
+/// Future of [`NodeCtx::recv`]: ready as soon as the mailbox holds a
+/// message, otherwise records the awaited dimension in the node's want
+/// cell for the scheduler to park on.
+#[must_use = "recv does nothing until awaited"]
+pub struct Recv<'a, T> {
+    ctx: &'a NodeCtx<T>,
+    dim: u32,
+}
+
+impl<T> Future for Recv<'_, T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<T> {
+        let sh = &*self.ctx.shared;
+        let me = self.ctx.id.bits();
+        let popped = lock(sh.slot(me, self.dim)).queue.pop_front();
+        match popped {
+            Some(msg) => {
+                sh.want[me as usize].store(WANT_NONE, Ordering::Relaxed);
+                Poll::Ready(msg)
+            }
+            None => {
+                // Phase one of the suspend protocol: only record what we
+                // wait for; the worker publishes the park after it has
+                // released this context (see sched module docs).
+                sh.want[me as usize].store(self.dim as u64, Ordering::Relaxed);
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Future of [`NodeCtx::barrier`]: arrives once, then waits for the
+/// barrier generation to advance. The last arriver releases everyone.
+#[must_use = "barrier does nothing until awaited"]
+pub struct BarrierWait<'a, T> {
+    ctx: &'a NodeCtx<T>,
+    /// The generation this node arrived in, once registered.
+    joined: Option<u64>,
+}
+
+impl<T> Future for BarrierWait<'_, T> {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        let sh = &*this.ctx.shared;
+        let me = this.ctx.id.bits() as usize;
+        if let Some(generation) = this.joined {
+            return if sh.barrier_generation.load(Ordering::Acquire) > generation {
+                sh.want[me].store(WANT_NONE, Ordering::Relaxed);
+                Poll::Ready(())
+            } else {
+                sh.want[me].store(WANT_BARRIER | generation, Ordering::Relaxed);
+                Poll::Pending
+            };
+        }
+        let mut b = lock(&sh.barrier);
+        if b.arrived + 1 == sh.num {
+            // Last arriver: advance the generation and release everyone.
+            b.arrived = 0;
+            b.generation += 1;
+            sh.barrier_generation.store(b.generation, Ordering::Release);
+            sh.barriers.fetch_add(1, Ordering::Relaxed);
+            let mut waiters = std::mem::take(&mut b.waiters);
+            drop(b);
+            sh.wake_all(&mut waiters);
+            sh.want[me].store(WANT_NONE, Ordering::Relaxed);
+            Poll::Ready(())
+        } else {
+            b.arrived += 1;
+            let generation = b.generation;
+            drop(b);
+            this.joined = Some(generation);
+            sh.want[me].store(WANT_BARRIER | generation, Ordering::Relaxed);
+            Poll::Pending
+        }
+    }
+}
+
+/// Runs `program` on every node of an `n`-cube and returns the per-node
 /// results in node order plus run statistics.
 ///
-/// The program receives a [`NodeCtx`] for its node. Message type `T` and
+/// Every node is a *virtual* node: a resumable `async` state machine
+/// multiplexed, with all its siblings, onto a fixed worker pool
+/// ([`num_workers`] threads). `n = 16` — 65 536 virtual nodes, the
+/// paper's Connection Machine scale — runs on any pool size, and the
+/// results are byte-identical at any worker count.
+///
+/// The program receives an owned [`NodeCtx`] for its node and returns a
+/// future (write it as `|ctx| async move { … }`). Message type `T` and
 /// result type `R` are arbitrary `Send` types.
-pub fn run_spmd<T, R, F>(n: u32, program: F) -> (Vec<R>, RunStats)
+pub fn run_spmd<T, R, F, Fut>(n: u32, program: F) -> (Vec<R>, RunStats)
 where
     T: Send,
     R: Send,
-    F: Fn(&NodeCtx<T>) -> R + Sync,
+    F: Fn(NodeCtx<T>) -> Fut + Sync,
+    Fut: Future<Output = R> + Send,
 {
     cubeaddr::check_dims(n);
+    assert!(
+        n <= 16,
+        "refusing a mailbox slab for 2^{n} virtual nodes; use the simulator for giant cubes"
+    );
     let num = 1usize << n;
-    assert!(n <= 10, "refusing to spawn {num} threads; use the simulator for giant cubes");
+    let workers = num_workers().clamp(1, num);
+    let shared = Arc::new(Shared::<T>::new(n, num, workers, stall_timeout()));
+    let slab: Vec<Mutex<VSlot<Fut, R>>> =
+        (0..num).map(|_| Mutex::new(VSlot { fut: None, result: None })).collect();
 
-    // links[x][d] = channel whose sender is held by x's neighbor across d
-    // and whose receiver is held by x.
-    let mut senders: Vec<Vec<Option<Sender<T>>>> =
-        (0..num).map(|_| (0..n).map(|_| None).collect()).collect();
-    let mut receivers: Vec<Vec<Option<Receiver<T>>>> =
-        (0..num).map(|_| (0..n).map(|_| None).collect()).collect();
-    // Indexed loop: each iteration writes both `senders[x]` and
-    // `receivers[peer]` for a derived peer index.
-    #[allow(clippy::needless_range_loop)]
-    for x in 0..num {
-        for d in 0..n as usize {
-            let peer = NodeId(x as u64).neighbor(d as u32).index();
-            let (tx, rx) = unbounded();
-            // x sends to peer on dim d; peer receives on dim d.
-            senders[x][d] = Some(tx);
-            receivers[peer][d] = Some(rx);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let shared = &shared;
+                let slab = &slab;
+                let program = &program;
+                scope.spawn(move || sched::worker_loop(w, shared, slab, program))
+            })
+            .collect();
+        // Join explicitly and re-raise the *original* payload (a node
+        // program's panic or the stall report), not the scope's generic
+        // "a scoped thread panicked". A panicking worker marks the run
+        // done first, so the others drain out and this join completes.
+        let mut first_panic = None;
+        for h in handles {
+            if let Err(payload) = h.join() {
+                first_panic.get_or_insert(payload);
+            }
         }
-    }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+    });
 
-    let barrier = Arc::new(Barrier::new(num));
-    let messages = Arc::new(AtomicU64::new(0));
-    let barriers = Arc::new(AtomicU64::new(0));
-
-    let mut ctxs: Vec<NodeCtx<T>> = senders
+    let results: Vec<R> = slab
         .into_iter()
-        .zip(receivers)
         .enumerate()
-        .map(|(x, (tx, rx))| NodeCtx {
-            id: NodeId(x as u64),
-            n,
-            tx: tx.into_iter().map(Option::unwrap).collect(),
-            rx: rx.into_iter().map(Option::unwrap).collect(),
-            barrier: Arc::clone(&barrier),
-            messages: Arc::clone(&messages),
-            barriers: Arc::clone(&barriers),
+        .map(|(x, slot)| {
+            lock(&slot).result.take().unwrap_or_else(|| panic!("node {x} produced no result"))
         })
         .collect();
 
-    let program = &program;
-    let results: Vec<R> = std::thread::scope(|scope| {
-        let handles: Vec<_> =
-            ctxs.drain(..).map(|ctx| scope.spawn(move || program(&ctx))).collect();
-        handles.into_iter().map(|h| h.join().expect("node program panicked")).collect()
-    });
-
-    (
-        results,
-        RunStats {
-            messages: messages.load(Ordering::Relaxed),
-            barriers: barriers.load(Ordering::Relaxed),
-        },
-    )
+    let stats = RunStats {
+        messages: shared.messages.load(Ordering::Relaxed),
+        barriers: shared.barriers.load(Ordering::Relaxed),
+        workers,
+        peak_live: shared.peak_live.load(Ordering::Relaxed),
+        parks: shared.parks.load(Ordering::Relaxed),
+        wakes: shared.wakes.load(Ordering::Relaxed),
+        steals: shared.steals.iter().map(|s| s.load(Ordering::Relaxed)).collect(),
+    };
+    (results, stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// Extracts the message from a caught panic payload (both literal
+    /// and formatted panics appear across these tests).
+    fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .expect("non-string panic payload")
+    }
 
     #[test]
     fn exchange_swaps_neighbors() {
-        let (results, stats) = run_spmd(3, |ctx| ctx.exchange(2, ctx.id().bits()));
+        let (results, stats) =
+            run_spmd(3, |ctx| async move { ctx.exchange(2, ctx.id().bits()).await });
         let expect: Vec<u64> = (0..8).map(|x| x ^ 0b100).collect();
         assert_eq!(results, expect);
         assert_eq!(stats.messages, 8);
+        assert!(stats.peak_live >= 2 && stats.peak_live <= 8, "{stats:?}");
     }
 
     #[test]
     fn single_node_cube_runs() {
-        let (results, _) = run_spmd::<u64, _, _>(0, |ctx| ctx.id().bits() + 41);
+        let (results, _) = run_spmd::<u64, _, _, _>(0, |ctx| async move { ctx.id().bits() + 41 });
         assert_eq!(results, vec![41]);
     }
 
@@ -236,10 +433,10 @@ mod tests {
     fn dimension_scan_accumulates_all_ids() {
         // Classic all-reduce by dimension scan: after exchanging partial
         // sums across every dimension, every node holds Σ ids.
-        let (results, _) = run_spmd(4, |ctx| {
+        let (results, _) = run_spmd(4, |ctx| async move {
             let mut acc = ctx.id().bits();
             for d in 0..ctx.n() {
-                acc += ctx.exchange(d, acc);
+                acc += ctx.exchange(d, acc).await;
             }
             acc
         });
@@ -249,10 +446,12 @@ mod tests {
 
     #[test]
     fn all_reduce_sum_and_max() {
-        let (sums, _) = run_spmd(4, |ctx| ctx.all_reduce(ctx.id().bits(), |a, b| a + b));
+        let (sums, _) =
+            run_spmd(4, |ctx| async move { ctx.all_reduce(ctx.id().bits(), |a, b| a + b).await });
         let total: u64 = (0..16).sum();
         assert!(sums.iter().all(|&s| s == total));
-        let (maxes, _) = run_spmd(3, |ctx| ctx.all_reduce(ctx.id().bits(), u64::max));
+        let (maxes, _) =
+            run_spmd(3, |ctx| async move { ctx.all_reduce(ctx.id().bits(), u64::max).await });
         assert!(maxes.iter().all(|&m| m == 7));
     }
 
@@ -268,8 +467,8 @@ mod tests {
             }
         }
         let n = 3u32;
-        let (vals, _) = run_spmd(n, |ctx: &NodeCtx<Tracked>| {
-            ctx.all_reduce(Tracked(ctx.id().bits()), |a, b| Tracked(a.0 + b.0)).0
+        let (vals, _) = run_spmd(n, |ctx: NodeCtx<Tracked>| async move {
+            ctx.all_reduce(Tracked(ctx.id().bits()), |a, b| Tracked(a.0 + b.0)).await.0
         });
         let total: u64 = (0..8).sum();
         assert!(vals.iter().all(|&v| v == total), "{vals:?}");
@@ -280,9 +479,9 @@ mod tests {
 
     #[test]
     fn barrier_counts_episodes() {
-        let (_, stats) = run_spmd::<u64, _, _>(2, |ctx| {
-            ctx.barrier();
-            ctx.barrier();
+        let (_, stats) = run_spmd::<u64, _, _, _>(2, |ctx| async move {
+            ctx.barrier().await;
+            ctx.barrier().await;
         });
         assert_eq!(stats.barriers, 2);
     }
@@ -290,7 +489,7 @@ mod tests {
     #[test]
     fn store_and_forward_chain() {
         // Node 0 sends a token around dims 0,1,2; final holder is node 7.
-        let (results, _) = run_spmd(3, |ctx| {
+        let (results, _) = run_spmd(3, |ctx| async move {
             let x = ctx.id().bits();
             match x {
                 0 => {
@@ -298,16 +497,16 @@ mod tests {
                     None
                 }
                 1 => {
-                    let t = ctx.recv(0);
+                    let t = ctx.recv(0).await;
                     ctx.send(1, t);
                     None
                 }
                 3 => {
-                    let t = ctx.recv(1);
+                    let t = ctx.recv(1).await;
                     ctx.send(2, t);
                     None
                 }
-                7 => Some(ctx.recv(2)),
+                7 => Some(ctx.recv(2).await),
                 _ => None,
             }
         });
@@ -317,37 +516,96 @@ mod tests {
 
     #[test]
     fn messages_preserve_order_per_link() {
-        let (results, _) = run_spmd(1, |ctx| {
+        let (results, _) = run_spmd(1, |ctx| async move {
             if ctx.id().bits() == 0 {
                 for i in 0..100u64 {
                     ctx.send(0, i);
                 }
                 Vec::new()
             } else {
-                (0..100).map(|_| ctx.recv(0)).collect::<Vec<u64>>()
+                let mut got = Vec::new();
+                for _ in 0..100 {
+                    got.push(ctx.recv(0).await);
+                }
+                got
             }
         });
         assert_eq!(results[1], (0..100).collect::<Vec<u64>>());
     }
 
     #[test]
-    #[should_panic(expected = "refusing to spawn")]
-    fn giant_cube_rejected() {
-        let _ = run_spmd::<u64, _, _>(11, |_| ());
+    fn oversubscribed_pool_runs_many_nodes_per_worker() {
+        // 1024 virtual nodes on 1, 2 and 5 workers: identical results.
+        let mut seen: Option<Vec<u64>> = None;
+        for workers in [1usize, 2, 5] {
+            let (results, stats) = with_workers(workers, || {
+                run_spmd(10, |ctx| async move {
+                    ctx.all_reduce(ctx.id().bits(), |a, b| a.wrapping_add(b)).await
+                })
+            });
+            assert_eq!(stats.workers, workers);
+            assert!(stats.peak_live >= 2, "pool should oversubscribe: {stats:?}");
+            match &seen {
+                None => seen = Some(results),
+                Some(first) => assert_eq!(&results, first, "workers={workers}"),
+            }
+        }
     }
 
     #[test]
-    fn recv_timeout_parses_and_clamps() {
+    fn giant_cube_rejected() {
+        let caught = std::panic::catch_unwind(|| {
+            let _ = run_spmd::<u64, _, _, _>(17, |_| async move {});
+        });
+        let msg = panic_message(caught.unwrap_err());
+        assert!(msg.contains("refusing a mailbox slab"), "{msg}");
+    }
+
+    #[test]
+    fn stall_detector_reports_parked_dims() {
+        // Node 0 receives on dim 0 but node 1 never sends: the run makes
+        // no progress once everyone else finished, and the detector names
+        // the parked node and dimension.
+        let caught = std::panic::catch_unwind(|| {
+            with_stall_timeout(Duration::from_millis(50), || {
+                run_spmd::<u64, _, _, _>(2, |ctx| async move {
+                    if ctx.id().bits() == 0 {
+                        ctx.recv(0).await;
+                    }
+                    0u64
+                })
+            })
+        });
+        let msg = panic_message(caught.unwrap_err());
+        assert!(msg.contains("SPMD scheduler stalled"), "{msg}");
+        assert!(msg.contains("node 0 on dim 0"), "{msg}");
+        assert!(msg.contains("3/4 node programs completed"), "{msg}");
+    }
+
+    #[test]
+    fn node_program_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            run_spmd::<u64, _, _, _>(3, |ctx| async move {
+                assert!(ctx.id().bits() != 5, "boom on node 5");
+                ctx.id().bits()
+            })
+        });
+        let msg = panic_message(caught.unwrap_err());
+        assert!(msg.contains("boom on node 5"), "{msg}");
+    }
+
+    #[test]
+    fn stall_timeout_parses_and_clamps() {
         // Plain values parse as milliseconds (whitespace tolerated).
-        assert_eq!(parse_recv_timeout(Some("250")), Duration::from_millis(250));
-        assert_eq!(parse_recv_timeout(Some(" 1500 ")), Duration::from_millis(1500));
+        assert_eq!(parse_stall_timeout(Some("250")), Duration::from_millis(250));
+        assert_eq!(parse_stall_timeout(Some(" 1500 ")), Duration::from_millis(1500));
         // Zero clamps up to 1 ms, absurd values down to an hour.
-        assert_eq!(parse_recv_timeout(Some("0")), Duration::from_millis(1));
-        assert_eq!(parse_recv_timeout(Some("999999999999")), Duration::from_secs(3600));
+        assert_eq!(parse_stall_timeout(Some("0")), Duration::from_millis(1));
+        assert_eq!(parse_stall_timeout(Some("999999999999")), Duration::from_secs(3600));
         // Unset or garbage falls back to the 30 s default.
-        assert_eq!(parse_recv_timeout(None), DEFAULT_RECV_TIMEOUT);
-        assert_eq!(parse_recv_timeout(Some("fast")), DEFAULT_RECV_TIMEOUT);
-        assert_eq!(parse_recv_timeout(Some("-5")), DEFAULT_RECV_TIMEOUT);
-        assert_eq!(parse_recv_timeout(Some("")), DEFAULT_RECV_TIMEOUT);
+        assert_eq!(parse_stall_timeout(None), DEFAULT_STALL_TIMEOUT);
+        assert_eq!(parse_stall_timeout(Some("fast")), DEFAULT_STALL_TIMEOUT);
+        assert_eq!(parse_stall_timeout(Some("-5")), DEFAULT_STALL_TIMEOUT);
+        assert_eq!(parse_stall_timeout(Some("")), DEFAULT_STALL_TIMEOUT);
     }
 }

@@ -1,0 +1,449 @@
+//! The cooperative virtual-node scheduler behind [`crate::run_spmd`]:
+//! a fixed worker pool multiplexing up to 2^16 node contexts.
+//!
+//! # Data plane
+//!
+//! * **Mailbox slab** — one FIFO per directed cube link, stored flat at
+//!   `node * n + dim` (the PR-1 `SimNet` layout). `mail[x*n + d]` holds
+//!   what `x`'s neighbor across dimension `d` sent to `x`. Each slot is
+//!   a `Mutex<MailSlot>` (a `VecDeque` plus the receiver's parked flag);
+//!   steady-state sends and receives reuse the deque's capacity, so hops
+//!   are allocation-free once warm.
+//! * **Want cells** — one atomic per node recording what a suspended
+//!   node is waiting for (a dimension, or a barrier generation). Written
+//!   by the node's own `recv`/`barrier` futures while its worker polls
+//!   it; read back by that worker to park it, and by the stall detector
+//!   to report *which* nodes wait on *which* dims.
+//! * **Ready queues** — one `VecDeque<u32>` of runnable node ids per
+//!   worker. A send that finds its receiver parked pushes the receiver
+//!   onto the *sender's* queue; idle workers steal from the front of
+//!   other queues (half at a time) and, before sleeping, claim
+//!   not-yet-spawned nodes from a [`ClaimCursor`] — the same
+//!   work-claiming machinery as `cubesim::par`.
+//!
+//! # Park/wake protocol (two-phase, no lost wakeups)
+//!
+//! A `recv` on an empty mailbox does **not** publish anything: it
+//! records the dimension in the node's want cell and returns `Pending`.
+//! Only after the worker has finished with the context (its slab lock is
+//! released, so any other worker could run it) does the worker *park*
+//! the node: re-lock the mailbox, re-check for a message that raced in
+//! (if one did, the node just goes back on the ready queue), otherwise
+//! set the slot's parked flag. A sender that sees the flag clears it and
+//! enqueues the receiver. Because the flag is only ever set after the
+//! context is released, and only the one clearing sender enqueues, each
+//! node is owned by at most one worker at a time.
+//!
+//! # Determinism
+//!
+//! Results are byte-identical at any worker count because scheduling
+//! never influences data: every directed link has exactly one sending
+//! node whose messages arrive in its program order, and a `recv` names
+//! the one link it consumes from. The scheduler only decides *when* a
+//! node runs, never *what* it observes. (Scheduler counters — parks,
+//! wakes, steals — are timing-dependent; message and barrier counts are
+//! not.)
+
+use cubesim::par::ClaimCursor;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Want-cell value: not waiting on anything scheduler-visible.
+pub(crate) const WANT_NONE: u64 = u64::MAX;
+/// Want-cell flag bit: waiting on the barrier generation in the low bits.
+pub(crate) const WANT_BARRIER: u64 = 1 << 63;
+
+/// Locks a mutex, recovering the guard if a panicking node program
+/// poisoned it (the panic itself is propagated separately; diagnostic
+/// state behind the lock is still worth reading).
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One directed link endpoint: the queue of in-flight messages plus the
+/// receiver's parked flag.
+pub(crate) struct MailSlot<T> {
+    pub(crate) queue: VecDeque<T>,
+    pub(crate) parked: bool,
+}
+
+/// Global barrier state: a generation counter plus the arrival count and
+/// parked waiters of the current episode.
+pub(crate) struct BarrierState {
+    pub(crate) generation: u64,
+    pub(crate) arrived: usize,
+    pub(crate) waiters: Vec<u32>,
+}
+
+/// Stall-detector clock: the last observed progress count and when it
+/// last changed. Guarded by the sleep lock (only idle workers look).
+pub(crate) struct StallClock {
+    last_progress: u64,
+    since: Instant,
+}
+
+/// Everything the workers and node contexts share for one run.
+pub(crate) struct Shared<T> {
+    pub(crate) n: u32,
+    pub(crate) num: usize,
+    pub(crate) workers: usize,
+    pub(crate) stall_timeout: Duration,
+
+    /// Mailbox slab, `node * n + dim`.
+    mail: Vec<Mutex<MailSlot<T>>>,
+    /// Per-node wait reason (see [`WANT_NONE`] / [`WANT_BARRIER`]).
+    pub(crate) want: Vec<AtomicU64>,
+    pub(crate) barrier: Mutex<BarrierState>,
+    /// Mirror of `barrier.generation` for lock-free re-polls.
+    pub(crate) barrier_generation: AtomicU64,
+
+    /// Per-worker ready queues of runnable node ids.
+    queues: Vec<Mutex<VecDeque<u32>>>,
+    /// Unspawned-node cursor: nodes start life here, not in a queue.
+    pub(crate) cursor: ClaimCursor,
+    sleep: Mutex<StallClock>,
+    sleep_cv: Condvar,
+    sleepers: AtomicUsize,
+    done: AtomicBool,
+    pub(crate) completed: AtomicUsize,
+
+    // Counters for `RunStats`.
+    pub(crate) messages: AtomicU64,
+    pub(crate) barriers: AtomicU64,
+    pub(crate) parks: AtomicU64,
+    pub(crate) wakes: AtomicU64,
+    pub(crate) steals: Vec<AtomicU64>,
+    live: AtomicU32,
+    pub(crate) peak_live: AtomicU32,
+    /// Bumped on every poll and wake; stillness is what the stall
+    /// detector times.
+    pub(crate) progress: AtomicU64,
+}
+
+thread_local! {
+    /// Which worker of the current run this thread is (set by
+    /// [`worker_loop`]); sends always enqueue wakes on their own worker's
+    /// queue, so no cross-thread queue choice exists.
+    static WORKER: Cell<usize> = const { Cell::new(0) };
+}
+
+impl<T> Shared<T> {
+    pub(crate) fn new(n: u32, num: usize, workers: usize, stall_timeout: Duration) -> Self {
+        Shared {
+            n,
+            num,
+            workers,
+            stall_timeout,
+            mail: (0..num * n as usize)
+                .map(|_| Mutex::new(MailSlot { queue: VecDeque::new(), parked: false }))
+                .collect(),
+            want: (0..num).map(|_| AtomicU64::new(WANT_NONE)).collect(),
+            barrier: Mutex::new(BarrierState { generation: 0, arrived: 0, waiters: Vec::new() }),
+            barrier_generation: AtomicU64::new(0),
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            cursor: ClaimCursor::new(num),
+            sleep: Mutex::new(StallClock { last_progress: 0, since: Instant::now() }),
+            sleep_cv: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            done: AtomicBool::new(false),
+            completed: AtomicUsize::new(0),
+            messages: AtomicU64::new(0),
+            barriers: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            wakes: AtomicU64::new(0),
+            steals: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            live: AtomicU32::new(0),
+            peak_live: AtomicU32::new(0),
+            progress: AtomicU64::new(0),
+        }
+    }
+
+    /// The mailbox where `node` receives from its neighbor across `dim`.
+    pub(crate) fn slot(&self, node: u64, dim: u32) -> &Mutex<MailSlot<T>> {
+        &self.mail[node as usize * self.n as usize + dim as usize]
+    }
+
+    /// Marks a context as spawned for the live/peak accounting.
+    pub(crate) fn note_spawned(&self) {
+        let live = self.live.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_live.fetch_max(live, Ordering::Relaxed);
+    }
+
+    /// Marks a context as finished; returns true when it was the last.
+    pub(crate) fn note_completed(&self) -> bool {
+        self.live.fetch_sub(1, Ordering::Relaxed);
+        self.progress.fetch_add(1, Ordering::SeqCst);
+        self.completed.fetch_add(1, Ordering::SeqCst) + 1 == self.num
+    }
+
+    /// Enqueues `node` on the current worker's ready queue and pokes a
+    /// sleeper if one might miss it.
+    pub(crate) fn push_ready(&self, node: u32) {
+        let w = WORKER.with(Cell::get);
+        lock(&self.queues[w]).push_back(node);
+        self.notify_sleepers(false);
+    }
+
+    /// Wakes a parked node: the caller already cleared its parked flag
+    /// (or drained it from the barrier wait list) under the relevant
+    /// lock, so exactly one waker enqueues it.
+    pub(crate) fn wake(&self, node: u32) {
+        self.wakes.fetch_add(1, Ordering::Relaxed);
+        self.progress.fetch_add(1, Ordering::SeqCst);
+        self.push_ready(node);
+    }
+
+    /// Wakes every node on `drained` (barrier release): one queue lock,
+    /// one notify.
+    pub(crate) fn wake_all(&self, drained: &mut Vec<u32>) {
+        self.wakes.fetch_add(drained.len() as u64, Ordering::Relaxed);
+        self.progress.fetch_add(drained.len() as u64 + 1, Ordering::SeqCst);
+        let w = WORKER.with(Cell::get);
+        lock(&self.queues[w]).extend(drained.drain(..));
+        self.notify_sleepers(true);
+    }
+
+    /// Pokes sleeping workers after new work was enqueued. The sleepers
+    /// counter is incremented under the sleep lock *before* a sleeper's
+    /// queue re-check, and our queue push precedes this load, so a
+    /// sleeper that missed the push is guaranteed visible here (both
+    /// operations are SeqCst) — no lost wakeup.
+    fn notify_sleepers(&self, all: bool) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            drop(lock(&self.sleep));
+            if all {
+                self.sleep_cv.notify_all();
+            } else {
+                self.sleep_cv.notify_one();
+            }
+        }
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Ends the run (all nodes finished, a stall, or a panic) and
+    /// releases every sleeping worker.
+    pub(crate) fn finish(&self) {
+        self.done.store(true, Ordering::Release);
+        drop(lock(&self.sleep));
+        self.sleep_cv.notify_all();
+    }
+
+    /// Parks `node` according to its want cell — phase two of the
+    /// suspend protocol, run only after the node's context is released.
+    /// Re-checks the awaited condition under its lock; if it was already
+    /// satisfied by a racing sender, the node goes straight back on the
+    /// ready queue instead.
+    pub(crate) fn park(&self, node: u32) {
+        let want = self.want[node as usize].load(Ordering::Relaxed);
+        if want == WANT_NONE {
+            panic!(
+                "node {node} suspended on a foreign future; only NodeCtx recv/barrier may suspend"
+            );
+        }
+        if want & WANT_BARRIER != 0 {
+            let generation = want & !WANT_BARRIER;
+            let mut b = lock(&self.barrier);
+            if b.generation > generation {
+                drop(b);
+                self.push_ready(node);
+            } else {
+                b.waiters.push(node);
+                self.parks.fetch_add(1, Ordering::Relaxed);
+            }
+        } else {
+            let mut s = lock(self.slot(node as u64, want as u32));
+            if s.queue.is_empty() {
+                s.parked = true;
+                self.parks.fetch_add(1, Ordering::Relaxed);
+            } else {
+                drop(s);
+                self.push_ready(node);
+            }
+        }
+    }
+
+    /// Finds the next node for worker `w` to run: own queue, then a
+    /// steal from another worker's queue (front half), then an
+    /// unspawned node from the cursor, then sleep. Returns `None` when
+    /// the run is over.
+    pub(crate) fn next_work(&self, w: usize) -> Option<u32> {
+        loop {
+            if self.is_done() {
+                return None;
+            }
+            if let Some(x) = lock(&self.queues[w]).pop_front() {
+                return Some(x);
+            }
+            for i in 1..self.workers {
+                let victim = (w + i) % self.workers;
+                let mut q = lock(&self.queues[victim]);
+                if q.is_empty() {
+                    continue;
+                }
+                let take = q.len().div_ceil(2);
+                let grabbed: Vec<u32> = q.drain(..take).collect();
+                drop(q);
+                self.steals[w].fetch_add(grabbed.len() as u64, Ordering::Relaxed);
+                let (&first, rest) = grabbed.split_first().expect("took at least one");
+                if !rest.is_empty() {
+                    lock(&self.queues[w]).extend(rest.iter().copied());
+                }
+                return Some(first);
+            }
+            if let Some(i) = self.cursor.claim() {
+                return Some(i as u32);
+            }
+            if !self.sleep(w) {
+                return None;
+            }
+        }
+    }
+
+    /// Blocks worker `w` until new work may exist; runs the stall check
+    /// on each timeout tick. Returns `false` when the run is over.
+    fn sleep(&self, _w: usize) -> bool {
+        let mut clock = lock(&self.sleep);
+        // Register as a sleeper *before* re-checking the queues: a waker
+        // pushes before it reads the sleeper count, so either we see its
+        // work here or it sees us and notifies.
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let has_work =
+            self.queues.iter().any(|q| !lock(q).is_empty()) || !self.cursor.is_exhausted();
+        if has_work || self.is_done() {
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+            return !self.is_done();
+        }
+        let tick =
+            (self.stall_timeout / 4).clamp(Duration::from_millis(10), Duration::from_secs(1));
+        let (guard, _) = self
+            .sleep_cv
+            .wait_timeout(clock, tick)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        clock = guard;
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        if self.is_done() {
+            return false;
+        }
+        let current = self.progress.load(Ordering::SeqCst);
+        if current != clock.last_progress {
+            clock.last_progress = current;
+            clock.since = Instant::now();
+        } else if clock.since.elapsed() >= self.stall_timeout
+            && self.completed.load(Ordering::SeqCst) < self.num
+        {
+            let report = self.stall_report();
+            drop(clock);
+            self.finish();
+            panic!("{report}");
+        }
+        true
+    }
+
+    /// Formats the stall diagnostic: overall progress plus which nodes
+    /// are parked on which dims (first few, then a count).
+    fn stall_report(&self) -> String {
+        use std::fmt::Write;
+        let completed = self.completed.load(Ordering::SeqCst);
+        let mut parked = 0usize;
+        let mut detail = String::new();
+        for (x, cell) in self.want.iter().enumerate() {
+            let want = cell.load(Ordering::Relaxed);
+            if want == WANT_NONE {
+                continue;
+            }
+            parked += 1;
+            if parked <= 12 {
+                if parked > 1 {
+                    detail.push_str(", ");
+                }
+                if want & WANT_BARRIER != 0 {
+                    let _ = write!(detail, "node {x} on barrier #{}", want & !WANT_BARRIER);
+                } else {
+                    let _ = write!(detail, "node {x} on dim {want}");
+                }
+            }
+        }
+        if parked > 12 {
+            let _ = write!(detail, ", … ({} more)", parked - 12);
+        }
+        format!(
+            "SPMD scheduler stalled: no virtual-node progress for {:?} \
+             ({completed}/{} node programs completed, {parked} waiting: {detail}) \
+             — deadlocked node program?",
+            self.stall_timeout, self.num
+        )
+    }
+}
+
+/// One slab entry: the node's suspended program (once spawned) and its
+/// result (once finished).
+pub(crate) struct VSlot<Fut, R> {
+    pub(crate) fut: Option<std::pin::Pin<Box<Fut>>>,
+    pub(crate) result: Option<R>,
+}
+
+/// The body of one pool worker: claim contexts, poll them until they
+/// suspend or finish, park the suspended ones.
+pub(crate) fn worker_loop<T, R, Fut, F>(
+    w: usize,
+    shared: &std::sync::Arc<Shared<T>>,
+    slab: &[Mutex<VSlot<Fut, R>>],
+    program: &F,
+) where
+    T: Send,
+    R: Send,
+    Fut: std::future::Future<Output = R> + Send,
+    F: Fn(crate::runtime::NodeCtx<T>) -> Fut + Sync,
+{
+    use std::task::{Context, Poll, Waker};
+    WORKER.with(|c| c.set(w));
+    let mut cx = Context::from_waker(Waker::noop());
+    while let Some(node) = shared.next_work(w) {
+        let mut slot = lock(&slab[node as usize]);
+        if slot.fut.is_none() {
+            if slot.result.is_some() {
+                continue; // already finished (can't normally happen)
+            }
+            let ctx = crate::runtime::NodeCtx::new(
+                cubeaddr::NodeId(node as u64),
+                std::sync::Arc::clone(shared),
+            );
+            slot.fut = Some(Box::pin(program(ctx)));
+            shared.note_spawned();
+        }
+        let fut = slot.fut.as_mut().expect("context spawned above");
+        let polled =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fut.as_mut().poll(&mut cx)));
+        match polled {
+            Err(payload) => {
+                // Release the pool before re-raising so the other
+                // workers exit and the scope join can propagate this.
+                drop(slot);
+                shared.finish();
+                std::panic::resume_unwind(payload);
+            }
+            Ok(Poll::Ready(r)) => {
+                slot.fut = None;
+                slot.result = Some(r);
+                drop(slot);
+                shared.want[node as usize].store(WANT_NONE, Ordering::Relaxed);
+                if shared.note_completed() {
+                    shared.finish();
+                }
+            }
+            Ok(Poll::Pending) => {
+                // Phase two of the suspend protocol happens only after
+                // the context lock is released (see module docs).
+                drop(slot);
+                shared.progress.fetch_add(1, Ordering::SeqCst);
+                shared.park(node);
+            }
+        }
+    }
+}

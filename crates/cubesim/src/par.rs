@@ -50,14 +50,52 @@ pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// A work-claiming cursor over the index range `0..limit`: each call to
+/// [`claim`](ClaimCursor::claim) hands out the next unclaimed index
+/// exactly once, across any number of threads.
+///
+/// This is the machinery behind [`par_map`]'s load balancing, factored
+/// out so other schedulers (the `cuberun` virtual-node worker pool seeds
+/// its 2^n node contexts from one) can share it: uneven item costs
+/// balance because idle workers simply claim the next index.
+pub struct ClaimCursor {
+    next: AtomicUsize,
+    limit: usize,
+}
+
+impl ClaimCursor {
+    /// A cursor over `0..limit`.
+    pub fn new(limit: usize) -> Self {
+        ClaimCursor { next: AtomicUsize::new(0), limit }
+    }
+
+    /// Claims the next index, or `None` once all are handed out.
+    ///
+    /// The load-then-increment keeps the counter from creeping unbounded
+    /// when an exhausted cursor is polled in a scheduler loop.
+    pub fn claim(&self) -> Option<usize> {
+        if self.next.load(Ordering::Relaxed) >= self.limit {
+            return None;
+        }
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < self.limit).then_some(i)
+    }
+
+    /// Whether every index has been handed out (racy by nature: a `false`
+    /// may be stale by the time the caller acts on it).
+    pub fn is_exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.limit
+    }
+}
+
 /// Maps `f` over `items` on [`num_threads`] scoped threads; results come
 /// back in input order.
 pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
     par_map_with(num_threads(), items, f)
 }
 
-/// [`par_map`] with an explicit worker count (work-claiming by atomic
-/// counter, so uneven item costs balance).
+/// [`par_map`] with an explicit worker count (work-claiming through a
+/// [`ClaimCursor`], so uneven item costs balance).
 pub fn par_map_with<T: Sync, R: Send>(
     threads: usize,
     items: &[T],
@@ -67,16 +105,14 @@ pub fn par_map_with<T: Sync, R: Send>(
     if threads <= 1 {
         return items.iter().map(&f).collect();
     }
-    let next = AtomicUsize::new(0);
+    let cursor = ClaimCursor::new(items.len());
     let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 s.spawn(|| {
                     let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(i) else { break };
-                        out.push((i, f(item)));
+                    while let Some(i) = cursor.claim() {
+                        out.push((i, f(&items[i])));
                     }
                     out
                 })
@@ -185,6 +221,37 @@ pub fn par_for_each_mut_sparse_with<T: Send>(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn claim_cursor_hands_out_each_index_once() {
+        let cursor = ClaimCursor::new(1000);
+        let claims: Vec<Vec<usize>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut got = Vec::new();
+                        while let Some(i) = cursor.claim() {
+                            got.push(i);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut all: Vec<usize> = claims.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+        assert!(cursor.is_exhausted());
+        assert_eq!(cursor.claim(), None);
+    }
+
+    #[test]
+    fn claim_cursor_empty_is_exhausted_immediately() {
+        let cursor = ClaimCursor::new(0);
+        assert!(cursor.is_exhausted());
+        assert_eq!(cursor.claim(), None);
+    }
 
     #[test]
     fn par_map_preserves_input_order() {

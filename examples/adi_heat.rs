@@ -95,7 +95,7 @@ fn main() {
     for step in 1..=steps {
         // x-sweep: rows are local.
         sweep_rows(&mut field, r);
-        // Transpose (real threads, standard exchange algorithm).
+        // Transpose (real message passing on the virtual-node runtime).
         let (transposed, stats1) = spmd_transpose_exchange(&field, &layout_t);
         field = transposed;
         // y-sweep: former columns are now local rows.

@@ -1,0 +1,43 @@
+//! SPMD transpose on the virtual-node runtime: run the paper's exchange
+//! transposition with real message passing at several cube sizes — up to
+//! n = 16, the full 65 536-node Connection-Machine configuration — and
+//! print the scheduler's run statistics (messages, parks, wakes, steals,
+//! peak live contexts).
+//!
+//! Run with `cargo run --release --example spmd_transpose`.
+//! The pool size comes from `CUBERUN_WORKERS` (default: the ambient
+//! `cubesim::par` thread count); results are byte-identical at any size.
+
+use boolcube::layout::{Assignment, Encoding, Layout};
+use boolcube::run::num_workers;
+use boolcube::transpose::spmd::spmd_transpose_exchange;
+use boolcube::transpose::verify::{assert_transposed, labels};
+use std::time::Instant;
+
+fn main() {
+    println!("worker pool: {} worker(s)\n", num_workers());
+
+    for half in [4u32, 6, 8] {
+        let n = 2 * half;
+        let before = Layout::square(half, half, half, Assignment::Consecutive, Encoding::Binary);
+        let after = before.swapped_shape();
+        let m = labels(before.clone());
+
+        let start = Instant::now();
+        let (out, stats) = spmd_transpose_exchange(&m, &after);
+        let elapsed = start.elapsed();
+        assert_transposed(&before, &out);
+
+        println!(
+            "n = {n:2}: {:>6} virtual nodes, {:>8} messages, {elapsed:>10.2?}",
+            before.num_nodes(),
+            stats.messages
+        );
+        println!(
+            "        peak live contexts {:>6}, parks {:>8}, wakes {:>8}, barriers {}",
+            stats.peak_live, stats.parks, stats.wakes, stats.barriers
+        );
+        let steals: u64 = stats.steals.iter().sum();
+        println!("        steals {steals:>6} (per worker: {:?})\n", stats.steals);
+    }
+}

@@ -75,6 +75,14 @@ timeout 300 cargo test --release -q -p cubetranspose --test perf_smoke -- --igno
 begin "perf smoke: n=14 schedule construction + rule sweep (time-bounded)"
 timeout 300 cargo test --release -q -p cubecheck --test perf_smoke -- --ignored
 
+begin "perf smoke: n=12 SPMD transpose on the virtual-node scheduler (time-bounded)"
+timeout 300 cargo test --release -q -p boolcube --test spmd_perf_smoke -- --ignored \
+    n12_spmd_transpose_completes_within_bound
+
+begin "SPMD smoke: n=16 (65536 virtual nodes), byte-identical at 1/2/5 workers"
+timeout 300 cargo test --release -q -p boolcube --test spmd_perf_smoke -- --ignored \
+    n16_virtual_nodes_full_transpose
+
 begin "cubecheck: n=16 plan lint smoke (time-bounded)"
 # 65 536-node flight plan, feasible since factored construction; the
 # bound catches a return to per-node recomputation.

@@ -35,7 +35,7 @@
 //!   realization — a cache-aware local transpose for address rotations, a
 //!   list of block-move start offsets for run-preserving permutations, or
 //!   a full relocation table in the general case — is computed once
-//!   ([`PermPlan`]) and shared by every node.
+//!   (`PermPlan`) and shared by every node.
 //!
 //! Per-node work (gathering runs into messages, scattering arrivals,
 //! applying a permutation plan) touches only that node's buffers, so it
@@ -225,7 +225,7 @@ impl<T: Copy> Clone for MappedMatrix<T> {
 impl<T: Copy + Default> MappedMatrix<T> {
     /// Builds the matrix by evaluating `f(w)` for every matrix address.
     pub fn from_fn(map: FieldMap, mut f: impl FnMut(u64) -> T) -> Self {
-        let num = 1usize << map.n();
+        let num = cubeaddr::num_nodes(map.n());
         let per = 1usize << map.vp();
         let mut data = vec![vec![T::default(); per]; num];
         for w in 0..(1u64 << map.m()) {

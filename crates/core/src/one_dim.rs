@@ -270,7 +270,7 @@ mod tests {
     }
 
     fn cubemodel_exchange(pq: u64, n: u32) -> f64 {
-        let big_n = 1u64 << n;
+        let big_n = cubeaddr::num_nodes(n) as u64;
         n as f64 * (pq as f64 / (2.0 * big_n as f64) + 1.0)
     }
 

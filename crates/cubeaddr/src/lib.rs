@@ -66,6 +66,23 @@ pub fn mask(m: u32) -> u64 {
     }
 }
 
+/// The number of nodes of an `n`-dimensional Boolean cube, `2^n`, as the
+/// `usize` used to size dense per-node tables.
+///
+/// This is the one audited home for `1 << n` node-count arithmetic: it
+/// validates `n` against [`MAX_DIMS`] and (in debug builds) that the
+/// count fits the platform's `usize`, instead of silently wrapping.
+#[inline]
+#[track_caller]
+pub fn num_nodes(n: u32) -> usize {
+    check_dims(n);
+    debug_assert!(
+        (n as usize) < usize::BITS as usize,
+        "2^{n} nodes overflows usize on this platform"
+    );
+    1usize << n
+}
+
 /// Concatenation of two address fields: `(u || v)` with `v` occupying the
 /// `q` low-order bits, as in the paper's element address
 /// `(u_{p-1}..u_0 v_{q-1}..v_0)`.

@@ -80,8 +80,7 @@ impl NodeId {
 
     /// Iterator over every node of an `n`-cube in address order.
     pub fn all(n: u32) -> impl Iterator<Item = NodeId> {
-        check_dims(n);
-        (0..(1u64 << n)).map(NodeId)
+        (0..crate::num_nodes(n) as u64).map(NodeId)
     }
 
     /// Translation of this node by `s` (bitwise exclusive or).
@@ -119,11 +118,10 @@ impl From<u64> for NodeId {
     }
 }
 
-/// Number of nodes of an `n`-cube.
+/// Number of nodes of an `n`-cube. Alias for [`crate::num_nodes`].
 #[inline]
 pub fn cube_size(n: u32) -> usize {
-    check_dims(n);
-    1usize << n
+    crate::num_nodes(n)
 }
 
 /// Number of undirected links of an `n`-cube: `n·N/2`.

@@ -5,13 +5,15 @@
 //! cubecheck --list               list lintable figures
 //! cubecheck fig16 fig18          lint specific figures
 //! cubecheck n16-smoke            lint the 65 536-node smoke workload
+//! cubecheck dragonfly-smoke      lint the Swapped Dragonfly planners
 //! ```
 //!
-//! Exits nonzero if any schedule violates an invariant; CI runs
-//! `--all-figures` so a schedule regression fails the build before it
-//! bends a curve, plus `n16-smoke` under a time bound. Workloads share
-//! constructions through the process-wide plan cache; the summary line
-//! reports its hit/miss counters.
+//! Exits 1 if any schedule violates an invariant, 2 if a named workload
+//! does not exist; CI runs `--all-figures` so a schedule regression
+//! fails the build before it bends a curve, plus the smoke workloads
+//! under a time bound. Workloads share constructions through the
+//! process-wide plan cache; the summary line reports its hit/miss
+//! counters.
 
 use cubecheck::workloads::{figure, plan_cache, FIGURES};
 use cubecheck::{check_all, lower};
@@ -24,6 +26,7 @@ fn main() -> ExitCode {
             println!("{name}");
         }
         println!("n16-smoke");
+        println!("dragonfly-smoke");
         return ExitCode::SUCCESS;
     }
     let names: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "--all-figures") {
@@ -35,8 +38,10 @@ fn main() -> ExitCode {
     let mut violations = 0usize;
     for name in names {
         let Some(workloads) = figure(name) else {
-            eprintln!("cubecheck: unknown figure '{name}' (try --list)");
-            return ExitCode::FAILURE;
+            // Exit 2, distinct from the invariant-violation exit 1, so
+            // CI scripts can tell a typo from a broken schedule.
+            eprintln!("cubecheck: unknown workload '{name}' (try --list); nothing was checked");
+            return ExitCode::from(2);
         };
         let (mut schedules, mut claims) = (0usize, 0u64);
         for w in workloads {

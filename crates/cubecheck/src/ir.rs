@@ -2,6 +2,7 @@
 
 use cubecomm::plan::{BlockMeta, CommSchedule};
 use cubesim::{MachineParams, PortMode};
+use cubetopo::TopoSpec;
 
 /// One directed-link activation claimed by a schedule: in `round`, node
 /// `src` sends `elems` elements (`packets` packets under the machine's
@@ -12,7 +13,8 @@ pub struct LinkClaim {
     pub round: usize,
     /// Sending node address.
     pub src: u64,
-    /// Dimension crossed; the receiver is `src ^ (1 << dim)`.
+    /// Port crossed; the receiver is `topo.neighbor(src, dim)` — on the
+    /// cube, the dimension, with receiver `src ^ (1 << dim)`.
     pub dim: u32,
     /// Elements carried.
     pub elems: u64,
@@ -28,8 +30,8 @@ pub struct LinkClaim {
 pub struct Lowered {
     /// Schedule name, carried into diagnostics.
     pub name: String,
-    /// Cube dimension.
-    pub n: u32,
+    /// The machine graph the claims name links of.
+    pub topo: TopoSpec,
     /// Port discipline the schedule claims to satisfy.
     pub ports: PortMode,
     /// Whether the schedule is dimension-ordered (see
@@ -81,7 +83,7 @@ pub fn lower(schedule: &CommSchedule, params: &MachineParams) -> Lowered {
     }
     Lowered {
         name: schedule.name.clone(),
-        n: schedule.n,
+        topo: schedule.topo,
         ports: schedule.ports,
         dimension_ordered: schedule.dimension_ordered,
         rounds: schedule.rounds.len(),

@@ -24,6 +24,7 @@
 
 pub mod crossval;
 pub mod diag;
+pub mod exec;
 pub mod ir;
 pub mod rules;
 pub mod workloads;
@@ -31,5 +32,6 @@ pub mod workloads;
 pub use crossval::cross_validate;
 pub use cubecomm::plan::CommSchedule;
 pub use diag::{Diag, Rule};
+pub use exec::run_schedule;
 pub use ir::{lower, LinkClaim, Lowered};
 pub use rules::check_all;

@@ -8,6 +8,7 @@
 use crate::diag::{Diag, Rule};
 use crate::ir::{LinkClaim, Lowered};
 use cubesim::{MachineParams, PortMode};
+use cubetopo::Topology;
 use std::collections::{HashMap, HashSet};
 
 /// Runs every checker; diagnostics come back grouped by rule, in
@@ -52,11 +53,18 @@ fn claims_by_round(low: &Lowered) -> Vec<Vec<&LinkClaim>> {
 /// dynamically.
 pub fn check_port_model(low: &Lowered) -> Vec<Diag> {
     let mut diags = Vec::new();
-    let num = 1u64 << low.n;
+    let topo = low.topo;
+    let num = topo.num_nodes() as u64;
+    let ports = topo.ports();
+    // A claim names a real link iff its endpoints are in range and the
+    // port is wired (a cube port always is; a Dragonfly group's swap
+    // fixed point is not).
+    let unlinked =
+        |c: &LinkClaim| c.dim >= ports || c.src >= num || topo.neighbor(c.src, c.dim).is_none();
     for c in &low.claims {
-        if c.dim >= low.n || c.src >= num {
+        if unlinked(c) {
             let mut d =
-                diag(low, Rule::PortModel, format!("claim names no link of the {}-cube", low.n));
+                diag(low, Rule::PortModel, format!("claim names no link of the {}", topo.label()));
             (d.round, d.node, d.dim) = (Some(c.round), Some(c.src), Some(c.dim));
             diags.push(d);
         }
@@ -65,26 +73,35 @@ pub fn check_port_model(low: &Lowered) -> Vec<Diag> {
         return diags;
     }
     for (round, claims) in claims_by_round(low).iter().enumerate() {
-        // node -> the one dimension it may use this round.
-        let mut used: HashMap<u64, u32> = HashMap::new();
+        // node -> the one undirected link it may use this round
+        // (canonically named from its lower endpoint), plus the claimed
+        // dim for the diagnostic. On the cube both ends number a link by
+        // its dimension, so "one link" coincides with "one dim".
+        let mut used: HashMap<u64, ((u64, u32), u32)> = HashMap::new();
         let mut reported: HashSet<u64> = HashSet::new();
         for c in claims {
-            if c.dim >= low.n || c.src >= num {
+            if unlinked(c) {
                 continue; // already reported structurally
             }
-            for endpoint in [c.src, c.src ^ (1 << c.dim)] {
+            let far = topo.neighbor(c.src, c.dim).expect("wired: checked above");
+            let link = if c.src <= far {
+                (c.src, c.dim)
+            } else {
+                (far, topo.reverse_port(c.src, c.dim).expect("wired: checked above"))
+            };
+            for endpoint in [c.src, far] {
                 match used.entry(endpoint) {
                     std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(c.dim);
+                        e.insert((link, c.dim));
                     }
                     std::collections::hash_map::Entry::Occupied(e) => {
-                        if *e.get() != c.dim && reported.insert(endpoint) {
+                        if e.get().0 != link && reported.insert(endpoint) {
                             let mut d = diag(
                                 low,
                                 Rule::PortModel,
                                 format!(
                                     "one-port node uses links on dims {} and {} in one round",
-                                    e.get(),
+                                    e.get().1,
                                     c.dim
                                 ),
                             );
@@ -170,6 +187,8 @@ fn block_hops(low: &Lowered) -> Vec<Vec<(usize, u64, u32)>> {
 /// one claim per hop, rounds strictly increasing.
 pub fn check_conservation(low: &Lowered) -> Vec<Diag> {
     let mut diags = Vec::new();
+    let topo = low.topo;
+    let (num, ports) = (topo.num_nodes() as u64, topo.ports());
     for c in &low.claims {
         let mut sum = 0u64;
         let mut bad_id = None;
@@ -220,7 +239,24 @@ pub fn check_conservation(low: &Lowered) -> Vec<Diag> {
                 broken = true;
                 break;
             }
-            at ^= 1 << dim;
+            match (dim < ports && at < num).then(|| topo.neighbor(at, dim)).flatten() {
+                Some(next) => at = next,
+                None => {
+                    // The hop names no link of the topology (PortModel
+                    // reports the claim itself); the chain cannot
+                    // continue past it.
+                    let mut d = diag(
+                        low,
+                        Rule::Conservation,
+                        format!("block routed over a nonexistent link of the {}", topo.label()),
+                    );
+                    (d.round, d.node, d.dim, d.block) =
+                        (Some(round), Some(src), Some(dim), Some(id as u32));
+                    diags.push(d);
+                    broken = true;
+                    break;
+                }
+            }
             last_round = Some(round);
         }
         if !broken && at != meta.dst.bits() {
@@ -246,7 +282,7 @@ pub fn check_deadlock_free(low: &Lowered) -> Vec<Diag> {
     if !low.dimension_ordered {
         return Vec::new();
     }
-    let n = u64::from(low.n.max(1));
+    let n = u64::from(low.topo.ports().max(1));
     let chan = |src: u64, dim: u32| -> u64 { src * n + u64::from(dim) };
     let mut edges: HashSet<(u64, u64)> = HashSet::new();
     for hops in block_hops(low) {

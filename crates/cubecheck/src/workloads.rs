@@ -16,8 +16,12 @@
 //! is copied onto the lowered IR for diagnostics), not on the schedule.
 
 use cubeaddr::NodeId;
-use cubecomm::plan::{ecube_route_plan_cached, CommSchedule, PlanCache};
+use cubecomm::plan::{
+    dragonfly_direct_plan_cached, dragonfly_swap_exchange_plan_cached, ecube_route_plan_cached,
+    CommSchedule, PlanCache,
+};
 use cubesim::{MachineParams, PortMode};
+use cubetopo::{SwappedDragonfly, Topology};
 use cubetranspose::two_dim::tr;
 use std::sync::{Arc, OnceLock};
 
@@ -43,7 +47,7 @@ pub struct FigureWorkload {
 /// `x → tr(x)` of `elems` elements per off-diagonal node.
 pub fn transpose_msgs(n: u32, elems: u64) -> Vec<(NodeId, NodeId, u64)> {
     let half = n / 2;
-    (0..(1u64 << n))
+    (0..cubeaddr::num_nodes(n) as u64)
         .filter(|&x| tr(x, half) != x)
         .map(|x| (NodeId(x), NodeId(tr(x, half)), elems))
         .collect()
@@ -127,6 +131,34 @@ pub fn n16_smoke() -> Vec<FigureWorkload> {
     vec![workload("n16-smoke", 16, 1, MachineParams::connection_machine(), "n16".into())]
 }
 
+/// The Swapped-Dragonfly CI smoke: both Draper planner variants on a
+/// `D3(4,8)` (256 nodes, 11 ports per router) — the swap-exchange
+/// all-to-all (one element per node pair) and direct routing of the
+/// node permutation `x → (x·7 + 3) mod N`. Like [`n16_smoke`], not part
+/// of [`FIGURES`]; CI lints it by name (`scripts/ci.sh`).
+pub fn dragonfly_smoke() -> Vec<FigureWorkload> {
+    let (k, m) = (4u32, 8u32);
+    let d = SwappedDragonfly::new(k, m);
+    let num = d.num_nodes() as u64;
+    let params = MachineParams::intel_ipsc().with_ports(PortMode::AllPorts);
+    let sizes: Vec<Vec<u64>> =
+        (0..num).map(|s| (0..num).map(|t| u64::from(s != t)).collect()).collect();
+    let msgs: Vec<(NodeId, NodeId, u64)> =
+        (0..num).map(|x| (NodeId(x), NodeId((x * 7 + 3) % num), 4)).collect();
+    vec![
+        FigureWorkload {
+            name: format!("dragonfly-smoke/swap-exchange/{}", d.label()),
+            schedule: dragonfly_swap_exchange_plan_cached(plan_cache(), k, m, &sizes),
+            params: params.clone(),
+        },
+        FigureWorkload {
+            name: format!("dragonfly-smoke/direct/{}", d.label()),
+            schedule: dragonfly_direct_plan_cached(plan_cache(), k, m, &msgs),
+            params,
+        },
+    ]
+}
+
 /// Names of all lintable figures.
 pub const FIGURES: [&str; 4] = ["fig14b", "fig16", "fig17", "fig18"];
 
@@ -138,6 +170,7 @@ pub fn figure(name: &str) -> Option<Vec<FigureWorkload>> {
         "fig17" => Some(fig17()),
         "fig18" => Some(fig18()),
         "n16-smoke" => Some(n16_smoke()),
+        "dragonfly-smoke" => Some(dragonfly_smoke()),
         _ => None,
     }
 }
@@ -154,6 +187,16 @@ mod tests {
         }
         assert!(figure("fig9").is_none());
         assert_eq!(figure("n16-smoke").unwrap().len(), 1);
+        assert_eq!(figure("dragonfly-smoke").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn dragonfly_smoke_lints_clean() {
+        for w in dragonfly_smoke() {
+            let low = crate::ir::lower(&w.schedule, &w.params);
+            let diags = crate::rules::check_all(&low, &w.params);
+            assert!(diags.is_empty(), "{}: {}", w.name, diags[0]);
+        }
     }
 
     #[test]

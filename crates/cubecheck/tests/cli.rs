@@ -1,0 +1,37 @@
+//! End-to-end tests of the `cubecheck` binary's exit protocol.
+
+use std::process::Command;
+
+fn cubecheck(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_cubecheck")).args(args).output().expect("binary runs")
+}
+
+#[test]
+fn unknown_workload_exits_2_with_a_one_line_summary() {
+    let out = cubecheck(&["no-such-figure"]);
+    assert_eq!(out.status.code(), Some(2), "distinct exit code for unknown workloads");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert_eq!(stderr.lines().count(), 1, "one-line summary, got: {stderr:?}");
+    assert!(stderr.contains("unknown workload 'no-such-figure'"), "{stderr}");
+    assert!(stderr.contains("nothing was checked"), "{stderr}");
+}
+
+#[test]
+fn list_names_the_smoke_workloads() {
+    let out = cubecheck(&["--list"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for name in ["fig16", "n16-smoke", "dragonfly-smoke"] {
+        assert!(stdout.lines().any(|l| l == name), "missing {name} in {stdout}");
+    }
+}
+
+#[test]
+fn dragonfly_smoke_lints_clean_from_the_cli() {
+    let out = cubecheck(&["dragonfly-smoke"]);
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert_eq!(out.status.code(), Some(0), "stderr: {stderr}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("dragonfly-smoke: 2 schedules"), "{stdout}");
+    assert!(stdout.contains("all invariants hold"), "{stdout}");
+}

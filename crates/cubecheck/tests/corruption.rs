@@ -80,7 +80,7 @@ fn cyclic_channel_dependency_fires_deadlock_free_only() {
         |src: u64, dim: u32, block: u32| PlannedMsg { src: NodeId(src), dim, blocks: vec![block] };
     let plan = CommSchedule {
         name: "corrupt/cycle".into(),
-        n: 2,
+        topo: cubetopo::TopoSpec::hypercube(2),
         ports: PortMode::AllPorts,
         dimension_ordered: true, // claims an order it does not have
         blocks: vec![

@@ -55,3 +55,47 @@ fn planning_and_checking_stay_fast() {
     let single = ecube_route_plan(4, &[(NodeId(0), NodeId(15), 1)]);
     assert_eq!(single.rounds.len(), 4);
 }
+
+#[test]
+#[ignore = "perf smoke; run in release via scripts/ci.sh"]
+fn dragonfly_planning_and_replay_stay_fast() {
+    use cubecomm::plan::{dragonfly_direct_plan, dragonfly_swap_exchange_plan};
+    use cubetopo::{SwappedDragonfly, Topology};
+
+    // The CI smoke shape: D3(4,8), 256 nodes, 11 ports per router.
+    let d = SwappedDragonfly::new(4, 8);
+    let num = d.num_nodes() as u64;
+    let params = cubesim::MachineParams::intel_ipsc().with_ports(PortMode::AllPorts);
+
+    // Full all-to-all through the swap-exchange planner: 65 280 blocks
+    // placed into 2M-1 = 15 rounds.
+    let sizes: Vec<Vec<u64>> =
+        (0..num).map(|s| (0..num).map(|t| u64::from(s != t)).collect()).collect();
+    let start = Instant::now();
+    let swap = dragonfly_swap_exchange_plan(4, 8, &sizes);
+    let swap_build = start.elapsed();
+    assert!(swap_build.as_secs_f64() < 10.0, "D3(4,8) swap-exchange plan took {swap_build:?}");
+    assert_eq!(swap.rounds.len(), 15);
+
+    // Node permutation through the direct planner (a static simulation,
+    // so the bound guards its queue bookkeeping too).
+    let msgs: Vec<(NodeId, NodeId, u64)> =
+        (0..num).map(|x| (NodeId(x), NodeId((x * 7 + 3) % num), 4)).collect();
+    let start = Instant::now();
+    let direct = dragonfly_direct_plan(4, 8, &msgs);
+    let direct_build = start.elapsed();
+    assert!(direct_build.as_secs_f64() < 10.0, "D3(4,8) direct plan took {direct_build:?}");
+
+    // Rule sweep plus a replayed execution, cross-validated round by
+    // round — the whole static-to-dynamic loop under one time bound.
+    let start = Instant::now();
+    for plan in [&swap, &direct] {
+        let low = cubecheck::lower(plan, &params);
+        let diags = cubecheck::check_all(&low, &params);
+        assert!(diags.is_empty(), "{}: {}", plan.name, diags[0]);
+        let errs = cubecheck::cross_validate(&low, &cubecheck::run_schedule(plan, &params));
+        assert!(errs.is_empty(), "{}: {}", plan.name, errs.join("\n"));
+    }
+    let loop_time = start.elapsed();
+    assert!(loop_time.as_secs_f64() < 20.0, "check + replay sweep took {loop_time:?}");
+}

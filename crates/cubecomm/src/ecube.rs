@@ -64,13 +64,13 @@ pub fn ecube_next_dim(cur: NodeId, dst: NodeId) -> Option<u32> {
 }
 
 /// Sentinel for the intrusive FIFO links in a lane's slab.
-const NIL: u32 = u32::MAX;
+pub(crate) const NIL: u32 = u32::MAX;
 
 /// Largest cube dimension the router supports: the per-lane FIFO cursors
 /// live in inline arrays of this size so building a lane allocates
 /// nothing. [`SimNet`]'s dense `2^n · n` lattice runs out of memory long
 /// before this bound bites.
-const MAX_LANE_DIMS: usize = 32;
+pub(crate) const MAX_LANE_DIMS: usize = 32;
 
 /// Per-touched-node router state: the node's outgoing queues plus the
 /// round-local staging, landing and arrival buffers its parallel passes
@@ -82,29 +82,29 @@ const MAX_LANE_DIMS: usize = 32;
 /// ends), and retired entries chain from `free` for reuse. One growable
 /// allocation per lane (often none for pass-through lanes) instead of a
 /// `VecDeque` per dimension.
-struct Lane<T> {
+pub(crate) struct Lane<T> {
     /// The node this lane belongs to.
-    node: NodeId,
+    pub(crate) node: NodeId,
     /// FIFO entries: `(block, next index)`; `next` doubles as the free
     /// list link once the block is taken.
-    slab: Vec<(Option<Block<T>>, u32)>,
+    pub(crate) slab: Vec<(Option<Block<T>>, u32)>,
     /// Head of the slab free list.
-    free: u32,
+    pub(crate) free: u32,
     /// FIFO tail per dimension (`NIL` when that queue is empty); the
     /// head is the tail's successor.
-    tails: [u32; MAX_LANE_DIMS],
+    pub(crate) tails: [u32; MAX_LANE_DIMS],
     /// Bit `d` set ⇔ queue `d` is non-empty (the active-slot list).
-    qmask: u64,
+    pub(crate) qmask: u64,
     /// Queue heads popped this round, awaiting the serial commit.
-    staged: Vec<(u32, Block<T>)>,
+    pub(crate) staged: Vec<(u32, Block<T>)>,
     /// Blocks delivered to this node this round, dimension-ascending.
-    landed: Vec<(u32, Block<T>)>,
+    pub(crate) landed: Vec<(u32, Block<T>)>,
     /// Blocks whose final destination is this node, in arrival order.
-    arrived: Vec<Block<T>>,
+    pub(crate) arrived: Vec<Block<T>>,
 }
 
 impl<T> Lane<T> {
-    fn new(node: NodeId) -> Self {
+    pub(crate) fn new(node: NodeId) -> Self {
         Lane {
             node,
             slab: Vec::new(),
@@ -118,7 +118,7 @@ impl<T> Lane<T> {
     }
 
     /// Appends `block` to the dimension-`dim` FIFO.
-    fn push(&mut self, dim: u32, block: Block<T>) {
+    pub(crate) fn push(&mut self, dim: u32, block: Block<T>) {
         let idx = if self.free == NIL {
             self.slab.push((Some(block), NIL));
             (self.slab.len() - 1) as u32
@@ -143,7 +143,7 @@ impl<T> Lane<T> {
     }
 
     /// Pops the head of the dimension-`dim` FIFO (must be non-empty).
-    fn pop(&mut self, dim: u32) -> Block<T> {
+    pub(crate) fn pop(&mut self, dim: u32) -> Block<T> {
         let d = dim as usize;
         let tail = self.tails[d];
         let head = self.slab[tail as usize].1;
@@ -166,7 +166,7 @@ impl<T> Lane<T> {
     /// single-worker twin of `stage` + regroup; lanes are visited
     /// ascending and `stage` pops dimensions ascending, so the buffer
     /// contents come out identical either way.
-    fn stage_into(&mut self, commit: &mut [Vec<(NodeId, Block<T>)>]) {
+    pub(crate) fn stage_into(&mut self, commit: &mut [Vec<(NodeId, Block<T>)>]) {
         let mut mask = self.qmask;
         while mask != 0 {
             let d = mask.trailing_zeros();
@@ -178,7 +178,7 @@ impl<T> Lane<T> {
 
     /// Pops the head of every non-empty queue into `staged` (one message
     /// per outgoing link per round). Lane-local; runs on worker threads.
-    fn stage(&mut self) {
+    pub(crate) fn stage(&mut self) {
         let mut mask = self.qmask;
         while mask != 0 {
             let d = mask.trailing_zeros();
@@ -247,7 +247,7 @@ fn touched_nodes<T>(msgs: &[RouteMsg<T>], num: usize) -> Vec<u64> {
 }
 
 /// Reads the set bits of `bits` into `out` as sorted indices.
-fn bitmap_to_list(bits: &[u64], out: &mut Vec<u32>) {
+pub(crate) fn bitmap_to_list(bits: &[u64], out: &mut Vec<u32>) {
     out.clear();
     for (w, &word) in bits.iter().enumerate() {
         let mut word = word;
@@ -489,7 +489,7 @@ mod tests {
     #[test]
     fn all_to_all_by_router_delivers() {
         let n = 3;
-        let num = 1usize << n;
+        let num = cubeaddr::num_nodes(n);
         let msgs: Vec<RouteMsg<u64>> = (0..num as u64)
             .flat_map(|s| {
                 (0..num as u64).filter(move |&d| d != s).map(move |d| RouteMsg {

@@ -285,12 +285,12 @@ mod tests {
 
     /// blocks[src][dst] = [src*1000 + dst; b]
     fn uniform_blocks(n: u32, b: usize) -> Vec<Vec<Vec<u64>>> {
-        let num = 1usize << n;
+        let num = cubeaddr::num_nodes(n);
         (0..num as u64).map(|s| (0..num as u64).map(|d| vec![s * 1000 + d; b]).collect()).collect()
     }
 
     fn check_delivery(n: u32, b: usize, result: &[Vec<Block<u64>>]) {
-        let num = 1usize << n;
+        let num = cubeaddr::num_nodes(n);
         for (d, blks) in result.iter().enumerate() {
             assert_eq!(blks.len(), num, "node {d} should hold one block per source");
             let mut seen = vec![false; num];
@@ -323,7 +323,7 @@ mod tests {
         // T = n(PQ/2N · t_c + τ) for B_m ≥ PQ/2N, unit model.
         let n = 4;
         let b = 4usize; // PQ/N² elements per block
-        let num = 1usize << n;
+        let num = cubeaddr::num_nodes(n);
         let mut net = SimNet::new(n, MachineParams::unit(PortMode::OnePort));
         let _ = all_to_all_exchange(&mut net, uniform_blocks(n, b), BufferPolicy::Ideal);
         let r = net.finalize();
@@ -411,7 +411,7 @@ mod tests {
         // Blocks only differ in dims {0, 2}: scanning those two dims
         // suffices; dim 1 coordinates stay fixed.
         let n = 3;
-        let num = 1usize << n;
+        let num = cubeaddr::num_nodes(n);
         let held: Vec<Vec<Block<u64>>> = (0..num as u64)
             .map(|s| {
                 (0..num as u64)

@@ -1,0 +1,311 @@
+//! Graph-generic store-and-forward routing over any [`MinimalRoute`]
+//! topology — the [`ecube`](crate::ecube) router lifted off the cube.
+//!
+//! [`graph_route`] runs the same data plane as
+//! [`ecube_route`](crate::ecube::ecube_route) — lazily built per-node
+//! lanes of intrusive port FIFOs, a live-lane bitmap, an
+//! undelivered-message counter, the staging/commit split that keeps
+//! every [`SimNet`] interaction serial and deterministic — but asks the
+//! topology's [`MinimalRoute::next_port`] for each forwarding decision
+//! instead of hard-coding the e-cube rule. On a [`Hypercube`] net the
+//! two routers take identical decisions in identical order, so their
+//! arrivals and [`cubesim::CommReport`]s are byte-identical at every
+//! thread count (property-tested in
+//! `crates/cubecomm/tests/graph_router_equivalence.rs`); on a
+//! [`cubetopo::SwappedDragonfly`] the same loop routes Draper's minimal
+//! local–global–local paths with per-link FIFO contention.
+//!
+//! [`Hypercube`]: cubetopo::Hypercube
+
+use crate::block::Block;
+use crate::ecube::{bitmap_to_list, Lane, RouteMsg, MAX_LANE_DIMS};
+use cubeaddr::NodeId;
+use cubesim::{par, SimNet};
+use cubetopo::MinimalRoute;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+impl<T> Lane<T> {
+    /// [`Lane::advance`](crate::ecube) generalized: retires or requeues
+    /// every landed block by the topology's routing function instead of
+    /// the e-cube rule. Lane-local; runs on worker threads.
+    fn advance_graph<G: MinimalRoute>(&mut self, topo: &G, pending: &AtomicUsize) {
+        let mut retired = 0usize;
+        let mut landed = std::mem::take(&mut self.landed);
+        for (_, b) in landed.drain(..) {
+            match topo.next_port(self.node.bits(), b.dst.bits()) {
+                None => {
+                    self.arrived.push(b);
+                    retired += 1;
+                }
+                Some(p) => self.push(p, b),
+            }
+        }
+        self.landed = landed;
+        if retired > 0 {
+            pending.fetch_sub(retired, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Every node a message set's routes visit under `topo`'s routing
+/// function, sorted ascending, deduplicated — the graph twin of the
+/// e-cube router's path walker. Local and empty messages touch nothing.
+fn touched_nodes<T, G: MinimalRoute>(topo: &G, msgs: &[RouteMsg<T>], num: usize) -> Vec<u64> {
+    let mut seen = vec![0u64; num.div_ceil(64)];
+    for m in msgs {
+        if m.data.is_empty() || m.src == m.dst {
+            continue;
+        }
+        let dst = m.dst.bits();
+        let mut cur = m.src.bits();
+        while let Some(p) = topo.next_port(cur, dst) {
+            seen[(cur / 64) as usize] |= 1 << (cur % 64);
+            cur = topo.neighbor(cur, p).unwrap_or_else(|| {
+                panic!("{}: route for {cur} -> {dst} uses unwired port {p}", topo.label())
+            });
+        }
+        seen[(dst / 64) as usize] |= 1 << (dst % 64);
+    }
+    let mut touched = Vec::new();
+    for (w, &word) in seen.iter().enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            touched.push((w * 64) as u64 + u64::from(bits.trailing_zeros()));
+            bits &= bits - 1;
+        }
+    }
+    touched
+}
+
+/// Routes all messages to their destinations over `net`'s topology with
+/// minimal-path store-and-forward routing, one message per directed
+/// link per round (FIFO per link). Returns the blocks received per
+/// node, in arrival order.
+///
+/// Like the e-cube router this models independent per-link router
+/// hardware — run it on a net with [`cubesim::PortMode::AllPorts`]. Per-
+/// node staging and advancement fan out over
+/// [`cubesim::par::num_threads`] workers; all cost accounting stays
+/// serial, so results and [`cubesim::CommReport`]s do not depend on the
+/// thread count.
+pub fn graph_route<T: Send, G: MinimalRoute>(
+    net: &mut SimNet<Block<T>, G>,
+    msgs: Vec<RouteMsg<T>>,
+) -> Vec<Vec<Block<T>>> {
+    let topo = net.topology().clone();
+    let ports = net.ports() as usize;
+    assert!(
+        ports <= MAX_LANE_DIMS,
+        "router supports up to {MAX_LANE_DIMS} ports per node; the {} has {ports}",
+        topo.label()
+    );
+    let num = net.num_nodes();
+    let mut result: Vec<Vec<Block<T>>> = (0..num).map(|_| Vec::new()).collect();
+
+    // Lazily sized queue storage, exactly as in the e-cube router.
+    let touched = touched_nodes(&topo, &msgs, num);
+    let mut lane_of: Vec<u32> = vec![u32::MAX; num];
+    for (i, &x) in touched.iter().enumerate() {
+        lane_of[x as usize] = i as u32;
+    }
+    let mut lanes: Vec<Lane<T>> = touched.iter().map(|&x| Lane::new(NodeId(x))).collect();
+    let mut live = vec![0u64; lanes.len().div_ceil(64)];
+
+    // Inject: local messages arrive immediately; the rest queue at their
+    // source on their first port, in input order.
+    let mut injected = 0usize;
+    for m in msgs {
+        if m.data.is_empty() {
+            continue;
+        }
+        match topo.next_port(m.src.bits(), m.dst.bits()) {
+            None => result[m.dst.index()].push(Block::new(m.src, m.dst, m.data)),
+            Some(p) => {
+                let li = lane_of[m.src.index()];
+                lanes[li as usize].push(p, Block::new(m.src, m.dst, m.data));
+                live[(li / 64) as usize] |= 1 << (li % 64);
+                injected += 1;
+            }
+        }
+    }
+
+    let pending = AtomicUsize::new(injected);
+    let mut active: Vec<u32> = Vec::new();
+    let mut landed_bits = vec![0u64; live.len()];
+    let mut landed_lanes: Vec<u32> = Vec::new();
+    let mut commit: Vec<Vec<(NodeId, Block<T>)>> = (0..ports).map(|_| Vec::new()).collect();
+    let threads = par::num_threads();
+
+    while pending.load(Ordering::Relaxed) > 0 {
+        bitmap_to_list(&live, &mut active);
+        // Stage: one queue head per non-empty outgoing link, grouped
+        // port-major with nodes ascending within each port.
+        if threads <= 1 {
+            for &li in &active {
+                let lane = &mut lanes[li as usize];
+                lane.stage_into(&mut commit);
+                if lane.qmask == 0 {
+                    live[(li / 64) as usize] &= !(1 << (li % 64));
+                }
+            }
+        } else {
+            par::par_for_each_mut_sparse(&mut lanes, &active, Lane::stage);
+            for &li in &active {
+                let lane = &mut lanes[li as usize];
+                for (p, msg) in lane.staged.drain(..) {
+                    commit[p as usize].push((lane.node, msg));
+                }
+                if lane.qmask == 0 {
+                    live[(li / 64) as usize] &= !(1 << (li % 64));
+                }
+            }
+        }
+        // Commit (serial): batch-send per port, fixed order.
+        for (p, staged) in commit.iter_mut().enumerate() {
+            net.send_batch(p as u32, staged.drain(..));
+        }
+        net.finish_round();
+        // Drain (serial): one pass over the inbox, in send order.
+        if threads <= 1 {
+            let mut retired = 0usize;
+            net.drain_all_with(|dst, _, b| match topo.next_port(dst.bits(), b.dst.bits()) {
+                None => {
+                    result[dst.index()].push(b);
+                    retired += 1;
+                }
+                Some(np) => {
+                    let li = lane_of[dst.index()];
+                    lanes[li as usize].push(np, b);
+                    live[(li / 64) as usize] |= 1 << (li % 64);
+                }
+            });
+            if retired > 0 {
+                pending.fetch_sub(retired, Ordering::Relaxed);
+            }
+        } else {
+            net.drain_all_with(|dst, port, b| {
+                let li = lane_of[dst.index()];
+                landed_bits[(li / 64) as usize] |= 1 << (li % 64);
+                lanes[li as usize].landed.push((port, b));
+            });
+            bitmap_to_list(&landed_bits, &mut landed_lanes);
+            landed_bits.fill(0);
+            par::par_for_each_mut_sparse(&mut lanes, &landed_lanes, |lane| {
+                lane.advance_graph(&topo, &pending)
+            });
+            for &li in &landed_lanes {
+                if lanes[li as usize].qmask != 0 {
+                    live[(li / 64) as usize] |= 1 << (li % 64);
+                }
+            }
+        }
+    }
+
+    for lane in lanes {
+        let x = lane.node.index();
+        if result[x].is_empty() {
+            result[x] = lane.arrived;
+        } else {
+            result[x].extend(lane.arrived);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubesim::{MachineParams, PortMode};
+    use cubetopo::{SwappedDragonfly, Topology};
+
+    fn dragonfly_net(k: u32, m: u32) -> SimNet<Block<u64>, SwappedDragonfly> {
+        SimNet::on_topology(SwappedDragonfly::new(k, m), MachineParams::unit(PortMode::AllPorts))
+    }
+
+    #[test]
+    fn dragonfly_single_message_takes_lgl_rounds() {
+        let d = SwappedDragonfly::new(2, 4);
+        let mut net = dragonfly_net(2, 4);
+        // (g=5, r=3) -> (g=2, r=0): gateway of group 2 is router 1, so
+        // local (3 -> 1), global (5 -> 2, arriving at router 2), local
+        // (2 -> 0): three rounds.
+        let src = NodeId(d.node_at(5, 3));
+        let dst = NodeId(d.node_at(2, 0));
+        let out = graph_route(&mut net, vec![RouteMsg { src, dst, data: vec![7u64, 8] }]);
+        assert_eq!(out[dst.index()], vec![Block::new(src, dst, vec![7, 8])]);
+        let r = net.finalize();
+        assert_eq!(r.rounds, 3);
+    }
+
+    #[test]
+    fn dragonfly_all_to_all_delivers() {
+        let d = SwappedDragonfly::new(2, 3);
+        let num = d.num_nodes();
+        let msgs: Vec<RouteMsg<u64>> = (0..num as u64)
+            .flat_map(|s| {
+                (0..num as u64).filter(move |&t| t != s).map(move |t| RouteMsg {
+                    src: NodeId(s),
+                    dst: NodeId(t),
+                    data: vec![s * 1000 + t],
+                })
+            })
+            .collect();
+        let mut net = dragonfly_net(2, 3);
+        let out = graph_route(&mut net, msgs);
+        for (t, blks) in out.iter().enumerate() {
+            assert_eq!(blks.len(), num - 1, "node {t}");
+            for b in blks {
+                assert_eq!(b.data, vec![b.src.bits() * 1000 + t as u64]);
+            }
+        }
+        net.finalize();
+    }
+
+    #[test]
+    fn dragonfly_gateway_contention_serializes() {
+        // Two messages injected at group 1's gateway (router 1 of group
+        // 0 when K = 1) bound for different routers of group 1: both
+        // queue on the single global link, so the second crosses a round
+        // late and still needs its intra hop after arrival.
+        let d = SwappedDragonfly::new(1, 3);
+        let mut net = dragonfly_net(1, 3);
+        let gw = NodeId(d.node_at(0, 1));
+        let msgs = vec![
+            RouteMsg { src: gw, dst: NodeId(d.node_at(1, 0)), data: vec![1u64] },
+            RouteMsg { src: gw, dst: NodeId(d.node_at(1, 2)), data: vec![2] },
+        ];
+        let out = graph_route(&mut net, msgs);
+        assert_eq!(out[d.node_at(1, 0) as usize].len(), 1);
+        assert_eq!(out[d.node_at(1, 2) as usize].len(), 1);
+        let r = net.finalize();
+        // Round 1: first message crosses (arriving at router 0, its
+        // destination). Round 2: second crosses. Round 3: its intra hop.
+        assert_eq!(r.rounds, 3);
+    }
+
+    #[test]
+    fn local_and_empty_messages_short_circuit() {
+        let mut net = dragonfly_net(2, 2);
+        let out = graph_route(
+            &mut net,
+            vec![
+                RouteMsg { src: NodeId(3), dst: NodeId(3), data: vec![5u64] },
+                RouteMsg { src: NodeId(0), dst: NodeId(7), data: Vec::new() },
+            ],
+        );
+        assert_eq!(out[3].len(), 1);
+        assert_eq!(out[7].len(), 0);
+        assert_eq!(net.finalize().rounds, 0);
+    }
+
+    #[test]
+    fn hypercube_net_runs_the_graph_router_too() {
+        let mut net: SimNet<Block<u64>> = SimNet::new(3, MachineParams::unit(PortMode::AllPorts));
+        let out = graph_route(
+            &mut net,
+            vec![RouteMsg { src: NodeId(0), dst: NodeId(0b101), data: vec![9u64] }],
+        );
+        assert_eq!(out[0b101].len(), 1);
+        assert_eq!(net.finalize().rounds, 2);
+    }
+}

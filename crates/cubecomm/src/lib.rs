@@ -20,6 +20,8 @@
 //!   `l` all-to-all steps in the order of Theorem 1.
 //! * [`ecube`] — a dimension-ordered store-and-forward router, the
 //!   "routing logic" baseline of the experiments.
+//! * [`graph`] — the same router lifted to any
+//!   [`cubetopo::MinimalRoute`] topology (e.g. the Swapped Dragonfly).
 //! * [`plan`] — static, payload-free introspection of all the above: the
 //!   schedules as first-class data, for the `cubecheck` invariant
 //!   checkers and for planning-cost benchmarks.
@@ -27,6 +29,7 @@
 pub mod block;
 pub mod ecube;
 pub mod exchange;
+pub mod graph;
 pub mod one_to_all;
 pub mod plan;
 pub mod sbnt;

@@ -380,7 +380,7 @@ mod tests {
     #[test]
     fn k2_reflection_beats_rotation_on_edge_load() {
         let n = 6; // N = 64
-        let big_n = 1u64 << n;
+        let big_n = cubeaddr::num_nodes(n) as u64;
         // One element per destination per tree (PQ/N = 2, k = 2).
         let blocks = payloads(n, 2);
 

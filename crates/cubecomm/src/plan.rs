@@ -20,12 +20,12 @@
 //! `B_m` packet budgets, conservation, deadlock freedom) on the plan
 //! alone.
 //!
-//! Construction is factored and fast (see [`skeleton`]): the
+//! Construction is factored and fast (see the `skeleton` module): the
 //! node-independent round structure is computed once directly from
 //! block addresses and instantiated per node by relabeling, with the
 //! allocation-heavy per-round materialization fanned over
 //! [`cubesim::par`] (byte-identical output at any `CUBEBENCH_THREADS`).
-//! The pre-optimization planners survive verbatim in [`reference`],
+//! The pre-optimization planners survive verbatim in [`mod@reference`],
 //! pinned to the fast builders by equivalence property tests. A keyed
 //! LRU [`PlanCache`] (see [`cache`]) plus the `*_cached` wrappers below
 //! make repeated requests for the same shape pay construction once.
@@ -36,16 +36,22 @@
 //! zero-element blocks).
 
 pub mod cache;
+pub mod dragonfly;
 pub mod reference;
 mod skeleton;
 
 pub use cache::{fingerprint, CacheStats, MachineKey, PlanCache, PlanKey};
+pub use dragonfly::{
+    dragonfly_direct_plan, dragonfly_direct_plan_cached, dragonfly_swap_exchange_plan,
+    dragonfly_swap_exchange_plan_cached,
+};
 
 use crate::exchange::BufferPolicy;
 use crate::sbt::Sbt;
 use crate::some_to_all;
 use cubeaddr::{DimSet, NodeId};
 use cubesim::PortMode;
+use cubetopo::{TopoSpec, Topology};
 use std::sync::Arc;
 
 /// A block's metadata: everything the cost model and the invariants see.
@@ -65,7 +71,9 @@ pub struct BlockMeta {
 pub struct PlannedMsg {
     /// Sending node.
     pub src: NodeId,
-    /// Dimension crossed (the receiver is `src.neighbor(dim)`).
+    /// Port crossed — on the cube, the dimension (the receiver is
+    /// `src.neighbor(dim)`); generally, the receiver is
+    /// `topo.neighbor(src, dim)` of the schedule's topology.
     pub dim: u32,
     /// Ids of the blocks travelling in this message.
     pub blocks: Vec<u32>,
@@ -86,8 +94,9 @@ pub struct PlanRound {
 pub struct CommSchedule {
     /// Human-readable schedule name (carried into diagnostics).
     pub name: String,
-    /// Cube dimension.
-    pub n: u32,
+    /// The machine graph the schedule targets. Link claims name
+    /// `(src, port)` pairs of this topology.
+    pub topo: TopoSpec,
     /// Port discipline the schedule claims to satisfy.
     pub ports: PortMode,
     /// True when the schedule routes every block through a dimension
@@ -125,12 +134,16 @@ impl CommSchedule {
 /// Validates block metadata shared by every builder: positive sizes and
 /// in-range endpoints.
 #[track_caller]
-fn check_blocks(n: u32, blocks: &[BlockMeta]) {
-    let num = 1u64 << n;
+pub(crate) fn check_blocks(topo: &TopoSpec, blocks: &[BlockMeta]) {
+    let num = topo.num_nodes() as u64;
     assert!(blocks.len() < u32::MAX as usize, "block id space exhausted");
     for b in blocks {
         assert!(b.elems > 0, "zero-element block {} -> {}: drop virtual blocks", b.src, b.dst);
-        assert!(b.src.bits() < num && b.dst.bits() < num, "block endpoints outside the {n}-cube");
+        assert!(
+            b.src.bits() < num && b.dst.bits() < num,
+            "block endpoints outside the {}",
+            topo.label()
+        );
     }
 }
 
@@ -165,7 +178,7 @@ pub fn exchange_plan(
     ports: PortMode,
     name: impl Into<String>,
 ) -> CommSchedule {
-    check_blocks(n, &blocks);
+    check_blocks(&TopoSpec::hypercube(n), &blocks);
     {
         let mut pairs: Vec<(NodeId, NodeId)> = blocks.iter().map(|b| (b.src, b.dst)).collect();
         pairs.sort_unstable();
@@ -175,7 +188,14 @@ pub fn exchange_plan(
         );
     }
     let rounds = skeleton::exchange_rounds(n, &blocks, dims, policy);
-    CommSchedule { name: name.into(), n, ports, dimension_ordered: true, blocks, rounds }
+    CommSchedule {
+        name: name.into(),
+        topo: TopoSpec::hypercube(n),
+        ports,
+        dimension_ordered: true,
+        blocks,
+        rounds,
+    }
 }
 
 /// Plans [`crate::exchange::all_to_all_exchange`]: one block per
@@ -188,7 +208,7 @@ pub fn all_to_all_exchange_plan(
     policy: BufferPolicy,
     ports: PortMode,
 ) -> CommSchedule {
-    let num = 1usize << n;
+    let num = cubeaddr::num_nodes(n);
     assert_eq!(sizes.len(), num, "need one size row per source");
     let mut blocks = Vec::new();
     for (s, per_dst) in sizes.iter().enumerate() {
@@ -218,7 +238,7 @@ pub fn some_to_all_plan(
 ) -> CommSchedule {
     assert!(l_dims.is_disjoint(k_dims), "l and k dimension sets overlap");
     assert_eq!(l_dims.union(k_dims), DimSet::all(n), "l ∪ k must cover the cube dimensions");
-    let num = 1usize << n;
+    let num = cubeaddr::num_nodes(n);
     let sources = some_to_all::subcube_nodes(n, k_dims);
     assert_eq!(sizes.len(), sources.len(), "one size row per source node");
     let mut blocks = Vec::new();
@@ -239,7 +259,7 @@ pub fn some_to_all_plan(
 /// `sizes[d]` is the element count destined to node `d` (zeros dropped).
 #[track_caller]
 pub fn one_to_all_sbt_plan(n: u32, root: NodeId, sizes: &[u64]) -> CommSchedule {
-    let num = 1usize << n;
+    let num = cubeaddr::num_nodes(n);
     assert_eq!(sizes.len(), num, "one size per destination node");
     let tree = Sbt::new(n, root);
     let blocks: Vec<BlockMeta> = sizes
@@ -248,11 +268,11 @@ pub fn one_to_all_sbt_plan(n: u32, root: NodeId, sizes: &[u64]) -> CommSchedule 
         .filter(|&(_, &e)| e > 0)
         .map(|(d, &elems)| BlockMeta { src: root, dst: NodeId(d as u64), elems })
         .collect();
-    check_blocks(n, &blocks);
+    check_blocks(&TopoSpec::hypercube(n), &blocks);
     let rounds = skeleton::sbt_rounds(n, &blocks, &tree);
     CommSchedule {
         name: format!("one_to_all_sbt/n{n}/root{root}"),
-        n,
+        topo: TopoSpec::hypercube(n),
         ports: PortMode::OnePort,
         // The unrotated, unreflected SBT routes logical = physical
         // dimensions in ascending order.
@@ -272,7 +292,7 @@ pub fn one_to_all_sbt_plan(n: u32, root: NodeId, sizes: &[u64]) -> CommSchedule 
 /// reflected pair for [`crate::one_to_all::one_to_all_reflected_pair`].
 #[track_caller]
 pub fn one_to_all_trees_plan(n: u32, sizes: &[u64], trees: &[Sbt]) -> CommSchedule {
-    let num = 1usize << n;
+    let num = cubeaddr::num_nodes(n);
     assert_eq!(sizes.len(), num, "one size per destination node");
     assert!(!trees.is_empty());
     let root = trees[0].root();
@@ -296,11 +316,11 @@ pub fn one_to_all_trees_plan(n: u32, sizes: &[u64], trees: &[Sbt]) -> CommSchedu
             }
         }
     }
-    check_blocks(n, &blocks);
+    check_blocks(&TopoSpec::hypercube(n), &blocks);
     let rounds = skeleton::trees_rounds(n, &blocks, trees, &tree_of);
     CommSchedule {
         name: format!("one_to_all_trees/n{n}/root{root}/k{}", trees.len()),
-        n,
+        topo: TopoSpec::hypercube(n),
         ports: PortMode::AllPorts,
         // Rotated/reflected trees cross dimensions in cyclically shifted
         // orders; no single channel order covers the family.
@@ -315,7 +335,7 @@ pub fn one_to_all_trees_plan(n: u32, sizes: &[u64], trees: &[Sbt]) -> CommSchedu
 /// travelling as one message.
 #[track_caller]
 pub fn all_to_all_sbnt_plan(n: u32, sizes: &[Vec<u64>]) -> CommSchedule {
-    let num = 1usize << n;
+    let num = cubeaddr::num_nodes(n);
     assert_eq!(sizes.len(), num, "one size row per source");
     let mut blocks = Vec::new();
     for (s, per_dst) in sizes.iter().enumerate() {
@@ -326,11 +346,11 @@ pub fn all_to_all_sbnt_plan(n: u32, sizes: &[Vec<u64>]) -> CommSchedule {
             }
         }
     }
-    check_blocks(n, &blocks);
+    check_blocks(&TopoSpec::hypercube(n), &blocks);
     let rounds = skeleton::sbnt_rounds(n, &blocks);
     CommSchedule {
         name: format!("all_to_all_sbnt/n{n}"),
-        n,
+        topo: TopoSpec::hypercube(n),
         ports: PortMode::AllPorts,
         // SBnT forwarding follows set bits cyclically to the left from
         // the base port — not consistent with any fixed channel order.
@@ -355,11 +375,11 @@ pub fn ecube_route_plan(n: u32, msgs: &[(NodeId, NodeId, u64)]) -> CommSchedule 
         .filter(|&&(_, _, elems)| elems > 0)
         .map(|&(src, dst, elems)| BlockMeta { src, dst, elems })
         .collect();
-    check_blocks(n, &blocks);
+    check_blocks(&TopoSpec::hypercube(n), &blocks);
     let rounds = skeleton::ecube_rounds(n, &blocks);
     CommSchedule {
         name: format!("ecube_route/n{n}"),
-        n,
+        topo: TopoSpec::hypercube(n),
         ports: PortMode::AllPorts,
         dimension_ordered: true,
         blocks,

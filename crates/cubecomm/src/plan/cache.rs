@@ -303,7 +303,7 @@ mod tests {
         let cache = PlanCache::new(8);
         let by_n = cache.get_or_build(probe(2, 1), || tiny(2));
         let other = cache.get_or_build(probe(3, 1), || tiny(3));
-        assert_ne!(by_n.n, other.n);
+        assert_ne!(by_n.topo, other.topo);
         let params = MachineParams::intel_ipsc();
         let with_machine = PlanKey::new("probe", 2).with_machine(&params);
         assert_ne!(with_machine, PlanKey::new("probe", 2));

@@ -1,0 +1,381 @@
+//! Swapped Dragonfly planners: Draper's routing algorithms on `D3(K,M)`
+//! as static [`CommSchedule`]s.
+//!
+//! Two of the algorithm family from *Four Algorithms on the Swapped
+//! Dragonfly* are planned here, both emitting the same link-claim IR the
+//! cube planners emit — so the `cubecheck` rule families (port
+//! compliance, edge-disjointness, packet budgets, conservation) verify
+//! them unchanged, and [`crate::graph::graph_route`]-style executions
+//! can be cross-validated against them:
+//!
+//! * [`dragonfly_direct_plan`] — *direct* (minimal) routing: every
+//!   message follows its local–global–local path one hop per round
+//!   with per-link FIFO queueing, exactly mirroring
+//!   [`crate::graph::graph_route`] on a [`SwappedDragonfly`] net (the
+//!   Dragonfly twin of [`crate::plan::ecube_route_plan`]).
+//! * [`dragonfly_swap_exchange_plan`] — the scheduled all-to-all: a
+//!   rotation schedule of `2M - 1` rounds (gather toward gateways,
+//!   one fully parallel global round, distribute from arrival routers)
+//!   in which every directed link carries at most one message per
+//!   round by construction, rather than by queueing.
+//!
+//! Neither family is dimension-ordered — local–global–local channel
+//! chains revisit intra-group channels, so no fixed channel order
+//! covers them; like the SBnT family their deadlock freedom comes from
+//! round-synchronous batching, and the plans say so
+//! (`dimension_ordered: false`).
+
+use super::{
+    check_blocks, fingerprint, BlockMeta, CommSchedule, PlanCache, PlanKey, PlanRound, PlannedMsg,
+};
+use cubeaddr::NodeId;
+use cubesim::PortMode;
+use cubetopo::{MinimalRoute, SwappedDragonfly, TopoSpec, Topology};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+/// Plans minimal (direct) store-and-forward routing on `D3(K,M)`: every
+/// message follows its local–global–local path, one message per
+/// directed link per round, FIFO per link — the same decisions in the
+/// same order as [`crate::graph::graph_route`] on a Dragonfly net, so
+/// the plan's per-round claims coincide with that execution's
+/// [`cubesim::CommReport::link_history`].
+///
+/// `msgs` are `(src, dst, elems)`; zero-element and local messages plan
+/// no hops (local blocks still appear in the plan's block list with an
+/// empty path — conservation treats them as already delivered).
+#[track_caller]
+pub fn dragonfly_direct_plan(k: u32, m: u32, msgs: &[(NodeId, NodeId, u64)]) -> CommSchedule {
+    let d = SwappedDragonfly::new(k, m);
+    let topo = TopoSpec::from(d);
+    let blocks: Vec<BlockMeta> = msgs
+        .iter()
+        .filter(|&&(_, _, elems)| elems > 0)
+        .map(|&(src, dst, elems)| BlockMeta { src, dst, elems })
+        .collect();
+    check_blocks(&topo, &blocks);
+
+    let ports = d.ports() as usize;
+    // Per-node, per-port FIFOs of block ids — the planner's stand-in for
+    // the router's lanes. `active` tracks nodes with queued blocks, in
+    // ascending order (the router's live-lane bitmap reads out sorted).
+    let mut queues: BTreeMap<u64, Vec<VecDeque<u32>>> = BTreeMap::new();
+    let mut active: BTreeSet<u64> = BTreeSet::new();
+    let mut pending = 0usize;
+    for (id, b) in blocks.iter().enumerate() {
+        if let Some(p) = d.next_port(b.src.bits(), b.dst.bits()) {
+            queues.entry(b.src.bits()).or_insert_with(|| vec![VecDeque::new(); ports])[p as usize]
+                .push_back(id as u32);
+            active.insert(b.src.bits());
+            pending += 1;
+        }
+    }
+
+    let mut rounds = Vec::new();
+    while pending > 0 {
+        // Stage: one queue head per non-empty outgoing link, nodes
+        // ascending, ports ascending per node; commit port-major — the
+        // router's exact send order.
+        let mut commit: Vec<Vec<(u64, u32)>> = vec![Vec::new(); ports];
+        let staging: Vec<u64> = active.iter().copied().collect();
+        for x in staging {
+            let q = queues.get_mut(&x).expect("active node has queues");
+            for (p, fifo) in q.iter_mut().enumerate() {
+                if let Some(id) = fifo.pop_front() {
+                    commit[p].push((x, id));
+                }
+            }
+            if q.iter().all(VecDeque::is_empty) {
+                active.remove(&x);
+            }
+        }
+        let mut round = PlanRound::default();
+        for (p, sent) in commit.iter().enumerate() {
+            for &(x, id) in sent {
+                round.msgs.push(PlannedMsg { src: NodeId(x), dim: p as u32, blocks: vec![id] });
+            }
+        }
+        // Deliver in send order: retire arrivals, requeue the rest.
+        for (p, sent) in commit.iter().enumerate() {
+            for &(x, id) in sent {
+                let at = d.neighbor(x, p as u32).expect("planned route crossed an unwired port");
+                match d.next_port(at, blocks[id as usize].dst.bits()) {
+                    None => pending -= 1,
+                    Some(np) => {
+                        queues.entry(at).or_insert_with(|| vec![VecDeque::new(); ports])
+                            [np as usize]
+                            .push_back(id);
+                        active.insert(at);
+                    }
+                }
+            }
+        }
+        rounds.push(round);
+    }
+
+    CommSchedule {
+        name: format!("dragonfly_direct/{}", d.label()),
+        topo,
+        ports: PortMode::AllPorts,
+        dimension_ordered: false,
+        blocks,
+        rounds,
+    }
+}
+
+/// Plans the scheduled Swapped-Dragonfly all-to-all (`sizes[s][d]`
+/// elements from node `s` to node `d`, zeros dropped, the diagonal kept
+/// in place): a `2M - 1`-round rotation schedule in which every
+/// directed link carries at most one message per round by construction.
+///
+/// * **Gather** (rounds `t = 1 .. M-1`): router `r` of each group sends
+///   one message to router `(r + t) mod M` — the in-group deliveries
+///   bound for that router plus the remote-group blocks whose gateway
+///   it is. The map `r → (r + t) mod M` is a permutation, so each round
+///   uses each directed intra-group link at most once.
+/// * **Global** (round `M`): every gateway router forwards each remote
+///   group's accumulated blocks over its swap link — all `K·M·(M-1)·K`
+///   wired global links fire in the same round, each exactly once.
+/// * **Distribute** (rounds `M+1 .. 2M-1`): arrival routers rotate the
+///   landed blocks to their final in-group destinations, mirroring the
+///   gather phase.
+#[track_caller]
+pub fn dragonfly_swap_exchange_plan(k: u32, m: u32, sizes: &[Vec<u64>]) -> CommSchedule {
+    let d = SwappedDragonfly::new(k, m);
+    let topo = TopoSpec::from(d);
+    let num = d.num_nodes();
+    assert_eq!(sizes.len(), num, "need one size row per source");
+    let mut blocks = Vec::new();
+    for (s, per_dst) in sizes.iter().enumerate() {
+        assert_eq!(per_dst.len(), num, "need one (possibly zero) size per destination");
+        for (t, &elems) in per_dst.iter().enumerate() {
+            if elems > 0 {
+                blocks.push(BlockMeta { src: NodeId(s as u64), dst: NodeId(t as u64), elems });
+            }
+        }
+    }
+    check_blocks(&topo, &blocks);
+
+    let mm = u64::from(m);
+    let kk = u64::from(k);
+    let n_rounds = if m > 1 { 2 * m as usize - 1 } else { 1 };
+    let global_round = m as usize - 1;
+    // Per-round `(src, port) → block ids` accumulators; BTreeMap order
+    // gives rounds with nodes ascending, ports ascending.
+    let mut per_round: Vec<BTreeMap<(u64, u32), Vec<u32>>> =
+        (0..n_rounds).map(|_| BTreeMap::new()).collect();
+
+    for (id, b) in blocks.iter().enumerate() {
+        let id = id as u32;
+        let (gs, rs) = d.coords(b.src.bits());
+        let (gd, rd) = d.coords(b.dst.bits());
+        if b.src == b.dst {
+            continue; // diagonal: stays in place, no claims
+        }
+        if gs == gd {
+            // In-group delivery during the gather rotation.
+            let t = (rd + mm - rs) % mm;
+            per_round[t as usize - 1]
+                .entry((b.src.bits(), d.intra_port(rs, rd)))
+                .or_default()
+                .push(id);
+            continue;
+        }
+        // Remote group: gather to the gateway, cross, distribute.
+        let gw = d.gateway_router(gd);
+        if rs != gw {
+            let t = (gw + mm - rs) % mm;
+            per_round[t as usize - 1]
+                .entry((b.src.bits(), d.intra_port(rs, gw)))
+                .or_default()
+                .push(id);
+        }
+        let gw_node = d.node_at(gs, gw);
+        let gp = d.global_port_to(gw, gd).expect("gateway owns the link to gd");
+        per_round[global_round].entry((gw_node, gp)).or_default().push(id);
+        let ra = gs / kk; // arrival router: the swap of the source group
+        if rd != ra {
+            let t = (rd + mm - ra) % mm;
+            per_round[global_round + t as usize]
+                .entry((d.node_at(gd, ra), d.intra_port(ra, rd)))
+                .or_default()
+                .push(id);
+        }
+    }
+
+    let rounds: Vec<PlanRound> = per_round
+        .into_iter()
+        .map(|msgs| PlanRound {
+            msgs: msgs
+                .into_iter()
+                .map(|((src, port), blocks)| PlannedMsg { src: NodeId(src), dim: port, blocks })
+                .collect(),
+            copies: Vec::new(),
+        })
+        .collect();
+
+    CommSchedule {
+        name: format!("dragonfly_swap_exchange/{}", d.label()),
+        topo,
+        ports: PortMode::AllPorts,
+        dimension_ordered: false,
+        blocks,
+        rounds,
+    }
+}
+
+/// [`dragonfly_direct_plan`] through a [`PlanCache`].
+#[track_caller]
+pub fn dragonfly_direct_plan_cached(
+    cache: &PlanCache,
+    k: u32,
+    m: u32,
+    msgs: &[(NodeId, NodeId, u64)],
+) -> Arc<CommSchedule> {
+    let key = PlanKey::new("dragonfly_direct", 0)
+        .with_shape(u64::from(k), u64::from(m))
+        .with_fingerprint(fingerprint(&msgs));
+    cache.get_or_build(key, || dragonfly_direct_plan(k, m, msgs))
+}
+
+/// [`dragonfly_swap_exchange_plan`] through a [`PlanCache`].
+#[track_caller]
+pub fn dragonfly_swap_exchange_plan_cached(
+    cache: &PlanCache,
+    k: u32,
+    m: u32,
+    sizes: &[Vec<u64>],
+) -> Arc<CommSchedule> {
+    let key = PlanKey::new("dragonfly_swap_exchange", 0)
+        .with_shape(u64::from(k), u64::from(m))
+        .with_fingerprint(fingerprint(&sizes));
+    cache.get_or_build(key, || dragonfly_swap_exchange_plan(k, m, sizes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_to_all_sizes(num: usize, elems: u64) -> Vec<Vec<u64>> {
+        (0..num).map(|s| (0..num).map(|t| if s == t { 0 } else { elems }).collect()).collect()
+    }
+
+    #[test]
+    fn direct_plan_single_message_takes_lgl_rounds() {
+        let d = SwappedDragonfly::new(2, 4);
+        // (5,3) -> (2,0): local, global, local (see graph router tests).
+        let plan =
+            dragonfly_direct_plan(2, 4, &[(NodeId(d.node_at(5, 3)), NodeId(d.node_at(2, 0)), 2)]);
+        assert_eq!(plan.rounds.len(), 3);
+        for round in &plan.rounds {
+            assert_eq!(round.msgs.len(), 1);
+        }
+        assert!(!plan.dimension_ordered);
+        assert_eq!(plan.topo, TopoSpec::dragonfly(2, 4));
+    }
+
+    #[test]
+    fn direct_plan_contention_serializes() {
+        // Both messages inject at group 1's gateway on the same global
+        // link (see graph::tests::dragonfly_gateway_contention_serializes).
+        let d = SwappedDragonfly::new(1, 3);
+        let gw = NodeId(d.node_at(0, 1));
+        let plan = dragonfly_direct_plan(
+            1,
+            3,
+            &[(gw, NodeId(d.node_at(1, 0)), 1), (gw, NodeId(d.node_at(1, 2)), 1)],
+        );
+        assert_eq!(plan.rounds.len(), 3);
+        assert_eq!(plan.rounds[0].msgs.len(), 1, "global link serializes");
+    }
+
+    #[test]
+    fn direct_plan_keeps_local_blocks_pathless() {
+        let plan =
+            dragonfly_direct_plan(2, 2, &[(NodeId(3), NodeId(3), 5), (NodeId(0), NodeId(7), 0)]);
+        assert!(plan.rounds.is_empty());
+        assert_eq!(plan.blocks.len(), 1);
+    }
+
+    #[test]
+    fn swap_exchange_has_2m_minus_1_rounds() {
+        let d = SwappedDragonfly::new(2, 4);
+        let plan = dragonfly_swap_exchange_plan(2, 4, &all_to_all_sizes(d.num_nodes(), 1));
+        assert_eq!(plan.rounds.len(), 7);
+        assert_eq!(plan.blocks.len(), d.num_nodes() * (d.num_nodes() - 1));
+    }
+
+    #[test]
+    fn swap_exchange_rounds_are_edge_disjoint() {
+        let d = SwappedDragonfly::new(2, 3);
+        let plan = dragonfly_swap_exchange_plan(2, 3, &all_to_all_sizes(d.num_nodes(), 2));
+        for (i, round) in plan.rounds.iter().enumerate() {
+            let mut seen = BTreeSet::new();
+            for msg in &round.msgs {
+                assert!(
+                    seen.insert((msg.src, msg.dim)),
+                    "round {i}: link ({}, {}) claimed twice",
+                    msg.src,
+                    msg.dim
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swap_exchange_global_round_fires_every_wired_global_link() {
+        let d = SwappedDragonfly::new(2, 3);
+        let plan = dragonfly_swap_exchange_plan(2, 3, &all_to_all_sizes(d.num_nodes(), 1));
+        let global = &plan.rounds[d.m() as usize - 1];
+        // Every wired global link carries one message: each of the KM
+        // groups reaches the other KM - 1 groups over exactly one link.
+        let expect = d.groups() * (d.groups() - 1);
+        assert_eq!(global.msgs.len() as u64, expect);
+        for msg in &global.msgs {
+            assert!(msg.dim >= d.m() - 1, "global round uses only swap ports");
+        }
+    }
+
+    #[test]
+    fn swap_exchange_chains_connect_src_to_dst() {
+        // Replay each block's claims in round order: the hops must chain
+        // from its source to its destination over wired links.
+        let d = SwappedDragonfly::new(2, 3);
+        let plan = dragonfly_swap_exchange_plan(2, 3, &all_to_all_sizes(d.num_nodes(), 1));
+        let mut at: Vec<u64> = plan.blocks.iter().map(|b| b.src.bits()).collect();
+        for round in &plan.rounds {
+            for msg in &round.msgs {
+                for &id in &msg.blocks {
+                    assert_eq!(at[id as usize], msg.src.bits(), "block {id} claimed off-node");
+                    at[id as usize] = d.neighbor(msg.src.bits(), msg.dim).expect("wired link");
+                }
+            }
+        }
+        for (id, b) in plan.blocks.iter().enumerate() {
+            assert_eq!(at[id], b.dst.bits(), "block {id} not delivered");
+        }
+    }
+
+    #[test]
+    fn swap_exchange_m1_is_one_global_round() {
+        // D3(2,1): 2 groups of one router; the whole all-to-all is the
+        // global round.
+        let plan = dragonfly_swap_exchange_plan(2, 1, &all_to_all_sizes(2, 3));
+        assert_eq!(plan.rounds.len(), 1);
+        assert_eq!(plan.rounds[0].msgs.len(), 2);
+    }
+
+    #[test]
+    fn cached_wrappers_hit_on_repeat() {
+        let cache = PlanCache::new(8);
+        let d = SwappedDragonfly::new(2, 2);
+        let sizes = all_to_all_sizes(d.num_nodes(), 1);
+        let a = dragonfly_swap_exchange_plan_cached(&cache, 2, 2, &sizes);
+        let b = dragonfly_swap_exchange_plan_cached(&cache, 2, 2, &sizes);
+        assert!(Arc::ptr_eq(&a, &b));
+        let msgs = [(NodeId(0), NodeId(5), 4)];
+        let c = dragonfly_direct_plan_cached(&cache, 2, 2, &msgs);
+        let e = dragonfly_direct_plan_cached(&cache, 2, 2, &msgs);
+        assert!(Arc::ptr_eq(&c, &e));
+    }
+}

@@ -1,5 +1,5 @@
 //! The original, unfactored planners — kept as the executable
-//! specification of the fast builders in [`super::skeleton`].
+//! specification of the fast builders in the `skeleton` module.
 //!
 //! Each function here is the pre-optimization implementation, verbatim:
 //! a direct simulation of its engine's control flow over per-node held
@@ -29,7 +29,7 @@ pub fn exchange_plan(
     ports: PortMode,
     name: impl Into<String>,
 ) -> CommSchedule {
-    let num = 1usize << n;
+    let num = cubeaddr::num_nodes(n);
     let mut held: Vec<Vec<u32>> = vec![Vec::new(); num];
     for (i, b) in blocks.iter().enumerate() {
         held[b.src.index()].push(i as u32);
@@ -140,12 +140,19 @@ pub fn exchange_plan(
             held[x ^ (1usize << j)].extend(send);
         }
     }
-    CommSchedule { name: name.into(), n, ports, dimension_ordered: true, blocks, rounds }
+    CommSchedule {
+        name: name.into(),
+        topo: cubetopo::TopoSpec::hypercube(n),
+        ports,
+        dimension_ordered: true,
+        blocks,
+        rounds,
+    }
 }
 
 /// Reference twin of [`super::one_to_all_sbt_plan`].
 pub fn one_to_all_sbt_plan(n: u32, root: NodeId, sizes: &[u64]) -> CommSchedule {
-    let num = 1usize << n;
+    let num = cubeaddr::num_nodes(n);
     assert_eq!(sizes.len(), num, "one size per destination node");
     let tree = Sbt::new(n, root);
     let blocks: Vec<BlockMeta> = sizes
@@ -175,7 +182,7 @@ pub fn one_to_all_sbt_plan(n: u32, root: NodeId, sizes: &[u64]) -> CommSchedule 
     }
     CommSchedule {
         name: format!("one_to_all_sbt/n{n}/root{root}"),
-        n,
+        topo: cubetopo::TopoSpec::hypercube(n),
         ports: PortMode::OnePort,
         dimension_ordered: true,
         blocks,
@@ -185,7 +192,7 @@ pub fn one_to_all_sbt_plan(n: u32, root: NodeId, sizes: &[u64]) -> CommSchedule 
 
 /// Reference twin of [`super::one_to_all_trees_plan`].
 pub fn one_to_all_trees_plan(n: u32, sizes: &[u64], trees: &[Sbt]) -> CommSchedule {
-    let num = 1usize << n;
+    let num = cubeaddr::num_nodes(n);
     assert_eq!(sizes.len(), num, "one size per destination node");
     assert!(!trees.is_empty());
     let root = trees[0].root();
@@ -224,7 +231,7 @@ pub fn one_to_all_trees_plan(n: u32, sizes: &[u64], trees: &[Sbt]) -> CommSchedu
     }
     CommSchedule {
         name: format!("one_to_all_trees/n{n}/root{root}/k{}", trees.len()),
-        n,
+        topo: cubetopo::TopoSpec::hypercube(n),
         ports: PortMode::AllPorts,
         dimension_ordered: false,
         blocks,
@@ -234,7 +241,7 @@ pub fn one_to_all_trees_plan(n: u32, sizes: &[u64], trees: &[Sbt]) -> CommSchedu
 
 /// Reference twin of [`super::all_to_all_sbnt_plan`].
 pub fn all_to_all_sbnt_plan(n: u32, sizes: &[Vec<u64>]) -> CommSchedule {
-    let num = 1usize << n;
+    let num = cubeaddr::num_nodes(n);
     assert_eq!(sizes.len(), num, "one size row per source");
     struct InFlight {
         id: u32,
@@ -290,7 +297,7 @@ pub fn all_to_all_sbnt_plan(n: u32, sizes: &[Vec<u64>]) -> CommSchedule {
     }
     CommSchedule {
         name: format!("all_to_all_sbnt/n{n}"),
-        n,
+        topo: cubetopo::TopoSpec::hypercube(n),
         ports: PortMode::AllPorts,
         dimension_ordered: false,
         blocks,
@@ -301,7 +308,7 @@ pub fn all_to_all_sbnt_plan(n: u32, sizes: &[Vec<u64>]) -> CommSchedule {
 /// Reference twin of [`super::ecube_route_plan`]: the full `2^n · n`
 /// queue lattice, scanned whole every round.
 pub fn ecube_route_plan(n: u32, msgs: &[(NodeId, NodeId, u64)]) -> CommSchedule {
-    let num = 1usize << n;
+    let num = cubeaddr::num_nodes(n);
     let nd = n as usize;
     // One FIFO per (node, dim); only paths' nodes ever queue, but the
     // flat lattice keeps the planner simple — empty VecDeques do not
@@ -357,7 +364,7 @@ pub fn ecube_route_plan(n: u32, msgs: &[(NodeId, NodeId, u64)]) -> CommSchedule 
     }
     CommSchedule {
         name: format!("ecube_route/n{n}"),
-        n,
+        topo: cubetopo::TopoSpec::hypercube(n),
         ports: PortMode::AllPorts,
         dimension_ordered: true,
         blocks,

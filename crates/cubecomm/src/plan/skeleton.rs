@@ -71,7 +71,7 @@ pub(super) fn exchange_rounds(
     dims: &[u32],
     policy: BufferPolicy,
 ) -> Vec<PlanRound> {
-    let num = 1usize << n;
+    let num = cubeaddr::num_nodes(n);
     let mut rank: Vec<u32> = (0..blocks.len() as u32).collect();
     // Round-local scratch, hoisted and reused across steps.
     let mut keeps: Vec<u32> = Vec::with_capacity(blocks.len());
@@ -314,7 +314,7 @@ struct SbntRound {
 /// distinct relative address's path is computed once and shared by all
 /// `2^n` source nodes.
 pub(super) fn sbnt_rounds(n: u32, blocks: &[BlockMeta]) -> Vec<PlanRound> {
-    let num = 1usize << n;
+    let num = cubeaddr::num_nodes(n);
     let mut path_of_rel: Vec<Vec<u32>> = vec![Vec::new(); num];
     let mut rel_of: Vec<u64> = Vec::with_capacity(blocks.len());
     let mut cur: Vec<u64> = Vec::with_capacity(blocks.len());
@@ -407,7 +407,7 @@ fn lane_push(
 /// order exactly.
 pub(super) fn ecube_rounds(n: u32, blocks: &[BlockMeta]) -> Vec<PlanRound> {
     let nd = n as usize;
-    let num = 1usize << n;
+    let num = cubeaddr::num_nodes(n);
     let lanes = num * nd;
     let mut head = vec![NONE; lanes];
     let mut tail = vec![NONE; lanes];

@@ -218,7 +218,7 @@ mod tests {
     }
 
     fn uniform_blocks(n: u32, b: usize) -> Vec<Vec<Vec<u64>>> {
-        let num = 1usize << n;
+        let num = cubeaddr::num_nodes(n);
         (0..num as u64).map(|s| (0..num as u64).map(|d| vec![s * 1000 + d; b]).collect()).collect()
     }
 
@@ -312,7 +312,7 @@ mod tests {
 
     /// Local copy of the model formula to avoid a dev-dependency cycle.
     fn cubemodel_one_to_all_min(pq: u64, n: u32, m: &MachineParams) -> f64 {
-        let big_n = 1u64 << n;
+        let big_n = cubeaddr::num_nodes(n) as u64;
         (1.0 / n as f64) * (1.0 - 1.0 / big_n as f64) * pq as f64 * m.t_c + n as f64 * m.tau
     }
 

@@ -82,7 +82,7 @@ fn random_msgs(n: u32, seed: u64, max_b: u64) -> Vec<(NodeId, NodeId, u64)> {
 
 /// Asserts byte-identity field by field so a mismatch names the layer.
 fn assert_identical(fast: &CommSchedule, reference: &CommSchedule, what: &str) {
-    assert_eq!(fast.n, reference.n, "{what}: n");
+    assert_eq!(fast.topo, reference.topo, "{what}: topo");
     assert_eq!(fast.name, reference.name, "{what}: name");
     assert_eq!(fast.ports, reference.ports, "{what}: ports");
     assert_eq!(fast.dimension_ordered, reference.dimension_ordered, "{what}: dimension_ordered");

@@ -1,18 +1,24 @@
 //! Property test: the flat lane-based e-cube router is observationally
-//! equivalent to the original full-lattice [`RefRouter`] it replaced.
+//! equivalent to the original full-lattice [`RefRouter`] it replaced —
+//! and the topology-generic [`graph_route`], instantiated on the
+//! hypercube, is byte-identical to the flat router in turn.
 //!
-//! Both routers run identical message sets — random ones plus the
+//! All three run identical message sets — random ones plus the
 //! transpose and all-to-all patterns the figures use — on recording nets
 //! and must produce identical per-node arrivals (same blocks, same
 //! order, which subsumes the per-link arrival order) and identical
-//! [`CommReport`]s, with the flat router checked at 1, 2 and 5 worker
-//! threads.
+//! [`CommReport`]s, with the flat and graph routers each checked at 1,
+//! 2 and 5 worker threads. The graph router runs through the
+//! value-level [`TopoSpec`] dispatch (the form the Dragonfly planners
+//! use), so the generic path is held to the hypercube baseline exactly.
 
 use cubeaddr::NodeId;
 use cubecomm::block::Block;
 use cubecomm::ecube::reference::RefRouter;
 use cubecomm::ecube::{ecube_route, RouteMsg};
+use cubecomm::graph::graph_route;
 use cubesim::{par, CommReport, MachineParams, Payload, PortMode, SimNet};
+use cubetopo::TopoSpec;
 use proptest::prelude::*;
 
 /// SplitMix64 so message sets are a pure function of the seed
@@ -99,8 +105,12 @@ where
     (out, net.finalize())
 }
 
-/// Asserts flat ≡ reference for one message set: the reference router
-/// runs once, the flat router at 1, 2 and 5 worker threads.
+/// Asserts flat ≡ reference ≡ graph-generic for one message set: the
+/// reference router runs once, the flat and graph routers at 1, 2 and 5
+/// worker threads each. The graph router is given the cube as a
+/// [`TopoSpec`], so its minimal-route port choice, lane staging and
+/// report accounting all flow through the generic dispatch and still
+/// must match the flat e-cube router byte for byte.
 fn assert_equivalent(n: u32, unit: bool, msgs: &[RouteMsg<u64>], what: &str) {
     let expect = run(n, unit, |net| RefRouter::route(net, msgs.to_vec()));
     for threads in [1usize, 2, 5] {
@@ -108,6 +118,16 @@ fn assert_equivalent(n: u32, unit: bool, msgs: &[RouteMsg<u64>], what: &str) {
             par::with_threads(threads, || run(n, unit, |net| ecube_route(net, msgs.to_vec())));
         assert_eq!(got.0, expect.0, "{what}: arrivals diverge (n {n}, {threads} threads)");
         assert_eq!(got.1, expect.1, "{what}: reports diverge (n {n}, {threads} threads)");
+        let graph = par::with_threads(threads, || {
+            let mut net: SimNet<Block<u64>, TopoSpec> =
+                SimNet::on_topology(TopoSpec::hypercube(n), params(unit));
+            net.record_history();
+            net.record_links();
+            let out = graph_route(&mut net, msgs.to_vec());
+            (out, net.finalize())
+        });
+        assert_eq!(graph.0, expect.0, "{what}: graph arrivals diverge (n {n}, {threads} threads)");
+        assert_eq!(graph.1, expect.1, "{what}: graph reports diverge (n {n}, {threads} threads)");
     }
 }
 

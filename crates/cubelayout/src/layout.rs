@@ -190,7 +190,7 @@ impl Layout {
 
     /// Number of processors `N = 2^n`.
     pub fn num_nodes(&self) -> usize {
-        1usize << self.n()
+        cubeaddr::num_nodes(self.n())
     }
 
     /// Elements stored per node, `PQ / N = 2^{m-n}`.

@@ -6,7 +6,7 @@ use cubesim::MachineParams;
 /// The exchange algorithm, one-port:
 /// `T = n·(PQ/2N)·t_c + n·⌈PQ/(2N·B_m)⌉·τ`.
 pub fn exchange_one_port(pq: u64, n: u32, m: &MachineParams) -> f64 {
-    let big_n = 1u64 << n;
+    let big_n = cubeaddr::num_nodes(n) as u64;
     let per_step = pq as f64 / (2.0 * big_n as f64);
     let pkts = ceil_div(ceil_div(pq, 2 * big_n).max(1), m.max_packet as u64);
     n as f64 * (per_step * m.t_c + pkts as f64 * m.tau)
@@ -15,21 +15,21 @@ pub fn exchange_one_port(pq: u64, n: u32, m: &MachineParams) -> f64 {
 /// The minimum of [`exchange_one_port`] (for `B_m ≥ PQ/2N`):
 /// `T_min = n·(PQ/(2N)·t_c + τ)`.
 pub fn exchange_one_port_min(pq: u64, n: u32, m: &MachineParams) -> f64 {
-    let big_n = 1u64 << n;
+    let big_n = cubeaddr::num_nodes(n) as u64;
     n as f64 * (pq as f64 / (2.0 * big_n as f64) * m.t_c + m.tau)
 }
 
 /// SBnT (or rotated-SBT) routing with subtree scheduling, n-port:
 /// `T_min = (PQ/2N)·t_c + n·τ`.
 pub fn sbnt_all_port_min(pq: u64, n: u32, m: &MachineParams) -> f64 {
-    let big_n = 1u64 << n;
+    let big_n = cubeaddr::num_nodes(n) as u64;
     pq as f64 / (2.0 * big_n as f64) * m.t_c + n as f64 * m.tau
 }
 
 /// All-to-all lower bound (either port model):
 /// `T ≥ max((PQ/2N)·t_c, n·τ) ≥ ½·((PQ/2N)·t_c + n·τ)`.
 pub fn lower_bound(pq: u64, n: u32, m: &MachineParams) -> f64 {
-    let big_n = 1u64 << n;
+    let big_n = cubeaddr::num_nodes(n) as u64;
     (pq as f64 / (2.0 * big_n as f64) * m.t_c).max(n as f64 * m.tau)
 }
 

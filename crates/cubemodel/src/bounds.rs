@@ -8,7 +8,7 @@ use cubesim::MachineParams;
 /// anti-diagonal nodes, and the bisection argument on the upper-right
 /// quadrant for the transfer term.
 pub fn transpose_lower_bound(pq: u64, n: u32, m: &MachineParams) -> f64 {
-    let big_n = 1u64 << n;
+    let big_n = cubeaddr::num_nodes(n) as u64;
     (n as f64 * m.tau).max(pq as f64 / (2.0 * big_n as f64) * m.t_c)
 }
 

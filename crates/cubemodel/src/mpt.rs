@@ -13,7 +13,7 @@ use cubesim::MachineParams;
 /// `T(k, h) = (2kh + 1)·(τ + PQ·t_c/(4kh·N))`, `k ≥ 1`.
 pub fn time_kh(pq: u64, n: u32, h: u32, k: u32, m: &MachineParams) -> f64 {
     assert!(h >= 1 && k >= 1);
-    let big_n = 1u64 << n;
+    let big_n = cubeaddr::num_nodes(n) as u64;
     let kh = (2 * k * h) as f64;
     (kh + 1.0) * (m.tau + pq as f64 * m.t_c / (2.0 * kh * big_n as f64))
 }
@@ -21,7 +21,7 @@ pub fn time_kh(pq: u64, n: u32, h: u32, k: u32, m: &MachineParams) -> f64 {
 /// The continuous-optimal `k = (1/2H)·√(PQ·t_c/(2N·τ))` and the
 /// corresponding `T_min = (√τ + √(PQ·t_c/2N))²` (valid when `k ≥ 1`).
 pub fn time_opt_k(pq: u64, n: u32, m: &MachineParams) -> f64 {
-    let big_n = 1u64 << n;
+    let big_n = cubeaddr::num_nodes(n) as u64;
     let a = m.tau.sqrt();
     let b = (pq as f64 * m.t_c / (2.0 * big_n as f64)).sqrt();
     (a + b) * (a + b)
@@ -32,7 +32,7 @@ pub fn time_opt_k(pq: u64, n: u32, m: &MachineParams) -> f64 {
 /// `n` must be even (square two-dimensional partitioning).
 pub fn mpt_min(pq: u64, n: u32, m: &MachineParams) -> f64 {
     assert!(n >= 2 && n.is_multiple_of(2), "MPT needs an even cube dimension, got {n}");
-    let big_n = 1u64 << n;
+    let big_n = cubeaddr::num_nodes(n) as u64;
     let ratio = (pq as f64 * m.t_c / (big_n as f64 * m.tau)).sqrt();
     let ratio_half = (pq as f64 * m.t_c / (2.0 * big_n as f64 * m.tau)).sqrt();
     let nf = n as f64;
@@ -53,7 +53,7 @@ pub fn mpt_min(pq: u64, n: u32, m: &MachineParams) -> f64 {
 /// Theorem 2's optimum packet size.
 pub fn mpt_b_opt(pq: u64, n: u32, m: &MachineParams) -> f64 {
     assert!(n >= 2 && n.is_multiple_of(2));
-    let big_n = 1u64 << n;
+    let big_n = cubeaddr::num_nodes(n) as u64;
     let ratio_half = (pq as f64 * m.t_c / (2.0 * big_n as f64 * m.tau)).sqrt();
     let nf = n as f64;
     if nf > ratio_half {
@@ -113,7 +113,7 @@ mod tests {
         // small factor (the paper says "approximately").
         let m = unit();
         for n in [4u32, 6, 8, 10] {
-            let big_n = 1u64 << n;
+            let big_n = cubeaddr::num_nodes(n) as u64;
             // Boundary 1: n = sqrt(PQ tc / N tau) → PQ = n² N.
             let pq1 = (n as u64 * n as u64) * big_n;
             let hi = (n as f64 + 1.0) * m.tau

@@ -12,7 +12,7 @@ use cubesim::MachineParams;
 
 /// Per-step chunk geometry of the exchange algorithm.
 fn chunks_at(pq: u64, n: u32, k: u32) -> (u64, u64) {
-    let big_n = 1u64 << n;
+    let big_n = cubeaddr::num_nodes(n) as u64;
     let count = 1u64 << k;
     let size = pq / (big_n * 2 * count);
     (count, size)
@@ -25,7 +25,7 @@ fn chunks_at(pq: u64, n: u32, k: u32) -> (u64, u64) {
 /// Start-ups grow like `N` — "exponentially in the number of cube
 /// dimensions" (Figure 10).
 pub fn unbuffered(pq: u64, n: u32, m: &MachineParams) -> f64 {
-    let big_n = 1u64 << n;
+    let big_n = cubeaddr::num_nodes(n) as u64;
     let transfer = n as f64 * pq as f64 / (2.0 * big_n as f64) * m.t_c;
     let mut startups = 0u64;
     for k in 0..n {
@@ -43,7 +43,7 @@ pub fn unbuffered(pq: u64, n: u32, m: &MachineParams) -> f64 {
 /// With `min_direct = B_copy = τ/t_copy` this is the optimum buffering
 /// scheme of §8.1; start-ups then grow only linearly in `n` (Figure 12).
 pub fn buffered(pq: u64, n: u32, m: &MachineParams, min_direct: usize) -> f64 {
-    let big_n = 1u64 << n;
+    let big_n = cubeaddr::num_nodes(n) as u64;
     let step_elems = pq / (2 * big_n);
     let transfer = n as f64 * step_elems as f64 * m.t_c;
     let mut startups = 0u64;
@@ -137,7 +137,7 @@ mod tests {
         // With B_m = ∞ every chunk is one packet: Σ 2^k = N - 1 start-ups.
         let (pq, n) = (1u64 << 16, 5u32);
         let t = unbuffered(pq, n, &unit());
-        let big_n = 1u64 << n;
+        let big_n = cubeaddr::num_nodes(n) as u64;
         let transfer = n as f64 * pq as f64 / (2.0 * big_n as f64);
         assert_eq!(t - transfer, (big_n - 1) as f64);
     }
@@ -157,7 +157,7 @@ mod tests {
         assert_eq!(buffered(pq, n, &m, 0), unbuffered(pq, n, &m));
         // Huge threshold ⇒ everything gathered ⇒ n messages, full copy.
         let t = buffered(pq, n, &m, usize::MAX);
-        let big_n = 1u64 << n;
+        let big_n = cubeaddr::num_nodes(n) as u64;
         let step = (pq / (2 * big_n)) as f64;
         assert_eq!(t, n as f64 * step + n as f64 + n as f64 * step * 2.0);
     }

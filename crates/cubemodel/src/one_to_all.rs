@@ -6,7 +6,7 @@ use cubesim::MachineParams;
 /// SBT routing, one-port, scheduling all data for a subtree at once:
 /// `T = (1 - 1/N)·PQ·t_c + Σ_{i=1}^{n} ⌈PQ / (2^i·B_m)⌉·τ`.
 pub fn sbt_one_port(pq: u64, n: u32, m: &MachineParams) -> f64 {
-    let big_n = 1u64 << n;
+    let big_n = cubeaddr::num_nodes(n) as u64;
     let transfer = (1.0 - 1.0 / big_n as f64) * pq as f64 * m.t_c;
     let startups: u64 = (1..=n)
         .map(|i| {
@@ -22,14 +22,14 @@ pub fn sbt_one_port(pq: u64, n: u32, m: &MachineParams) -> f64 {
 /// The minimum of [`sbt_one_port`], attained for `B_m ≥ PQ/2`:
 /// `T_min = (1 - 1/N)·PQ·t_c + n·τ`.
 pub fn sbt_one_port_min(pq: u64, n: u32, m: &MachineParams) -> f64 {
-    let big_n = 1u64 << n;
+    let big_n = cubeaddr::num_nodes(n) as u64;
     (1.0 - 1.0 / big_n as f64) * pq as f64 * m.t_c + n as f64 * m.tau
 }
 
 /// One-port lower bound:
 /// `T ≥ max((1 - 1/N)·PQ·t_c, n·τ) ≥ ½·((1 - 1/N)·PQ·t_c + n·τ)`.
 pub fn one_port_lower_bound(pq: u64, n: u32, m: &MachineParams) -> f64 {
-    let big_n = 1u64 << n;
+    let big_n = cubeaddr::num_nodes(n) as u64;
     let transfer = (1.0 - 1.0 / big_n as f64) * pq as f64 * m.t_c;
     transfer.max(n as f64 * m.tau)
 }
@@ -41,7 +41,7 @@ pub fn rotated_sbts_all_port_min(pq: u64, n: u32, m: &MachineParams) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    let big_n = 1u64 << n;
+    let big_n = cubeaddr::num_nodes(n) as u64;
     (1.0 / n as f64) * (1.0 - 1.0 / big_n as f64) * pq as f64 * m.t_c + n as f64 * m.tau
 }
 
@@ -51,7 +51,7 @@ pub fn all_port_lower_bound(pq: u64, n: u32, m: &MachineParams) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    let big_n = 1u64 << n;
+    let big_n = cubeaddr::num_nodes(n) as u64;
     let transfer = (1.0 / n as f64) * (1.0 - 1.0 / big_n as f64) * pq as f64 * m.t_c;
     transfer.max(n as f64 * m.tau)
 }

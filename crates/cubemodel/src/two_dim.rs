@@ -7,20 +7,20 @@ use cubesim::MachineParams;
 /// Single Path Transpose with pipelining, packet size `B`:
 /// `T = (⌈PQ/(B·N)⌉ + n - 1)·(B·t_c + τ)`.
 pub fn spt(pq: u64, n: u32, b: u64, m: &MachineParams) -> f64 {
-    let big_n = 1u64 << n;
+    let big_n = cubeaddr::num_nodes(n) as u64;
     let packets = ceil_div(pq / big_n, b.max(1));
     (packets + n as u64 - 1) as f64 * (b as f64 * m.t_c + m.tau)
 }
 
 /// The optimal SPT packet size `B_opt = √(PQ·τ / (N·(n-1)·t_c))`.
 pub fn spt_b_opt(pq: u64, n: u32, m: &MachineParams) -> f64 {
-    let big_n = 1u64 << n;
+    let big_n = cubeaddr::num_nodes(n) as u64;
     (pq as f64 * m.tau / (big_n as f64 * (n as f64 - 1.0) * m.t_c)).sqrt()
 }
 
 /// The SPT minimum time `T_min = (√(PQ/N·t_c) + √((n-1)·τ))²`.
 pub fn spt_min(pq: u64, n: u32, m: &MachineParams) -> f64 {
-    let big_n = 1u64 << n;
+    let big_n = cubeaddr::num_nodes(n) as u64;
     let a = (pq as f64 / big_n as f64 * m.t_c).sqrt();
     let b = ((n as f64 - 1.0) * m.tau).sqrt();
     (a + b) * (a + b)
@@ -29,7 +29,7 @@ pub fn spt_min(pq: u64, n: u32, m: &MachineParams) -> f64 {
 /// Dual Paths Transpose: the data is split over two edge-disjoint paths,
 /// `T = (⌈PQ/(2·B·N)⌉ + n - 1)·(B·t_c + τ)`.
 pub fn dpt(pq: u64, n: u32, b: u64, m: &MachineParams) -> f64 {
-    let big_n = 1u64 << n;
+    let big_n = cubeaddr::num_nodes(n) as u64;
     let packets = ceil_div(pq / (2 * big_n), b.max(1));
     (packets + n as u64 - 1) as f64 * (b as f64 * m.t_c + m.tau)
 }
@@ -37,7 +37,7 @@ pub fn dpt(pq: u64, n: u32, b: u64, m: &MachineParams) -> f64 {
 /// The DPT minimum time `T_min = (√(PQ/2N·t_c) + √((n-1)·τ))²`
 /// (speedup ≈ 2 over SPT when transfer dominates).
 pub fn dpt_min(pq: u64, n: u32, m: &MachineParams) -> f64 {
-    let big_n = 1u64 << n;
+    let big_n = cubeaddr::num_nodes(n) as u64;
     let a = (pq as f64 / (2.0 * big_n as f64) * m.t_c).sqrt();
     let b = ((n as f64 - 1.0) * m.tau).sqrt();
     (a + b) * (a + b)
@@ -45,7 +45,7 @@ pub fn dpt_min(pq: u64, n: u32, m: &MachineParams) -> f64 {
 
 /// The DPT optimal packet size `B_opt = √(PQ·τ / (2N(n-1)·t_c))`.
 pub fn dpt_b_opt(pq: u64, n: u32, m: &MachineParams) -> f64 {
-    let big_n = 1u64 << n;
+    let big_n = cubeaddr::num_nodes(n) as u64;
     (pq as f64 * m.tau / (2.0 * big_n as f64 * (n as f64 - 1.0) * m.t_c)).sqrt()
 }
 
@@ -55,7 +55,7 @@ pub fn dpt_b_opt(pq: u64, n: u32, m: &MachineParams) -> f64 {
 /// two-dimensional local array into a contiguous buffer and the inverse
 /// at the receiver.
 pub fn spt_ipsc_step_by_step(pq: u64, n: u32, m: &MachineParams) -> f64 {
-    let big_n = 1u64 << n;
+    let big_n = cubeaddr::num_nodes(n) as u64;
     let per = pq as f64 / big_n as f64;
     (per * m.t_c + ceil_div(pq / big_n, m.max_packet as u64) as f64 * m.tau) * n as f64
         + 2.0 * per * m.t_copy

@@ -7,7 +7,7 @@
 //! node program compiled into a resumable state machine, multiplexed
 //! with all its siblings onto a fixed worker pool by a cooperative
 //! scheduler (flat per-link mailbox slab, park on empty `recv`, wake on
-//! `send` — see [`sched`]'s module docs for the protocol and the
+//! `send` — see `sched`'s module docs for the protocol and the
 //! determinism argument). That is how the paper's machines actually
 //! worked — many logical processes per physical processor — and it lets
 //! `n = 16` (65 536 nodes, the paper's Connection Machine scale) run on
@@ -32,7 +32,12 @@
 //! The worker pool is sized by `CUBERUN_WORKERS` (falling back to the
 //! ambient `cubesim::par` thread count); results are byte-identical at
 //! any pool size. The pre-scheduler thread-per-node runtime survives in
-//! [`reference`] for equivalence tests and old-vs-new benchmarks.
+//! [`mod@reference`] for equivalence tests and old-vs-new benchmarks.
+//!
+//! The runtime is topology-generic underneath: [`run_spmd`] is the
+//! hypercube specialization of [`run_spmd_on`], which runs the same
+//! node programs on any [`cubetopo::TopoSpec`] (e.g. the Swapped
+//! Dragonfly) with ports in place of dimensions.
 
 pub mod collectives;
 pub mod reference;
@@ -40,4 +45,6 @@ pub mod runtime;
 mod sched;
 
 pub use collectives::{all_to_all, broadcast, gather};
-pub use runtime::{num_workers, run_spmd, with_stall_timeout, with_workers, NodeCtx, RunStats};
+pub use runtime::{
+    num_workers, run_spmd, run_spmd_on, with_stall_timeout, with_workers, NodeCtx, RunStats,
+};

@@ -138,7 +138,7 @@ where
     F: Fn(&NodeCtx<T>) -> R + Sync,
 {
     cubeaddr::check_dims(n);
-    let num = 1usize << n;
+    let num = cubeaddr::num_nodes(n);
     assert!(n <= 10, "refusing to spawn {num} threads; use run_spmd for giant cubes");
 
     // links[x][d] = channel whose sender is held by x's neighbor across d

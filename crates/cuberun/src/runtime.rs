@@ -6,7 +6,7 @@
 //! worker instead of blocking an OS thread. The compiler turns each
 //! program into a resumable state machine, so 2^16 suspended nodes cost
 //! heap bytes, not stacks — the paper's Connection-Machine scale (n = 16,
-//! 64K nodes) runs on a handful of workers. See [`crate::sched`] for the
+//! 64K nodes) runs on a handful of workers. See the `sched` module for the
 //! scheduler internals and the determinism argument.
 //!
 //! The former thread-per-node runtime survives as [`crate::reference`]
@@ -14,6 +14,7 @@
 
 use crate::sched::{self, lock, Shared, VSlot, WANT_BARRIER, WANT_NONE};
 use cubeaddr::NodeId;
+use cubetopo::{TopoSpec, Topology};
 use std::cell::Cell;
 use std::future::Future;
 use std::pin::Pin;
@@ -139,9 +140,15 @@ pub struct RunStats {
 }
 
 /// The per-node handle a node program runs against: its identity plus
-/// its `n` communication ports. Obtained from [`run_spmd`]; `recv`,
-/// `exchange`, `barrier` and `all_reduce` are `async` and suspend the
-/// virtual node, never an OS thread.
+/// its communication ports. Obtained from [`run_spmd`] /
+/// [`run_spmd_on`]; `recv`, `exchange`, `barrier` and `all_reduce` are
+/// `async` and suspend the virtual node, never an OS thread.
+///
+/// On a hypercube a port *is* a cube dimension and every port is wired;
+/// on other topologies (e.g. the Swapped Dragonfly) ports are the
+/// [`cubetopo::Topology`] port numbering and some may be unwired —
+/// sending or receiving on an unwired port panics immediately rather
+/// than deadlocking.
 pub struct NodeCtx<T> {
     id: NodeId,
     shared: Arc<Shared<T>>,
@@ -152,32 +159,59 @@ impl<T> NodeCtx<T> {
         NodeCtx { id, shared }
     }
 
-    /// This node's cube address.
+    /// This node's address.
     pub fn id(&self) -> NodeId {
         self.id
     }
 
-    /// The cube dimension `n`.
+    /// The cube dimension `n` — an alias of [`NodeCtx::ports`], kept
+    /// for the hypercube node programs the paper is written in.
     pub fn n(&self) -> u32 {
-        self.shared.n
+        self.shared.ports
     }
 
-    /// Number of nodes `2^n`.
+    /// Number of communication ports per node (`n` on the cube).
+    pub fn ports(&self) -> u32 {
+        self.shared.ports
+    }
+
+    /// The topology this run executes on.
+    pub fn topology(&self) -> TopoSpec {
+        self.shared.topo
+    }
+
+    /// Number of nodes in the ensemble (`2^n` on the cube).
     pub fn num_nodes(&self) -> usize {
         self.shared.num
     }
 
-    /// Sends `msg` to the neighbor across dimension `dim` (immediate;
-    /// links are buffered). If the neighbor is parked on this link, it
-    /// is woken onto the sending worker's ready queue.
+    /// The neighbor across `port`, panicking with a link diagnostic if
+    /// the port is out of range or unwired on this topology.
+    #[track_caller]
+    fn wired_neighbor(&self, port: u32, what: &str) -> u64 {
+        let sh = &*self.shared;
+        match (port < sh.ports).then(|| sh.topo.neighbor(self.id.bits(), port)).flatten() {
+            Some(peer) => peer,
+            None => panic!(
+                "{what} on port {port} of node {}: no such link on the {}",
+                self.id,
+                sh.topo.label()
+            ),
+        }
+    }
+
+    /// Sends `msg` to the neighbor across port `dim` (immediate; links
+    /// are buffered). If the neighbor is parked on this link, it is
+    /// woken onto the sending worker's ready queue.
     #[track_caller]
     pub fn send(&self, dim: u32, msg: T) {
-        assert!(dim < self.n(), "dimension {dim} out of range on node {}", self.id);
+        let peer = self.wired_neighbor(dim, "send");
         let sh = &*self.shared;
+        let back =
+            sh.topo.reverse_port(self.id.bits(), dim).expect("a wired link has a reverse port");
         sh.messages.fetch_add(1, Ordering::Relaxed);
-        let peer = self.id.neighbor(dim).bits();
         let woke = {
-            let mut slot = lock(sh.slot(peer, dim));
+            let mut slot = lock(sh.slot(peer, back));
             slot.queue.push_back(msg);
             std::mem::take(&mut slot.parked)
         };
@@ -186,8 +220,8 @@ impl<T> NodeCtx<T> {
         }
     }
 
-    /// Receives the next message from the neighbor across dimension
-    /// `dim`, suspending this virtual node until it arrives.
+    /// Receives the next message from the neighbor across port `dim`,
+    /// suspending this virtual node until it arrives.
     ///
     /// # Panics
     /// The run panics if no virtual node makes progress for the stall
@@ -196,13 +230,14 @@ impl<T> NodeCtx<T> {
     /// node program panicked.
     #[track_caller]
     pub fn recv(&self, dim: u32) -> Recv<'_, T> {
-        assert!(dim < self.n(), "dimension {dim} out of range on node {}", self.id);
+        let _ = self.wired_neighbor(dim, "recv");
         Recv { ctx: self, dim }
     }
 
-    /// Bidirectional exchange across `dim`: sends `msg` and returns the
-    /// neighbor's message (full-duplex links — one exchange costs one
-    /// send on the paper's machines).
+    /// Bidirectional exchange across the link at port `dim`: sends
+    /// `msg` and returns the neighbor's message (full-duplex links —
+    /// one exchange costs one send on the paper's machines). The
+    /// neighbor must exchange on its own port of the same link.
     pub async fn exchange(&self, dim: u32, msg: T) -> T {
         self.send(dim, msg);
         self.recv(dim).await
@@ -228,7 +263,16 @@ impl<T: Clone> NodeCtx<T> {
     /// new accumulator. One clone and one `combine` per link per step —
     /// the minimum for owned channels — instead of a clone and a fold on
     /// both ends.
+    ///
+    /// # Panics
+    /// If the run is not on a hypercube — the scan pairs nodes by
+    /// address bits, which only the cube's wiring satisfies.
     pub async fn all_reduce(&self, value: T, mut combine: impl FnMut(T, T) -> T) -> T {
+        assert!(
+            self.shared.topo.is_hypercube(),
+            "all_reduce is a hypercube dimension scan; the {} has no such pairing",
+            self.shared.topo.label()
+        );
         let mut acc = value;
         for d in 0..self.n() {
             if (self.id.0 >> d) & 1 == 0 {
@@ -348,9 +392,35 @@ where
         n <= 16,
         "refusing a mailbox slab for 2^{n} virtual nodes; use the simulator for giant cubes"
     );
-    let num = 1usize << n;
+    run_spmd_on(TopoSpec::hypercube(n), program)
+}
+
+/// Runs `program` on every node of an arbitrary [`TopoSpec`] topology —
+/// the graph-generic twin of [`run_spmd`], which is exactly
+/// `run_spmd_on(TopoSpec::hypercube(n), …)`.
+///
+/// Port numbering follows the topology's [`cubetopo::Topology`]
+/// contract: `ctx.send(p, …)` crosses the link at port `p`, and the
+/// message arrives at the neighbor's *reverse* port, so `ctx.recv(q)`
+/// receives what the neighbor across port `q` sent. Sends and receives
+/// on unwired ports (the Swapped Dragonfly's fixed-point gateway ports)
+/// panic with a link diagnostic instead of deadlocking. Everything else
+/// — the cooperative scheduler, determinism at any worker count, the
+/// stall detector — is shared with the cube entry point.
+pub fn run_spmd_on<T, R, F, Fut>(topo: TopoSpec, program: F) -> (Vec<R>, RunStats)
+where
+    T: Send,
+    R: Send,
+    F: Fn(NodeCtx<T>) -> Fut + Sync,
+    Fut: Future<Output = R> + Send,
+{
+    let num = topo.num_nodes();
+    assert!(
+        num <= 1 << 16,
+        "refusing a mailbox slab for {num} virtual nodes; use the simulator for giant ensembles"
+    );
     let workers = num_workers().clamp(1, num);
-    let shared = Arc::new(Shared::<T>::new(n, num, workers, stall_timeout()));
+    let shared = Arc::new(Shared::<T>::new(topo, workers, stall_timeout()));
     let slab: Vec<Mutex<VSlot<Fut, R>>> =
         (0..num).map(|_| Mutex::new(VSlot { fut: None, result: None })).collect();
 
@@ -592,6 +662,126 @@ mod tests {
         });
         let msg = panic_message(caught.unwrap_err());
         assert!(msg.contains("boom on node 5"), "{msg}");
+    }
+
+    #[test]
+    fn dragonfly_neighbor_sweep_delivers_on_reverse_ports() {
+        // Every Dragonfly node sends its id over every wired port; a
+        // recv on port p must yield exactly neighbor(me, p)'s id — the
+        // slab indexing and reverse-port resolution in one sweep.
+        use cubetopo::SwappedDragonfly;
+        let d = SwappedDragonfly::new(2, 3);
+        let (results, stats) = run_spmd_on(TopoSpec::dragonfly(2, 3), |ctx| async move {
+            let me = ctx.id().bits();
+            let wired: Vec<u32> =
+                (0..ctx.ports()).filter(|&p| ctx.topology().neighbor(me, p).is_some()).collect();
+            for &p in &wired {
+                ctx.send(p, me);
+            }
+            let mut got = Vec::new();
+            for &p in &wired {
+                got.push(ctx.recv(p).await);
+            }
+            got
+        });
+        let mut links = 0u64;
+        for x in 0..d.num_nodes() as u64 {
+            let expect: Vec<u64> = (0..d.ports()).filter_map(|p| d.neighbor(x, p)).collect();
+            links += expect.len() as u64;
+            assert_eq!(results[x as usize], expect, "node {x}");
+        }
+        assert_eq!(stats.messages, links, "one message per wired directed link");
+    }
+
+    #[test]
+    fn dragonfly_gateway_relay_crosses_groups() {
+        // Group 0's router 1 is the gateway toward group 2 on a
+        // D3(2,3): node (0,0) hands a token to it over the intra link,
+        // the gateway forwards it over its global port, and the arrival
+        // router reports what landed — a minimal local-global hop chain
+        // through ports the cube runtime never had.
+        use cubetopo::SwappedDragonfly;
+        let d = SwappedDragonfly::new(2, 3);
+        let src = d.node_at(0, 0);
+        let gw_router = d.gateway_router(2);
+        let gw = d.node_at(0, gw_router);
+        let to_gw = d.intra_port(0, gw_router);
+        let global = d.global_port_to(gw_router, 2).expect("gateway port is wired");
+        // Crossing from group 0, the swap lands on router 0/K = 0.
+        let arrival = d.node_at(2, 0);
+        let back = d.reverse_port(gw, global).expect("wired link");
+        let (results, _) = run_spmd_on(TopoSpec::dragonfly(2, 3), move |ctx| async move {
+            let me = ctx.id().bits();
+            if me == src {
+                ctx.send(to_gw, 99u64);
+            } else if me == gw {
+                let t = ctx.recv(d.reverse_port(src, to_gw).unwrap()).await;
+                ctx.send(global, t);
+            } else if me == arrival {
+                return Some(ctx.recv(back).await);
+            }
+            None
+        });
+        for (x, r) in results.iter().enumerate() {
+            assert_eq!(*r, (x as u64 == arrival).then_some(99), "node {x}");
+        }
+    }
+
+    #[test]
+    fn dragonfly_runs_identically_at_any_worker_count() {
+        let mut seen: Option<Vec<u64>> = None;
+        for workers in [1usize, 2, 5] {
+            let (results, stats) = with_workers(workers, || {
+                run_spmd_on(TopoSpec::dragonfly(2, 4), |ctx| async move {
+                    // Each router rotates its partial around the intra
+                    // clique, folding whatever arrives each step.
+                    let d = cubetopo::SwappedDragonfly::new(2, 4);
+                    let (_, r) = d.coords(ctx.id().bits());
+                    let mut acc = ctx.id().bits();
+                    for step in 1..4u64 {
+                        let to = (r + step) % 4;
+                        let from = (r + 4 - step) % 4;
+                        ctx.send(d.intra_port(r, to), acc);
+                        acc = acc.wrapping_add(ctx.recv(d.intra_port(r, from)).await);
+                    }
+                    ctx.barrier().await;
+                    acc
+                })
+            });
+            assert_eq!(stats.workers, workers);
+            assert_eq!(stats.barriers, 1);
+            match &seen {
+                None => seen = Some(results),
+                Some(first) => assert_eq!(&results, first, "workers={workers}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unwired_port_panics_with_a_link_diagnostic() {
+        // Port 1 of node (0, 0) is group 0's swap fixed point on a
+        // D3(2,2): unwired, so a send must fail loudly, not deadlock.
+        let caught = std::panic::catch_unwind(|| {
+            run_spmd_on(TopoSpec::dragonfly(2, 2), |ctx| async move {
+                if ctx.id().bits() == 0 {
+                    ctx.send(1, 7u64);
+                }
+            })
+        });
+        let msg = panic_message(caught.unwrap_err());
+        assert!(msg.contains("send on port 1 of node 0"), "{msg}");
+        assert!(msg.contains("no such link on the D3(2,2)"), "{msg}");
+    }
+
+    #[test]
+    fn all_reduce_rejects_non_hypercubes() {
+        let caught = std::panic::catch_unwind(|| {
+            run_spmd_on(TopoSpec::dragonfly(2, 2), |ctx| async move {
+                ctx.all_reduce(ctx.id().bits(), |a, b| a + b).await
+            })
+        });
+        let msg = panic_message(caught.unwrap_err());
+        assert!(msg.contains("hypercube dimension scan"), "{msg}");
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //!
 //! # Data plane
 //!
-//! * **Mailbox slab** — one FIFO per directed cube link, stored flat at
-//!   `node * n + dim` (the PR-1 `SimNet` layout). `mail[x*n + d]` holds
-//!   what `x`'s neighbor across dimension `d` sent to `x`. Each slot is
+//! * **Mailbox slab** — one FIFO per directed link, stored flat at
+//!   `node * ports + port` (the PR-1 `SimNet` layout; on the cube,
+//!   `ports = n` and a port is a dimension). `mail[x*ports + p]` holds
+//!   what `x`'s neighbor across port `p` sent to `x`. Each slot is
 //!   a `Mutex<MailSlot>` (a `VecDeque` plus the receiver's parked flag);
 //!   steady-state sends and receives reuse the deque's capacity, so hops
 //!   are allocation-free once warm.
@@ -45,6 +46,7 @@
 //! not.)
 
 use cubesim::par::ClaimCursor;
+use cubetopo::{TopoSpec, Topology};
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -87,12 +89,14 @@ pub(crate) struct StallClock {
 
 /// Everything the workers and node contexts share for one run.
 pub(crate) struct Shared<T> {
-    pub(crate) n: u32,
+    pub(crate) topo: TopoSpec,
+    /// Cached `topo.ports()`: the mailbox-slab stride (`n` on the cube).
+    pub(crate) ports: u32,
     pub(crate) num: usize,
     pub(crate) workers: usize,
     pub(crate) stall_timeout: Duration,
 
-    /// Mailbox slab, `node * n + dim`.
+    /// Mailbox slab, `node * ports + port`.
     mail: Vec<Mutex<MailSlot<T>>>,
     /// Per-node wait reason (see [`WANT_NONE`] / [`WANT_BARRIER`]).
     pub(crate) want: Vec<AtomicU64>,
@@ -131,13 +135,16 @@ thread_local! {
 }
 
 impl<T> Shared<T> {
-    pub(crate) fn new(n: u32, num: usize, workers: usize, stall_timeout: Duration) -> Self {
+    pub(crate) fn new(topo: TopoSpec, workers: usize, stall_timeout: Duration) -> Self {
+        let num = topo.num_nodes();
+        let ports = topo.ports();
         Shared {
-            n,
+            topo,
+            ports,
             num,
             workers,
             stall_timeout,
-            mail: (0..num * n as usize)
+            mail: (0..num * ports as usize)
                 .map(|_| Mutex::new(MailSlot { queue: VecDeque::new(), parked: false }))
                 .collect(),
             want: (0..num).map(|_| AtomicU64::new(WANT_NONE)).collect(),
@@ -161,9 +168,9 @@ impl<T> Shared<T> {
         }
     }
 
-    /// The mailbox where `node` receives from its neighbor across `dim`.
-    pub(crate) fn slot(&self, node: u64, dim: u32) -> &Mutex<MailSlot<T>> {
-        &self.mail[node as usize * self.n as usize + dim as usize]
+    /// The mailbox where `node` receives from its neighbor across `port`.
+    pub(crate) fn slot(&self, node: u64, port: u32) -> &Mutex<MailSlot<T>> {
+        &self.mail[node as usize * self.ports as usize + port as usize]
     }
 
     /// Marks a context as spawned for the live/peak accounting.

@@ -37,3 +37,6 @@ pub use net::{Payload, SimNet};
 pub use params::{MachineParams, PortMode};
 pub use pool::BufferPool;
 pub use report::{CommReport, LinkEvent, RoundDetail};
+// The topology vocabulary, re-exported so simulator users need not
+// depend on `cubetopo` directly.
+pub use cubetopo::{Hypercube, SwappedDragonfly, TopoSpec, Topology};

@@ -1,8 +1,9 @@
-//! The round-synchronous cube network simulator.
+//! The round-synchronous network simulator, generic over [`Topology`].
 
 use crate::params::{MachineParams, PortMode};
 use crate::report::CommReport;
 use cubeaddr::NodeId;
+use cubetopo::{Hypercube, Topology};
 
 /// A message payload with a size measured in *matrix elements* — the unit
 /// the cost model charges for.
@@ -36,7 +37,10 @@ macro_rules! scalar_payloads {
 // wrapping allocation.
 scalar_payloads!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
 
-/// A simulated Boolean `n`-cube network carrying payloads of type `P`.
+/// A simulated ensemble network carrying payloads of type `P` over a
+/// machine graph `T` (a [`Topology`]; the Boolean `n`-cube by default,
+/// built with [`SimNet::new`] — other topologies via
+/// [`SimNet::on_topology`]).
 ///
 /// Execution alternates between *send phases* and round boundaries:
 ///
@@ -53,9 +57,10 @@ scalar_payloads!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
 /// Legality rules enforced (panicking with a diagnostic on violation,
 /// since a violation is a bug in the routing algorithm under test):
 ///
-/// * `send` targets a neighbor by construction (`src` + dimension);
+/// * `send` targets a wired neighbor by construction (`src` + port; on
+///   the cube, port ≡ dimension — the API keeps the paper's `dim` name);
 /// * a directed link carries at most one message per round;
-/// * in [`PortMode::OnePort`], a node uses at most one dimension per round
+/// * in [`PortMode::OnePort`], a node uses at most one port per round
 ///   (counting both its outgoing and incoming message, which may share the
 ///   link — a bidirectional exchange);
 /// * every delivered message must be `recv`ed before the next round ends —
@@ -82,18 +87,26 @@ scalar_payloads!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
 ///
 /// # Performance
 ///
-/// The data plane is flat-indexed: message slots, per-node dimension
+/// The data plane is flat-indexed: message slots, per-node port
 /// masks, and per-link element totals live in dense vectors indexed by
-/// `node * n + dim`, with side lists of the indices touched this round so
-/// round boundaries cost O(messages), not O(nodes·dims). The dense
-/// arrays are allocated once in [`SimNet::new`] (`2^n · n` slots), so
-/// construction is O(N·n) in the cube size — trivial at the paper's
-/// machine sizes (n ≤ 14), but don't build a 2^40-node cube.
-pub struct SimNet<P> {
-    n: u32,
+/// `node * ports + port` (`node * n + dim` on the cube), with side lists
+/// of the indices touched this round so round boundaries cost
+/// O(messages), not O(nodes·ports). The dense arrays are allocated once
+/// at construction (`num_nodes · ports` slots), so construction is
+/// O(N·ports) in the machine size — trivial at the paper's machine sizes
+/// (n ≤ 14), but don't build a 2^40-node cube. On [`Hypercube`] every
+/// topology query monomorphizes to the same bit arithmetic the flat
+/// cube-only data plane used, so the generic layer costs nothing.
+pub struct SimNet<P, T: Topology = Hypercube> {
+    topo: T,
+    /// Cached `topo.ports()` — the stride of every flat slab.
+    ports: u32,
+    /// Cached `topo.num_nodes()`.
+    num: usize,
     params: MachineParams,
-    /// Message slot per directed link, indexed `dst * n + dim`: sent this
-    /// round, delivered at the boundary.
+    /// Message slot per directed link, indexed `dst * ports + rp` where
+    /// `rp` is the *receiver's* port for the link (on the cube, the
+    /// shared dimension): sent this round, delivered at the boundary.
     outgoing: Vec<Option<P>>,
     /// Slots filled in `outgoing` this round, in send order, with each
     /// message's element count cached so round boundaries never re-read
@@ -105,7 +118,7 @@ pub struct SimNet<P> {
     /// Slots the last boundary delivered into (consumed ones stay listed
     /// until the next boundary; their slot is `None`).
     inbox_idx: Vec<(usize, u32)>,
-    /// Dimensions used per node this round (bit mask), for port checks.
+    /// Ports used per node this round (bit mask), for port checks.
     dims_used: Vec<u64>,
     /// Nodes with a non-zero `dims_used` mask this round.
     dims_touched: Vec<usize>,
@@ -113,7 +126,8 @@ pub struct SimNet<P> {
     copies: Vec<usize>,
     /// Nodes with a non-zero copy charge this round.
     copies_touched: Vec<usize>,
-    /// Cumulative elements per directed link, indexed `src * n + dim`.
+    /// Cumulative elements per directed link, indexed by the *sender's*
+    /// side `src * ports + port`.
     link_totals: Vec<u64>,
     /// When set, every finish_round appends a RoundDetail.
     record_history: bool,
@@ -125,11 +139,26 @@ pub struct SimNet<P> {
 impl<P: Payload> SimNet<P> {
     /// Creates an idle `n`-cube network under the given cost model.
     pub fn new(n: u32, params: MachineParams) -> Self {
-        cubeaddr::check_dims(n);
-        let nodes = 1usize << n;
-        let links = nodes * n as usize;
+        Self::on_topology(Hypercube::new(n), params)
+    }
+
+    /// Cube dimension.
+    pub fn n(&self) -> u32 {
+        self.topo.n()
+    }
+}
+
+impl<P: Payload, T: Topology> SimNet<P, T> {
+    /// Creates an idle network over an arbitrary machine graph.
+    pub fn on_topology(topo: T, params: MachineParams) -> Self {
+        let nodes = topo.num_nodes();
+        let ports = topo.ports();
+        assert!(ports <= 64, "{}: {ports} ports exceed the 64-bit port masks", topo.label());
+        let links = nodes * ports as usize;
         SimNet {
-            n,
+            ports,
+            num: nodes,
+            topo,
             params,
             outgoing: (0..links).map(|_| None).collect(),
             outgoing_idx: Vec::new(),
@@ -146,10 +175,10 @@ impl<P: Payload> SimNet<P> {
         }
     }
 
-    /// Dense index of the directed-link slot `(node, dim)`.
+    /// Dense index of the directed-link slot `(node, port)`.
     #[inline]
-    fn slot(&self, node: NodeId, dim: u32) -> usize {
-        node.index() * self.n as usize + dim as usize
+    fn slot(&self, node: NodeId, port: u32) -> usize {
+        node.index() * self.ports as usize + port as usize
     }
 
     /// Enables per-round history recording (see
@@ -165,14 +194,19 @@ impl<P: Payload> SimNet<P> {
         self.record_links = true;
     }
 
-    /// Cube dimension.
-    pub fn n(&self) -> u32 {
-        self.n
+    /// The machine graph being simulated.
+    pub fn topology(&self) -> &T {
+        &self.topo
+    }
+
+    /// Uniform per-node port count (`n` on the cube).
+    pub fn ports(&self) -> u32 {
+        self.ports
     }
 
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
-        1usize << self.n
+        self.num
     }
 
     /// The cost model in force.
@@ -187,23 +221,29 @@ impl<P: Payload> SimNet<P> {
 
     #[track_caller]
     fn check_node(&self, x: NodeId) {
-        assert!(x.index() < self.num_nodes(), "node {x} outside the {}-cube", self.n);
+        assert!(x.index() < self.num, "node {x} outside the {}", self.topo.label());
     }
 
-    /// Sends `data` from `src` across dimension `dim` (to
-    /// `src.neighbor(dim)`), to be delivered at the next round boundary.
+    /// Sends `data` from `src` across port `dim` (on the cube, dimension
+    /// `dim`: to `src.neighbor(dim)`), to be delivered at the next round
+    /// boundary. The receiver picks it up with
+    /// [`SimNet::recv`]`(dst, rp)` where `rp` is the far end's port for
+    /// the link (`dim` itself on the cube).
     ///
     /// # Panics
-    /// On empty payloads, out-of-range nodes/dimensions, or when the
-    /// directed link was already used this round.
+    /// On empty payloads, out-of-range nodes, out-of-range or unwired
+    /// ports, or when the directed link was already used this round.
     #[track_caller]
     pub fn send(&mut self, src: NodeId, dim: u32, data: P) {
         self.check_node(src);
-        assert!(dim < self.n, "dimension {dim} outside the {}-cube", self.n);
+        assert!(dim < self.ports, "dimension {dim} outside the {}", self.topo.label());
         let elems = data.elems();
         assert!(elems > 0, "empty message from {src} on dim {dim}; skip empty sends");
-        let dst = src.neighbor(dim);
-        let slot = self.slot(dst, dim);
+        let dst = NodeId(self.topo.neighbor(src.index() as u64, dim).unwrap_or_else(|| {
+            panic!("send from {src} on unwired port {dim} of the {}", self.topo.label())
+        }));
+        let rp = self.topo.reverse_port(src.index() as u64, dim).unwrap();
+        let slot = self.slot(dst, rp);
         assert!(
             self.outgoing[slot].is_none(),
             "link contention: directed link {src}--dim {dim}--> {dst} used twice in round {}",
@@ -216,7 +256,7 @@ impl<P: Payload> SimNet<P> {
         // per send on the hottest path).
         if self.params.ports == PortMode::OnePort {
             self.mark_dim(src.index(), dim);
-            self.mark_dim(dst.index(), dim);
+            self.mark_dim(dst.index(), rp);
         }
         let src_slot = self.slot(src, dim);
         self.link_totals[src_slot] += elems as u64;
@@ -225,7 +265,8 @@ impl<P: Payload> SimNet<P> {
         self.report.total_packets += self.params.packets(elems) as u64;
     }
 
-    /// Records `node` using `dim` this round (for port-legality checks).
+    /// Records `node` using port `dim` this round (for port-legality
+    /// checks).
     #[inline]
     fn mark_dim(&mut self, node: usize, dim: u32) {
         if self.dims_used[node] == 0 {
@@ -260,7 +301,7 @@ impl<P: Payload> SimNet<P> {
     /// payloads into per-node storage in parallel.
     pub fn drain_dim(&mut self, dim: u32, out: &mut Vec<(NodeId, P)>) {
         out.clear();
-        let n = self.n as usize;
+        let n = self.ports as usize;
         for &(slot, _) in &self.inbox_idx {
             if slot % n == dim as usize {
                 if let Some(data) = self.inbox[slot].take() {
@@ -293,7 +334,7 @@ impl<P: Payload> SimNet<P> {
     /// deliveries into their own per-node storage anyway, this saves one
     /// buffer round-trip per message.
     pub fn drain_all_with(&mut self, mut consume: impl FnMut(NodeId, u32, P)) {
-        let n = self.n as usize;
+        let n = self.ports as usize;
         for &(slot, _) in &self.inbox_idx {
             if let Some(data) = self.inbox[slot].take() {
                 consume(NodeId((slot / n) as u64), (slot % n) as u32, data);
@@ -301,15 +342,16 @@ impl<P: Payload> SimNet<P> {
         }
     }
 
-    /// Receives the message delivered to `dst` on dimension `dim` at the
-    /// last round boundary.
+    /// Receives the message delivered to `dst` on its port `dim` at the
+    /// last round boundary (on the cube, the message sent across
+    /// dimension `dim` by the neighbor).
     ///
     /// # Panics
     /// If no such message is pending.
     #[track_caller]
     pub fn recv(&mut self, dst: NodeId, dim: u32) -> P {
         self.check_node(dst);
-        let msg = if dim < self.n {
+        let msg = if dim < self.ports {
             let slot = self.slot(dst, dim);
             self.inbox[slot].take()
         } else {
@@ -325,7 +367,7 @@ impl<P: Payload> SimNet<P> {
 
     /// True when a message is pending for `dst` on `dim`.
     pub fn has_message(&self, dst: NodeId, dim: u32) -> bool {
-        dst.index() < self.num_nodes() && dim < self.n && self.inbox[self.slot(dst, dim)].is_some()
+        dst.index() < self.num && dim < self.ports && self.inbox[self.slot(dst, dim)].is_some()
     }
 
     /// Charges `elems` elements of local copy/rearrangement work to `node`
@@ -350,7 +392,7 @@ impl<P: Payload> SimNet<P> {
     pub fn finish_round(&mut self) {
         for &(slot, _) in &self.inbox_idx {
             if self.inbox[slot].is_some() {
-                let (dst, dim) = (slot / self.n as usize, slot % self.n as usize);
+                let (dst, dim) = (slot / self.ports as usize, slot % self.ports as usize);
                 panic!(
                     "unconsumed message at node {dst} on dim {dim} when round {} ended",
                     self.report.rounds
@@ -389,13 +431,17 @@ impl<P: Payload> SimNet<P> {
         self.report.critical_elems += max_elems as u64;
         self.report.max_node_copy_elems = self.report.max_node_copy_elems.max(max_copy as u64);
         if self.record_links {
-            let n = self.n as usize;
+            let n = self.ports as usize;
             let mut events: Vec<crate::report::LinkEvent> = self
                 .outgoing_idx
                 .iter()
                 .map(|&(slot, elems)| {
-                    let (dst, dim) = ((slot / n) as u64, (slot % n) as u32);
-                    crate::report::LinkEvent { src: dst ^ (1 << dim), dim, elems }
+                    // Slot is receiver-side (dst, rp); the event names the
+                    // sender and the sender's port (dim, on the cube).
+                    let (dst, rp) = ((slot / n) as u64, (slot % n) as u32);
+                    let src = self.topo.neighbor(dst, rp).unwrap();
+                    let dim = self.topo.reverse_port(dst, rp).unwrap();
+                    crate::report::LinkEvent { src, dim, elems }
                 })
                 .collect();
             events.sort_by_key(|e| (e.src, e.dim));
@@ -726,5 +772,60 @@ mod tests {
     fn out_of_range_dim_rejected() {
         let mut net = unit_net(2, PortMode::OnePort);
         net.send(NodeId(0), 5, vec![1]);
+    }
+
+    #[test]
+    fn dragonfly_global_link_round_trip() {
+        use cubetopo::SwappedDragonfly;
+        let d = SwappedDragonfly::new(2, 2);
+        let mut net: SimNet<Vec<u64>, _> =
+            SimNet::on_topology(d, MachineParams::unit(PortMode::OnePort));
+        net.record_links();
+        // Global port 1 (j=0) of (g=3, r=1): target group 1·2+0 = 2,
+        // router 3/2 = 1 → node 5. Return port j' = 3 mod 2 = 1 → port 2.
+        let src = NodeId(d.node_at(3, 1));
+        assert_eq!(d.neighbor(src.0, 1), Some(d.node_at(2, 1)));
+        net.send(src, 1, vec![7, 8]);
+        net.finish_round();
+        let dst = NodeId(d.node_at(2, 1));
+        let rp = d.reverse_port(src.0, 1).unwrap();
+        assert_eq!(rp, 2);
+        assert!(net.has_message(dst, rp));
+        assert_eq!(net.recv(dst, rp), vec![7, 8]);
+        let r = net.finalize();
+        assert_eq!(r.rounds, 1);
+        assert_eq!(r.time, 3.0); // 1 start-up + 2 elements
+                                 // The link event names the sender's port.
+        assert_eq!(r.link_history[0].len(), 1);
+        let e = &r.link_history[0][0];
+        assert_eq!((e.src, e.dim, e.elems), (src.0, 1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "unwired port")]
+    fn dragonfly_unwired_swap_port_rejected() {
+        use cubetopo::SwappedDragonfly;
+        let d = SwappedDragonfly::new(2, 2);
+        let mut net: SimNet<Vec<u64>, _> =
+            SimNet::on_topology(d, MachineParams::unit(PortMode::AllPorts));
+        // Group 0's swap fixed point sits on router 0, global port j=0.
+        net.send(NodeId(d.node_at(0, 0)), 1, vec![1]);
+    }
+
+    #[test]
+    fn dragonfly_intra_exchange_is_one_port_legal() {
+        use cubetopo::SwappedDragonfly;
+        let d = SwappedDragonfly::new(1, 3);
+        let mut net: SimNet<Vec<u64>, _> =
+            SimNet::on_topology(d, MachineParams::unit(PortMode::OnePort));
+        // Bidirectional exchange between routers 0 and 1 of group 2 uses
+        // one port on each end — legal under one-port rules.
+        let (a, b) = (NodeId(d.node_at(2, 0)), NodeId(d.node_at(2, 1)));
+        net.send(a, d.intra_port(0, 1), vec![1]);
+        net.send(b, d.intra_port(1, 0), vec![2]);
+        net.finish_round();
+        assert_eq!(net.recv(b, d.intra_port(1, 0)), vec![1]);
+        assert_eq!(net.recv(a, d.intra_port(0, 1)), vec![2]);
+        let _ = net.finalize();
     }
 }

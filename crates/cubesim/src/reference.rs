@@ -69,7 +69,7 @@ impl<P: Payload> ReferenceNet<P> {
 
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
-        1usize << self.n
+        cubeaddr::num_nodes(self.n)
     }
 
     #[track_caller]

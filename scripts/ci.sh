@@ -33,6 +33,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 begin "rustfmt check"
 cargo fmt --check
 
+begin "rustdoc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
+
 begin "lint policy: no new code outside the allowlisted kernel module"
 # The workspace denies the corresponding rustc lint ([workspace.lints]);
 # this grep additionally pins the one module-level allow carve-out to
@@ -73,7 +76,12 @@ begin "perf smoke: n=10 fieldmap exchange sweep (time-bounded)"
 timeout 300 cargo test --release -q -p cubetranspose --test perf_smoke -- --ignored
 
 begin "perf smoke: n=14 schedule construction + rule sweep (time-bounded)"
-timeout 300 cargo test --release -q -p cubecheck --test perf_smoke -- --ignored
+timeout 300 cargo test --release -q -p cubecheck --test perf_smoke -- --ignored \
+    planning_and_checking_stay_fast
+
+begin "perf smoke: D3(4,8) Dragonfly planning + replay loop (time-bounded)"
+timeout 300 cargo test --release -q -p cubecheck --test perf_smoke -- --ignored \
+    dragonfly_planning_and_replay_stay_fast
 
 begin "perf smoke: n=12 SPMD transpose on the virtual-node scheduler (time-bounded)"
 timeout 300 cargo test --release -q -p boolcube --test spmd_perf_smoke -- --ignored \
@@ -87,6 +95,11 @@ begin "cubecheck: n=16 plan lint smoke (time-bounded)"
 # 65 536-node flight plan, feasible since factored construction; the
 # bound catches a return to per-node recomputation.
 timeout 300 cargo run --release -q -p cubecheck -- n16-smoke
+
+begin "cubecheck: Swapped Dragonfly planner lint smoke (time-bounded)"
+# Both Draper planner variants on a D3(4,8) through the same five rule
+# families the cube schedules pass — the topology-generic checker path.
+timeout 300 cargo run --release -q -p cubecheck -- dragonfly-smoke
 
 begin "router figures: CSVs must match committed baselines at every thread count"
 for threads in 1 default; do

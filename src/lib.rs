@@ -8,6 +8,7 @@
 //!
 //! * [`addr`] — cube addressing, Gray codes, shuffles, dimension
 //!   permutations.
+//! * [`topo`] — the topology abstraction (hypercube, Swapped Dragonfly).
 //! * [`layout`] — cyclic/consecutive/combined matrix-to-processor layouts.
 //! * [`sim`] — the machine cost model and schedule simulator.
 //! * [`run`] — the multithreaded SPMD message-passing runtime.
@@ -24,6 +25,7 @@ pub use cubelayout as layout;
 pub use cubemodel as model;
 pub use cuberun as run;
 pub use cubesim as sim;
+pub use cubetopo as topo;
 pub use cubetranspose as transpose;
 
 /// Convenience re-exports for writing applications quickly.

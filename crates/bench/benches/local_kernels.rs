@@ -1,8 +1,11 @@
 //! Host-measured local transpose kernels (the in-node work of the §6.2
-//! conversion algorithms and the copy costs behind Figure 9).
+//! conversion algorithms and the copy costs behind Figure 9), plus the
+//! in-place C2R kernel against the scratch paths it replaces at
+//! vp ≥ 20 local-block shapes (`results/BENCH_local.json`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cubetranspose::local::Dense;
+use cubetranspose::{inplace, local};
 
 fn bench_local_transpose(c: &mut Criterion) {
     let mut group = c.benchmark_group("local_transpose");
@@ -34,6 +37,88 @@ fn bench_in_place(c: &mut Criterion) {
     group.finish();
 }
 
+/// The relocation table of the rotation permutation realized as a
+/// `rows × cols` transpose — what `PermPlan::Gather` would build.
+fn gather_table(rows: usize, cols: usize) -> Vec<u32> {
+    let mut t = Vec::with_capacity(rows * cols);
+    for c in 0..cols {
+        for r in 0..rows {
+            t.push((r * cols + c) as u32);
+        }
+    }
+    t
+}
+
+/// In-place kernel vs the two scratch realizations of the same local
+/// transpose, at vp ≥ 20 block shapes. Every variant does a full
+/// round trip (transpose there and back) per iteration so all rows are
+/// directly comparable; each also prints its peak scratch bytes per
+/// call — the footprint column of `results/BENCH_local.json`.
+fn bench_inplace_vs_scratch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_inplace_vs_scratch");
+    group.sample_size(10);
+    // vp = 20 square (the engine's a = vp/2 rotation), vp = 21 and 22
+    // rectangular.
+    for (rows, cols) in [(1usize << 10, 1usize << 10), (1 << 11, 1 << 10), (1 << 11, 1 << 11)] {
+        let vp = (rows * cols).trailing_zeros();
+        let shape = format!("{rows}x{cols}");
+        let data: Vec<u64> = (0..(rows * cols) as u64).collect();
+        group.throughput(Throughput::Elements(2 * (rows * cols) as u64));
+
+        let fwd = inplace::scratch_elems(rows, cols).max(inplace::scratch_elems(cols, rows));
+        println!(
+            "footprint local_inplace_vs_scratch/inplace/{shape} scratch_bytes {} vp {vp}",
+            fwd * 8
+        );
+        let mut buf = data.clone();
+        group.bench_function(BenchmarkId::new("inplace", &shape), |b| {
+            b.iter(|| {
+                inplace::transpose_serial(&mut buf, rows, cols);
+                inplace::transpose_serial(&mut buf, cols, rows);
+            })
+        });
+
+        // Gather through a relocation table into a full-size staging
+        // buffer (the PermPlan::Gather realization): scratch = the
+        // staging buffer plus the shared table.
+        let t_fwd = gather_table(rows, cols);
+        let t_back = gather_table(cols, rows);
+        println!(
+            "footprint local_inplace_vs_scratch/scratch_gather/{shape} scratch_bytes {} vp {vp}",
+            rows * cols * 8 + rows * cols * 4
+        );
+        let mut src = data.clone();
+        let mut staging: Vec<u64> = Vec::with_capacity(rows * cols);
+        group.bench_function(BenchmarkId::new("scratch_gather", &shape), |b| {
+            b.iter(|| {
+                for table in [&t_fwd, &t_back] {
+                    staging.clear();
+                    staging.extend(table.iter().map(|&g| src[g as usize]));
+                    std::mem::swap(&mut src, &mut staging);
+                }
+            })
+        });
+
+        // The tiled out-of-place kernel through a pooled full-size
+        // buffer (the PermPlan::Transpose realization).
+        println!(
+            "footprint local_inplace_vs_scratch/scratch_tiled/{shape} scratch_bytes {} vp {vp}",
+            rows * cols * 8
+        );
+        let mut src = data.clone();
+        let mut staging: Vec<u64> = Vec::with_capacity(rows * cols);
+        group.bench_function(BenchmarkId::new("scratch_tiled", &shape), |b| {
+            b.iter(|| {
+                local::transpose_flat_blocked_into(&src, rows, cols, 64, &mut staging);
+                std::mem::swap(&mut src, &mut staging);
+                local::transpose_flat_blocked_into(&src, cols, rows, 64, &mut staging);
+                std::mem::swap(&mut src, &mut staging);
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_copy(c: &mut Criterion) {
     // Figure 9's subject: raw copy speed per element width.
     let mut group = c.benchmark_group("copy");
@@ -46,5 +131,11 @@ fn bench_copy(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_local_transpose, bench_in_place, bench_copy);
+criterion_group!(
+    benches,
+    bench_local_transpose,
+    bench_in_place,
+    bench_inplace_vs_scratch,
+    bench_copy
+);
 criterion_main!(benches);

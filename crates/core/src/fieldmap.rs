@@ -45,9 +45,51 @@
 //! [`SimNet::send_batch`] / [`SimNet::drain_dim`] commit rounds, keeping
 //! reports deterministic at any thread count.
 
+use std::cell::Cell;
+
 use cubeaddr::NodeId;
 use cubelayout::{Encoding, Layout};
 use cubesim::{par, BufferPool, SimNet};
+
+/// Default minimum local-array size (elements) for realizing a rotation
+/// permutation with the in-place C2R kernel instead of the pooled
+/// out-of-place tiled transpose. Below this the blocked copy's better
+/// locality wins and the scratch buffer is too small to matter.
+const INPLACE_MIN_DEFAULT: usize = 1 << 12;
+
+thread_local! {
+    /// Threshold override installed by [`with_inplace_min`].
+    static INPLACE_MIN_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Minimum local-array elements at which a rotation permutation is
+/// realized in place ([`crate::inplace`]) rather than through a pooled
+/// scratch buffer. Overridable with the `CUBEBENCH_INPLACE_MIN`
+/// environment variable (for benching both paths at one shape) or,
+/// scoped and thread-local, with [`with_inplace_min`].
+pub fn inplace_min() -> usize {
+    if let Some(v) = INPLACE_MIN_OVERRIDE.with(Cell::get) {
+        return v;
+    }
+    match std::env::var("CUBEBENCH_INPLACE_MIN") {
+        Ok(v) => v.parse().unwrap_or(INPLACE_MIN_DEFAULT),
+        Err(_) => INPLACE_MIN_DEFAULT,
+    }
+}
+
+/// Runs `f` with [`inplace_min`] pinned to `min` on the current thread
+/// (restored on exit, even across a panic). Tests use this to force the
+/// in-place plan on for small arrays, or off entirely (`usize::MAX`).
+pub fn with_inplace_min<R>(min: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            INPLACE_MIN_OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(INPLACE_MIN_OVERRIDE.with(|o| o.replace(Some(min))));
+    f()
+}
 
 /// Where the bits of the matrix address currently live: node address bits
 /// (`real`) and local address bits (`virt`).
@@ -196,28 +238,23 @@ pub struct MappedMatrix<T> {
     map: FieldMap,
     /// `data[node][local]`.
     data: Vec<Vec<T>>,
-    /// Spare message buffers recycled across exchange rounds. The pool is
-    /// warmed (allocated *and* page-touched) at construction with one
-    /// full-size buffer per node, so even the first exchange or permute
-    /// of a schedule runs allocation- and page-fault-free.
+    /// Spare message buffers recycled across exchange rounds. Warmed
+    /// lazily by [`MappedMatrix::ensure_warm`] the first time a primitive
+    /// actually needs scratch (one full-size prefaulted buffer per node),
+    /// so schedules whose permutations all run in place — or matrices
+    /// that never communicate — hold zero pooled bytes.
     pool: BufferPool<T>,
-}
-
-/// One prefaulted spare buffer per node, each of full local size — the
-/// working set of a gathered exchange or a virtual permutation.
-fn warm_pool<T: Copy>(data: &[Vec<T>], per: usize) -> BufferPool<T> {
-    let mut pool = BufferPool::new();
-    pool.warm(data.len(), per, data[0][0]);
-    pool
+    /// Whether [`MappedMatrix::ensure_warm`] has run.
+    warmed: bool,
 }
 
 impl<T: Copy> Clone for MappedMatrix<T> {
     fn clone(&self) -> Self {
-        let per = 1usize << self.map.vp();
         MappedMatrix {
             map: self.map.clone(),
             data: self.data.clone(),
-            pool: warm_pool(&self.data, per),
+            pool: BufferPool::new(),
+            warmed: false,
         }
     }
 }
@@ -232,8 +269,7 @@ impl<T: Copy + Default> MappedMatrix<T> {
             let (node, local) = map.place(w);
             data[node.index()][local as usize] = f(w);
         }
-        let pool = warm_pool(&data, per);
-        MappedMatrix { map, data, pool }
+        MappedMatrix { map, data, pool: BufferPool::new(), warmed: false }
     }
 }
 
@@ -249,8 +285,7 @@ impl<T: Copy> MappedMatrix<T> {
         for d in &data {
             assert_eq!(d.len(), 1usize << map.vp());
         }
-        let pool = warm_pool(&data, 1usize << map.vp());
-        MappedMatrix { map, data, pool }
+        MappedMatrix { map, data, pool: BufferPool::new(), warmed: false }
     }
 
     /// Consumes into per-node buffers (node order).
@@ -273,6 +308,25 @@ impl<T: Copy> MappedMatrix<T> {
     pub fn node(&self, x: NodeId) -> &[T] {
         &self.data[x.index()]
     }
+
+    /// Elements of scratch capacity currently held by the buffer pool —
+    /// zero until a primitive that needs pooled staging runs
+    /// (footprint stat for the `local_kernels` bench).
+    pub fn pool_capacity_elems(&self) -> usize {
+        self.pool.capacity_elems()
+    }
+
+    /// Warms the pool on first use: one prefaulted spare buffer per
+    /// node, each of full local size — the working set of a gathered
+    /// exchange or an out-of-place permutation plan. In-place and
+    /// identity plans never call this, so they never pay the O(mn)
+    /// pooled footprint.
+    fn ensure_warm(&mut self) {
+        if !self.warmed {
+            self.pool.warm(self.data.len(), 1usize << self.map.vp(), self.data[0][0]);
+            self.warmed = true;
+        }
+    }
 }
 
 impl<T: Copy + Send + Sync> MappedMatrix<T> {
@@ -292,6 +346,7 @@ impl<T: Copy + Send + Sync> MappedMatrix<T> {
         policy: SendPolicy,
     ) {
         assert!(i < self.map.n() && j < self.map.vp());
+        self.ensure_warm();
         let per = 1usize << self.map.vp();
         let run = 1usize << j;
         let num = self.data.len();
@@ -474,18 +529,28 @@ impl<T: Copy + Send + Sync> MappedMatrix<T> {
             return false;
         }
         let plan = PermPlan::build(perm);
-        let mut work: Vec<(Vec<T>, Vec<T>)> = self
-            .data
-            .iter_mut()
-            .map(|d| {
+        if let PermPlan::InPlace { rows, cols } = plan {
+            // No staging buffers at all: each node's array is transposed
+            // where it lives, O(max(rows, cols)) scratch per worker.
+            par::par_for_each_mut(&mut self.data, |_, d| {
                 debug_assert_eq!(d.len(), per);
-                (std::mem::take(d), self.pool.take())
-            })
-            .collect();
-        par::par_for_each_mut(&mut work, |_, (old, fresh)| plan.apply(old, fresh));
-        for (x, (old, fresh)) in work.into_iter().enumerate() {
-            self.data[x] = fresh;
-            self.pool.put(old);
+                crate::inplace::transpose_serial(d, rows, cols);
+            });
+        } else {
+            self.ensure_warm();
+            let mut work: Vec<(Vec<T>, Vec<T>)> = self
+                .data
+                .iter_mut()
+                .map(|d| {
+                    debug_assert_eq!(d.len(), per);
+                    (std::mem::take(d), self.pool.take())
+                })
+                .collect();
+            par::par_for_each_mut(&mut work, |_, (old, fresh)| plan.apply(old, fresh));
+            for (x, (old, fresh)) in work.into_iter().enumerate() {
+                self.data[x] = fresh;
+                self.pool.put(old);
+            }
         }
         let old_virt = self.map.virt.clone();
         for (jn, &jo) in perm.iter().enumerate() {
@@ -579,11 +644,20 @@ enum PermPlan {
     /// The permutation rotates the local address by `a` positions
     /// (`perm[j] = (j + a) mod vp`): equivalent to transposing the local
     /// array viewed as a row-major `rows × cols` matrix, dispatched to the
-    /// cache-aware tiled kernel.
+    /// cache-aware tiled kernel (out of place, through the pool).
     Transpose {
         /// `2^{vp-a}` rows of the equivalent local matrix.
         rows: usize,
         /// `2^a` columns.
+        cols: usize,
+    },
+    /// A rotation over a local array of at least [`inplace_min`]
+    /// elements: realized by the C2R in-place kernel
+    /// ([`crate::inplace`]), no pooled staging buffer.
+    InPlace {
+        /// Rows of the equivalent local matrix.
+        rows: usize,
+        /// Columns of the equivalent local matrix.
         cols: usize,
     },
     /// The permutation fixes the low `log2(run)` local bits: the new
@@ -621,7 +695,11 @@ impl PermPlan {
         if let Some(a) =
             (1..vp).find(|&a| perm.iter().enumerate().all(|(jn, &jo)| jo == (jn as u32 + a) % vp))
         {
-            return PermPlan::Transpose { rows: 1usize << (vp - a), cols: 1usize << a };
+            let (rows, cols) = (1usize << (vp - a), 1usize << a);
+            if per >= inplace_min() {
+                return PermPlan::InPlace { rows, cols };
+            }
+            return PermPlan::Transpose { rows, cols };
         }
         let fixed = perm.iter().enumerate().take_while(|&(jn, &jo)| jn as u32 == jo).count();
         let run = 1usize << fixed;
@@ -632,13 +710,15 @@ impl PermPlan {
         PermPlan::Gather { table: (0..per).map(|l| gather(l) as u32).collect() }
     }
 
-    /// Fills `fresh` with the permutation of `old`.
+    /// Fills `fresh` with the permutation of `old` (out-of-place plans
+    /// only; `InPlace` is dispatched directly in `apply_virt_perm`).
     fn apply<T: Copy>(&self, old: &[T], fresh: &mut Vec<T>) {
         fresh.clear();
         match self {
             PermPlan::Transpose { rows, cols } => {
                 crate::local::transpose_flat_blocked_into(old, *rows, *cols, 64, fresh);
             }
+            PermPlan::InPlace { .. } => unreachable!("InPlace plans never stage through a buffer"),
             PermPlan::Runs { starts, run } => {
                 fresh.reserve(old.len());
                 for &s in starts {
@@ -774,6 +854,58 @@ mod tests {
         net.finish_round();
         let r = net.finalize();
         assert_eq!(r.total_elems, 0);
+    }
+
+    #[test]
+    fn inplace_plan_keeps_pool_cold() {
+        // vp = 12 → 4096 elements per node: exactly the default
+        // threshold, so the rotation runs in place and the lazily-warmed
+        // pool must stay empty.
+        let map = FieldMap::new(vec![0], (1..13).collect());
+        let mut m = label_mapped(map);
+        assert_eq!(m.pool_capacity_elems(), 0, "pool warmed at construction");
+        let mut net = SimNet::new(1, MachineParams::unit(PortMode::OnePort).with_t_copy(0.5));
+        let rotation: Vec<u32> = (6..12).chain(0..6).collect();
+        m.permute_virt(&mut net, &rotation);
+        assert_eq!(check_labels(&m), None);
+        assert_eq!(m.pool_capacity_elems(), 0, "in-place plan warmed the pool");
+        net.finish_round();
+        // The copy cost is charged identically on both realizations.
+        assert!(net.finalize().copy_time > 0.0);
+    }
+
+    #[test]
+    fn pooled_plan_warms_lazily() {
+        let map = FieldMap::new(vec![0], (1..13).collect());
+        let mut m = label_mapped(map);
+        let mut net = unit_net(1);
+        let rotation: Vec<u32> = (6..12).chain(0..6).collect();
+        // Forcing the threshold above per ⇒ the pooled tiled path runs
+        // and warms one full-size buffer per node on first use.
+        with_inplace_min(usize::MAX, || m.permute_virt(&mut net, &rotation));
+        assert_eq!(check_labels(&m), None);
+        assert_eq!(m.pool_capacity_elems(), 2 * (1 << 12), "2 nodes x full local size");
+        net.finish_round();
+        net.finalize();
+    }
+
+    #[test]
+    fn forced_inplace_plan_matches_pooled_result() {
+        // Same scramble schedule under both realizations of the rotation
+        // permutations must give identical data.
+        let run = |min: usize| {
+            with_inplace_min(min, || {
+                let mut m = label_mapped(map_2_2());
+                let mut net = unit_net(2);
+                m.permute_virt(&mut net, &[1, 0]);
+                m.exchange_real_virt(&mut net, 0, 1, SendPolicy::Ideal);
+                m.permute_virt(&mut net, &[1, 0]);
+                net.finish_round();
+                let report = net.finalize();
+                (m.into_buffers(), report)
+            })
+        };
+        assert_eq!(run(1), run(usize::MAX));
     }
 
     #[test]

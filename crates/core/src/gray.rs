@@ -147,11 +147,11 @@ fn rebuild<T: Copy + Default>(spec: &MixedSpec, pass: Pass<T>) -> DistMatrix<T> 
     let mut out = DistMatrix::<T>::zeroed(after.clone());
     for (x, mut slot) in pass.at.into_iter().enumerate() {
         assert_eq!(slot.len(), 1, "node {x} ended with {} blocks", slot.len());
-        let b = slot.pop().expect("checked above");
+        let mut b = slot.pop().expect("checked above");
         let want = spec.node_of(b.v, b.u);
         assert_eq!(want.index(), x, "block ({}, {}) stranded at node {x}", b.u, b.v);
-        let t = crate::local::transpose_flat(&b.data, before.local_rows(), before.local_cols());
-        out.node_mut(NodeId(x as u64)).copy_from_slice(&t);
+        crate::inplace::transpose_serial(&mut b.data, before.local_rows(), before.local_cols());
+        out.node_mut(NodeId(x as u64)).copy_from_slice(&b.data);
     }
     out
 }
@@ -273,11 +273,11 @@ fn rebuild_recode<T: Copy + Default>(spec: &MixedSpec, pass: Pass<T>) -> DistMat
     let mut out = DistMatrix::<T>::zeroed(after_swapped);
     for (x, mut slot) in pass.at.into_iter().enumerate() {
         assert_eq!(slot.len(), 1, "node {x} ended with {} blocks", slot.len());
-        let b = slot.pop().expect("checked above");
+        let mut b = slot.pop().expect("checked above");
         let want = cubeaddr::concat(spec.col_enc.encode(b.v), spec.row_enc.encode(b.u), spec.half);
         assert_eq!(want, x as u64, "block ({}, {}) stranded at node {x}", b.u, b.v);
-        let t = crate::local::transpose_flat(&b.data, before.local_rows(), before.local_cols());
-        out.node_mut(NodeId(x as u64)).copy_from_slice(&t);
+        crate::inplace::transpose_serial(&mut b.data, before.local_rows(), before.local_cols());
+        out.node_mut(NodeId(x as u64)).copy_from_slice(&b.data);
     }
     out
 }

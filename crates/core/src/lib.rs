@@ -28,6 +28,9 @@
 //!   personalized communications.
 //! * [`local`] — in-node dense transpose kernels (naive, blocked, and
 //!   cache-oblivious) used by the conversion algorithms and examples.
+//! * [`inplace`] — the C2R/R2C in-place transpose decomposition
+//!   (Catanzaro et al., PPoPP 2014): O(mn) work, O(max(m,n)) auxiliary
+//!   space, each pass independently parallel.
 //! * [`verify`] — helpers asserting that a distributed matrix really is
 //!   the transpose of its input (label tracking).
 
@@ -35,6 +38,7 @@ pub mod convert;
 pub mod driver;
 pub mod fieldmap;
 pub mod gray;
+pub mod inplace;
 pub mod local;
 pub mod one_dim;
 pub mod permute;

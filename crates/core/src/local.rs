@@ -141,32 +141,23 @@ impl<T: Copy> Dense<T> {
         }
     }
 
-    /// In-place transpose of a square matrix.
-    ///
-    /// # Panics
-    /// If the matrix is not square.
-    #[track_caller]
+    /// In-place transpose — any rectangular shape, via the C2R
+    /// decomposition ([`crate::inplace`]): O(rows·cols) work,
+    /// O(max(rows, cols)) auxiliary space. The square case goes through
+    /// the same kernel, so there is exactly one in-place path.
     pub fn transpose_in_place(&mut self) {
-        assert_eq!(self.rows, self.cols, "in-place transpose needs a square matrix");
-        for r in 0..self.rows {
-            for c in (r + 1)..self.cols {
-                self.data.swap(r * self.cols + c, c * self.cols + r);
-            }
-        }
+        crate::inplace::transpose_serial(&mut self.data, self.rows, self.cols);
+        std::mem::swap(&mut self.rows, &mut self.cols);
     }
 }
 
 /// Transposes a flat row-major `rows × cols` buffer (helper for local
-/// arrays held as plain slices by the distributed algorithms).
+/// arrays held as plain slices by the distributed algorithms). Delegates
+/// to the shared tiling helper with the default tile.
 #[track_caller]
 pub fn transpose_flat<T: Copy>(data: &[T], rows: usize, cols: usize) -> Vec<T> {
-    assert_eq!(data.len(), rows * cols);
-    let mut out = Vec::with_capacity(data.len());
-    for c in 0..cols {
-        for r in 0..rows {
-            out.push(data[r * cols + c]);
-        }
-    }
+    let mut out = Vec::new();
+    transpose_flat_blocked_into(data, rows, cols, 64, &mut out);
     out
 }
 
@@ -189,18 +180,32 @@ pub fn transpose_flat_blocked_into<T: Copy>(
     out.clear();
     out.reserve(src.len());
     let spare = &mut out.spare_capacity_mut()[..src.len()];
+    tiled_transpose_write(src, rows, cols, tile, spare);
+    // SAFETY: the tiled loops visit every (r, c) pair exactly once, so
+    // all `src.len()` slots of `spare` have been written.
+    unsafe { out.set_len(src.len()) };
+}
+
+/// The one tiling loop behind the out-of-place transpose family
+/// ([`transpose_flat`], [`transpose_flat_blocked_into`],
+/// [`Dense::transpose_blocked`]): writes `out[c·rows + r] = src[r·cols
+/// + c]` tile by tile, initializing every slot of `out` exactly once.
+fn tiled_transpose_write<T: Copy>(
+    src: &[T],
+    rows: usize,
+    cols: usize,
+    tile: usize,
+    out: &mut [std::mem::MaybeUninit<T>],
+) {
     for rb in (0..rows).step_by(tile) {
         for cb in (0..cols).step_by(tile) {
             for r in rb..(rb + tile).min(rows) {
                 for c in cb..(cb + tile).min(cols) {
-                    spare[c * rows + r].write(src[r * cols + c]);
+                    out[c * rows + r].write(src[r * cols + c]);
                 }
             }
         }
     }
-    // SAFETY: the tiled loops visit every (r, c) pair exactly once, so
-    // all `src.len()` slots of `spare` have been written.
-    unsafe { out.set_len(src.len()) };
 }
 
 #[cfg(test)]
@@ -243,6 +248,18 @@ mod tests {
     }
 
     #[test]
+    fn in_place_rectangular() {
+        for (rows, cols) in [(2, 3), (3, 2), (5, 8), (8, 5), (1, 7), (7, 1), (12, 18)] {
+            let mut m = sample(rows, cols);
+            let expect = m.transpose_naive();
+            m.transpose_in_place();
+            assert_eq!(m, expect, "{rows}×{cols}");
+            m.transpose_in_place();
+            assert_eq!(m, sample(rows, cols), "{rows}×{cols} roundtrip");
+        }
+    }
+
+    #[test]
     fn double_transpose_is_identity() {
         let m = sample(6, 9);
         assert_eq!(m.transpose_naive().transpose_naive(), m);
@@ -276,8 +293,93 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn in_place_rejects_rectangular() {
-        sample(2, 3).transpose_in_place();
+    fn flat_delegates_to_tiled_path() {
+        for (rows, cols) in [(0, 0), (1, 1), (3, 7), (65, 130)] {
+            let data: Vec<u64> = (0..(rows * cols) as u64).collect();
+            let got = transpose_flat(&data, rows, cols);
+            let mut expect = Vec::with_capacity(data.len());
+            for c in 0..cols {
+                for r in 0..rows {
+                    expect.push(data[r * cols + c]);
+                }
+            }
+            assert_eq!(got, expect, "{rows}×{cols}");
+        }
+    }
+}
+
+/// Allocation gate for the in-place kernel: a counting global allocator
+/// (test harness only) that, while armed on the current thread, counts
+/// allocations at or above a size threshold. `unsafe impl GlobalAlloc`
+/// must live in this module — the workspace denies `unsafe_code`
+/// everywhere except this file.
+#[cfg(test)]
+mod alloc_gate {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Allocations of at least [`THRESHOLD`] bytes seen while armed.
+    pub static BIG_ALLOCS: AtomicUsize = AtomicUsize::new(0);
+    /// Size (bytes) at which an allocation counts as "big".
+    pub static THRESHOLD: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+    thread_local! {
+        /// Only the thread running the gated test arms itself, so the
+        /// rest of the (parallel) test harness doesn't pollute the count.
+        pub static ARMED: Cell<bool> = const { Cell::new(false) };
+    }
+
+    struct Counting;
+
+    // SAFETY: defers every allocation verbatim to `System`; the only
+    // addition is a side-effect-free counter bump.
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            // try_with: thread-local storage may itself allocate during
+            // thread teardown.
+            if ARMED.try_with(Cell::get).unwrap_or(false)
+                && layout.size() >= THRESHOLD.load(Ordering::Relaxed)
+            {
+                BIG_ALLOCS.fetch_add(1, Ordering::Relaxed);
+            }
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: Counting = Counting;
+}
+
+#[cfg(test)]
+mod alloc_gate_tests {
+    use super::alloc_gate::{ARMED, BIG_ALLOCS, THRESHOLD};
+    use std::sync::atomic::Ordering;
+
+    /// The in-place path must never allocate O(mn)-sized scratch after
+    /// warmup: with `mn` elements of `u64`, no single allocation may
+    /// reach a quarter of the matrix (the kernel's strip scratch is
+    /// capped at 64 Ki elements, far below).
+    #[test]
+    fn inplace_path_allocates_no_mn_scratch() {
+        let (rows, cols) = (1 << 10, 1 << 9);
+        let mut data: Vec<u64> = (0..(rows * cols) as u64).collect();
+        // Warmup: one full transpose before arming.
+        crate::inplace::transpose_serial(&mut data, rows, cols);
+        THRESHOLD.store(rows * cols * std::mem::size_of::<u64>() / 4, Ordering::SeqCst);
+        ARMED.with(|a| a.set(true));
+        crate::inplace::transpose_serial(&mut data, cols, rows);
+        ARMED.with(|a| a.set(false));
+        assert_eq!(
+            BIG_ALLOCS.load(Ordering::SeqCst),
+            0,
+            "in-place kernel allocated O(mn)-sized scratch"
+        );
+        let expect: Vec<u64> = (0..(rows * cols) as u64).collect();
+        assert_eq!(data, expect, "roundtrip while gated");
     }
 }

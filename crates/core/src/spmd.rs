@@ -177,13 +177,17 @@ pub fn spmd_transpose_spt<T: Copy + Default + Send + Sync>(
             }
             // The unique source ending here is tr(me) (me itself when H = 0).
             let src = crate::two_dim::tr(me, half);
-            let arr = if src == me {
+            let mut arr = if src == me {
                 buffers[me as usize].clone()
             } else {
                 held.remove(&src).expect("destination array missing")
             };
             assert!(held.is_empty(), "node {me} ended holding stray arrays");
-            crate::local::transpose_flat(&arr, lr, lc)
+            // In place, serial: the node program already runs inside the
+            // worker pool, and the O(mn) staging copy per virtual node is
+            // exactly the footprint this kernel exists to avoid.
+            crate::inplace::transpose_serial(&mut arr, lr, lc);
+            arr
         }
     });
 
@@ -299,7 +303,8 @@ pub fn spmd_transpose_combined_gray<T: Copy + Default + Send + Sync>(
                     epbc = !epbc;
                 }
             }
-            crate::local::transpose_flat(&buf, lr, lc)
+            crate::inplace::transpose_serial(&mut buf, lr, lc);
+            buf
         }
     });
 

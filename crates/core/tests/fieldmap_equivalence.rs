@@ -144,6 +144,30 @@ proptest! {
         }
     }
 
+    /// The same schedule equivalence with the in-place C2R plan forced
+    /// on for every rotation permutation (the default threshold of 4096
+    /// elements never fires at these vp ≤ 5 shapes): payloads, maps and
+    /// reports must still match the reference byte-for-byte at every
+    /// thread count.
+    #[test]
+    fn block_move_matches_reference_with_inplace_plan(seed in any::<u64>()) {
+        let mut rng = Rng(seed);
+        let n = 1 + rng.below(3) as u32;
+        let vp = 1 + rng.below(5) as u32;
+        let map = random_map(&mut rng, n, vp);
+        let count = 1 + rng.below(6) as usize;
+        let ops = random_ops(&mut rng, n, vp, count);
+        let expect = run_reference(map.clone(), &ops);
+        for threads in [1usize, 2, 5] {
+            let got = cubetranspose::fieldmap::with_inplace_min(1, || {
+                par::with_threads(threads, || run_block(map.clone(), &ops))
+            });
+            prop_assert_eq!(&expect.0, &got.0, "payloads diverge at {} threads", threads);
+            prop_assert_eq!(&expect.1, &got.1, "role maps diverge at {} threads", threads);
+            prop_assert_eq!(&expect.2, &got.2, "reports diverge at {} threads", threads);
+        }
+    }
+
     #[test]
     fn rearrange_to_matches_reference(seed in any::<u64>()) {
         let mut rng = Rng(seed);

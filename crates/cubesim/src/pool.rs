@@ -37,6 +37,13 @@ impl<T> BufferPool<T> {
         self.free.len()
     }
 
+    /// Total elements of capacity held by idle buffers — the pool's
+    /// resident footprint in units of `T`. Benches multiply by
+    /// `size_of::<T>()` to report scratch bytes.
+    pub fn capacity_elems(&self) -> usize {
+        self.free.iter().map(Vec::capacity).sum()
+    }
+
     /// Primes the pool with `buffers` empty buffers of `elems` capacity,
     /// each filled with `seed` once and cleared so every page is really
     /// mapped. A data structure that warms its pool at construction runs
@@ -94,6 +101,7 @@ mod tests {
         let mut pool: BufferPool<u64> = BufferPool::new();
         pool.warm(3, 128, 0);
         assert_eq!(pool.idle(), 3);
+        assert_eq!(pool.capacity_elems(), 3 * 128);
         let v = pool.take();
         assert!(v.is_empty());
         assert_eq!(v.capacity(), 128);

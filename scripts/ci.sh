@@ -75,6 +75,15 @@ timeout 300 cargo test --release -q -p cubecomm --test perf_smoke -- --ignored \
 begin "perf smoke: n=10 fieldmap exchange sweep (time-bounded)"
 timeout 300 cargo test --release -q -p cubetranspose --test perf_smoke -- --ignored
 
+begin "local-kernels smoke: in-place transpose no slower than scratch gather"
+timeout 300 cargo test --release -q -p cubetranspose --test local_kernels_smoke -- --ignored
+
+begin "allocation gate: in-place path performs zero O(mn)-sized allocations"
+# The counting global allocator lives in crates/core/src/local.rs's test
+# module (the one unsafe-allowlisted file); the gate arms it around a
+# warmed in-place transpose and fails on any matrix-sized allocation.
+cargo test --release -q -p cubetranspose --lib alloc_gate_tests
+
 begin "perf smoke: n=14 schedule construction + rule sweep (time-bounded)"
 timeout 300 cargo test --release -q -p cubecheck --test perf_smoke -- --ignored \
     planning_and_checking_stay_fast

@@ -10,7 +10,7 @@
 //! The implementation lives in [`cubesim::par`] so the simulator's
 //! block-move data plane and the figure sweeps share one worker pool
 //! policy; this module re-exports it under the historical name. The
-//! worker count is `std::thread::available_parallelism`, overridable
+//! worker count defaults to the machine's available parallelism, overridable
 //! with the `CUBEBENCH_THREADS` environment variable (`1` forces the
 //! sequential path; useful for timing comparisons).
 

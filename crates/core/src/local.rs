@@ -315,9 +315,9 @@ mod tests {
 /// everywhere except this file.
 #[cfg(test)]
 mod alloc_gate {
+    use cubesync::atomic::{AtomicUsize, Ordering};
     use std::alloc::{GlobalAlloc, Layout, System};
     use std::cell::Cell;
-    use std::sync::atomic::{AtomicUsize, Ordering};
 
     /// Allocations of at least [`THRESHOLD`] bytes seen while armed.
     pub static BIG_ALLOCS: AtomicUsize = AtomicUsize::new(0);
@@ -358,7 +358,7 @@ mod alloc_gate {
 #[cfg(test)]
 mod alloc_gate_tests {
     use super::alloc_gate::{ARMED, BIG_ALLOCS, THRESHOLD};
-    use std::sync::atomic::Ordering;
+    use cubesync::atomic::Ordering;
 
     /// The in-place path must never allocate O(mn)-sized scratch after
     /// warmup: with `mn` elements of `u64`, no single allocation may

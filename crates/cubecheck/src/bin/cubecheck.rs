@@ -15,18 +15,16 @@
 //! process-wide plan cache; the summary line reports its hit/miss
 //! counters.
 
-use cubecheck::workloads::{figure, plan_cache, FIGURES};
+use cubecheck::workloads::{figure, plan_cache, workload_names, FIGURES};
 use cubecheck::{check_all, lower};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--list") {
-        for name in FIGURES {
+        for name in workload_names() {
             println!("{name}");
         }
-        println!("n16-smoke");
-        println!("dragonfly-smoke");
         return ExitCode::SUCCESS;
     }
     let names: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "--all-figures") {
@@ -39,8 +37,14 @@ fn main() -> ExitCode {
     for name in names {
         let Some(workloads) = figure(name) else {
             // Exit 2, distinct from the invariant-violation exit 1, so
-            // CI scripts can tell a typo from a broken schedule.
-            eprintln!("cubecheck: unknown workload '{name}' (try --list); nothing was checked");
+            // CI scripts can tell a typo from a broken schedule. List
+            // what *would* have worked — a typo'd figure name is most
+            // easily fixed by seeing the real one next to it.
+            eprintln!("cubecheck: unknown workload '{name}'; nothing was checked");
+            eprintln!("available workloads:");
+            for known in workload_names() {
+                eprintln!("  {known}");
+            }
             return ExitCode::from(2);
         };
         let (mut schedules, mut claims) = (0usize, 0u64);

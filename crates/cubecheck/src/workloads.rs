@@ -21,9 +21,9 @@ use cubecomm::plan::{
     CommSchedule, PlanCache,
 };
 use cubesim::{MachineParams, PortMode};
+use cubesync::sync::{Arc, OnceLock};
 use cubetopo::{SwappedDragonfly, Topology};
 use cubetranspose::two_dim::tr;
-use std::sync::{Arc, OnceLock};
 
 /// The process-wide plan cache feeding every figure workload. Sized to
 /// hold all distinct parameter points of all figures at once (the four
@@ -161,6 +161,15 @@ pub fn dragonfly_smoke() -> Vec<FigureWorkload> {
 
 /// Names of all lintable figures.
 pub const FIGURES: [&str; 4] = ["fig14b", "fig16", "fig17", "fig18"];
+
+/// Every name [`figure`] resolves — the figures plus the CI smoke
+/// workloads — sorted, for `--list` and unknown-workload diagnostics.
+pub fn workload_names() -> Vec<&'static str> {
+    let mut names = FIGURES.to_vec();
+    names.extend(["n16-smoke", "dragonfly-smoke"]);
+    names.sort_unstable();
+    names
+}
 
 /// The workloads of one figure, by name.
 pub fn figure(name: &str) -> Option<Vec<FigureWorkload>> {

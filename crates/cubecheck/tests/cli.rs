@@ -7,13 +7,23 @@ fn cubecheck(args: &[&str]) -> std::process::Output {
 }
 
 #[test]
-fn unknown_workload_exits_2_with_a_one_line_summary() {
+fn unknown_workload_exits_2_and_lists_available_names_sorted() {
     let out = cubecheck(&["no-such-figure"]);
     assert_eq!(out.status.code(), Some(2), "distinct exit code for unknown workloads");
     let stderr = String::from_utf8(out.stderr).unwrap();
-    assert_eq!(stderr.lines().count(), 1, "one-line summary, got: {stderr:?}");
     assert!(stderr.contains("unknown workload 'no-such-figure'"), "{stderr}");
     assert!(stderr.contains("nothing was checked"), "{stderr}");
+    assert!(stderr.contains("available workloads:"), "{stderr}");
+    // The suggestion list is every resolvable name, sorted.
+    let listed: Vec<&str> = stderr
+        .lines()
+        .skip_while(|l| !l.starts_with("available workloads:"))
+        .skip(1)
+        .map(str::trim)
+        .collect();
+    let mut expect = vec!["fig14b", "fig16", "fig17", "fig18", "n16-smoke", "dragonfly-smoke"];
+    expect.sort_unstable();
+    assert_eq!(listed, expect, "{stderr}");
 }
 
 #[test]

@@ -39,7 +39,7 @@ pub mod reference;
 use crate::block::Block;
 use cubeaddr::NodeId;
 use cubesim::{par, SimNet};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use cubesync::atomic::{AtomicUsize, Ordering};
 
 /// A message handed to the router.
 #[derive(Clone, Debug)]

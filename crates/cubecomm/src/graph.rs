@@ -21,8 +21,8 @@ use crate::block::Block;
 use crate::ecube::{bitmap_to_list, Lane, RouteMsg, MAX_LANE_DIMS};
 use cubeaddr::NodeId;
 use cubesim::{par, SimNet};
+use cubesync::atomic::{AtomicUsize, Ordering};
 use cubetopo::MinimalRoute;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 impl<T> Lane<T> {
     /// [`Lane::advance`](crate::ecube) generalized: retires or requeues

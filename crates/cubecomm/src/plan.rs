@@ -51,8 +51,8 @@ use crate::sbt::Sbt;
 use crate::some_to_all;
 use cubeaddr::{DimSet, NodeId};
 use cubesim::PortMode;
+use cubesync::sync::Arc;
 use cubetopo::{TopoSpec, Topology};
-use std::sync::Arc;
 
 /// A block's metadata: everything the cost model and the invariants see.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]

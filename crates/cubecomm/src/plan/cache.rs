@@ -32,9 +32,9 @@
 
 use super::CommSchedule;
 use cubesim::{MachineParams, PortMode};
+use cubesync::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
-use std::sync::{Arc, Mutex};
 
 /// [`MachineParams`] as a hashable cache-key component: `f64` fields
 /// are keyed by their bit patterns, so any parameter change — however
@@ -175,11 +175,11 @@ impl PlanCache {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+    fn lock(&self) -> MutexGuard<'_, Inner> {
         // A panicking builder never holds the lock, so a poisoned mutex
         // only means a panic elsewhere mid-bookkeeping; the map is still
         // structurally sound.
-        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The cached plan for `key`, if present (counts as a hit/miss).

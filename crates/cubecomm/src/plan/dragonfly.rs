@@ -30,9 +30,9 @@ use super::{
 };
 use cubeaddr::NodeId;
 use cubesim::PortMode;
+use cubesync::sync::Arc;
 use cubetopo::{MinimalRoute, SwappedDragonfly, TopoSpec, Topology};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::sync::Arc;
 
 /// Plans minimal (direct) store-and-forward routing on `D3(K,M)`: every
 /// message follows its local–global–local path, one message per

@@ -113,7 +113,7 @@ fn n12_warm_cache_fetch_beats_cold_build_10x() {
                 let start = Instant::now();
                 let plan = ecube_route_plan_cached(&cache, n, &msgs);
                 let elapsed = start.elapsed();
-                assert!(std::sync::Arc::ptr_eq(&plan, &first), "fetch must hit the cache");
+                assert!(cubesync::sync::Arc::ptr_eq(&plan, &first), "fetch must hit the cache");
                 elapsed
             })
             .collect(),

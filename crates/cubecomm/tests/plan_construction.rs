@@ -20,8 +20,8 @@ use cubecomm::exchange::BufferPolicy;
 use cubecomm::plan::{self, reference, BlockMeta, CommSchedule, PlanCache};
 use cubecomm::sbt::Sbt;
 use cubesim::{par, PortMode};
+use cubesync::sync::Arc;
 use proptest::prelude::*;
-use std::sync::Arc;
 
 /// Deterministic pseudo-random size matrix (zeros allowed — dropped
 /// blocks), the same generator idiom as `tests/props.rs`.

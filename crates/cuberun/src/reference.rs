@@ -1,7 +1,7 @@
 //! The original thread-per-node runtime, preserved as the executable
 //! reference for the virtual-node scheduler.
 //!
-//! Every cube node is an OS thread and every directed link a crossbeam
+//! Every cube node is an OS thread and every directed link a buffered
 //! channel — exactly the pre-scheduler `cuberun`. It caps out near
 //! `n = 10` (2^n OS threads), which is why [`crate::run_spmd`] replaced
 //! it, but within that range it is the simplest possible executable
@@ -15,22 +15,22 @@
 //! stall detector.
 
 use crate::runtime::RunStats;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use cubeaddr::NodeId;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Barrier, OnceLock};
+use cubesync::atomic::{AtomicU64, Ordering};
+use cubesync::channel::{unbounded, Receiver, Sender};
+use cubesync::sync::{Arc, Barrier, OnceLock};
+use cubesync::thread;
 use std::time::Duration;
 
 /// The receive timeout, read once per process from the
 /// `CUBERUN_RECV_TIMEOUT_MS` environment variable: loaded CI machines
-/// widen it, deadlock stress tests tighten it. Unset or unparsable
-/// values fall back to the shared 30 s default.
+/// widen it, deadlock stress tests tighten it. Unset falls back to the
+/// shared 30 s default; a set but malformed value panics.
 fn recv_timeout() -> Duration {
     static TIMEOUT: OnceLock<Duration> = OnceLock::new();
-    *TIMEOUT.get_or_init(|| {
-        crate::runtime::parse_stall_timeout(
-            std::env::var("CUBERUN_RECV_TIMEOUT_MS").ok().as_deref(),
-        )
+    *TIMEOUT.get_or_init(|| match std::env::var("CUBERUN_RECV_TIMEOUT_MS") {
+        Ok(v) => crate::runtime::parse_stall_timeout("CUBERUN_RECV_TIMEOUT_MS", &v),
+        Err(_) => crate::runtime::DEFAULT_STALL_TIMEOUT,
     })
 }
 
@@ -180,7 +180,7 @@ where
         .collect();
 
     let program = &program;
-    let results: Vec<R> = std::thread::scope(|scope| {
+    let results: Vec<R> = thread::scope(|scope| {
         let handles: Vec<_> =
             ctxs.drain(..).map(|ctx| scope.spawn(move || program(&ctx))).collect();
         handles.into_iter().map(|h| h.join().expect("node program panicked")).collect()

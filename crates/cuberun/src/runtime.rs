@@ -14,12 +14,13 @@
 
 use crate::sched::{self, lock, Shared, VSlot, WANT_BARRIER, WANT_NONE};
 use cubeaddr::NodeId;
+use cubesync::atomic::Ordering;
+use cubesync::sync::{Arc, Mutex, OnceLock};
+use cubesync::thread;
 use cubetopo::{TopoSpec, Topology};
 use std::cell::Cell;
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::atomic::Ordering;
-use std::sync::{Arc, Mutex, OnceLock};
 use std::task::{Context, Poll};
 use std::time::Duration;
 
@@ -27,7 +28,7 @@ use std::time::Duration;
 /// before declaring the node programs deadlocked. Algorithms on these
 /// cube sizes complete in milliseconds; half a minute of global silence
 /// is a bug, and a diagnostic panic beats a hung test suite.
-const DEFAULT_STALL_TIMEOUT: Duration = Duration::from_secs(30);
+pub(crate) const DEFAULT_STALL_TIMEOUT: Duration = Duration::from_secs(30);
 
 thread_local! {
     /// Worker-count override installed by [`with_workers`].
@@ -41,13 +42,27 @@ thread_local! {
 /// the ambient `cubesim::par` thread count (`CUBEBENCH_THREADS` /
 /// available parallelism) — the pool is sized like the rest of the
 /// repo's data-plane fan-out unless explicitly overridden.
+///
+/// # Panics
+/// If `CUBERUN_WORKERS` is set but not a positive integer — a silent
+/// one-worker fallback would quietly serialize the run.
 pub fn num_workers() -> usize {
     if let Some(w) = WORKERS_OVERRIDE.with(Cell::get) {
         return w;
     }
     match std::env::var("CUBERUN_WORKERS") {
-        Ok(v) => v.trim().parse().unwrap_or(1).max(1),
+        Ok(v) => parse_worker_count("CUBERUN_WORKERS", &v),
         Err(_) => cubesim::par::num_threads(),
+    }
+}
+
+/// Strictly parses a worker-pool size from an environment value: any
+/// non-integer, `0`, or negative input panics naming the variable and
+/// the offending value rather than silently serializing the run.
+pub(crate) fn parse_worker_count(var: &str, raw: &str) -> usize {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => panic!("{var} must be a positive integer worker count, got {raw:?}"),
     }
 }
 
@@ -85,30 +100,38 @@ pub fn with_stall_timeout<R>(timeout: Duration, f: impl FnOnce() -> R) -> R {
 /// `CUBERUN_RECV_TIMEOUT_MS` (this detector replaced the per-receive
 /// watchdog, which false-positived under heavy oversubscription — a
 /// virtual node can legitimately sit parked far longer than any one
-/// receive used to take). Unset or unparsable values fall back to
-/// [`DEFAULT_STALL_TIMEOUT`].
+/// receive used to take). Unset falls back to
+/// [`DEFAULT_STALL_TIMEOUT`]; a set but malformed value panics.
 fn stall_timeout() -> Duration {
     if let Some(t) = STALL_OVERRIDE.with(Cell::get) {
         return t;
     }
     static TIMEOUT: OnceLock<Duration> = OnceLock::new();
     *TIMEOUT.get_or_init(|| {
-        parse_stall_timeout(
-            std::env::var("CUBERUN_STALL_TIMEOUT_MS")
-                .or_else(|_| std::env::var("CUBERUN_RECV_TIMEOUT_MS"))
-                .ok()
-                .as_deref(),
-        )
+        let raw = std::env::var("CUBERUN_STALL_TIMEOUT_MS")
+            .map(|v| ("CUBERUN_STALL_TIMEOUT_MS", v))
+            .or_else(|_| {
+                std::env::var("CUBERUN_RECV_TIMEOUT_MS").map(|v| ("CUBERUN_RECV_TIMEOUT_MS", v))
+            });
+        match raw {
+            Ok((var, value)) => parse_stall_timeout(var, &value),
+            Err(_) => DEFAULT_STALL_TIMEOUT,
+        }
     })
 }
 
 /// Parses a stall-timeout value in milliseconds, clamping to
 /// [1 ms, 1 h] so a zero can't turn every run into an instant panic and
 /// a stray large number can't hang CI for days.
-pub(crate) fn parse_stall_timeout(raw: Option<&str>) -> Duration {
-    match raw.and_then(|s| s.trim().parse::<u64>().ok()) {
-        Some(ms) => Duration::from_millis(ms.clamp(1, 3_600_000)),
-        None => DEFAULT_STALL_TIMEOUT,
+///
+/// # Panics
+/// On anything that is not an unsigned integer — a malformed timeout
+/// silently widening to 30 s would mask exactly the hangs the variable
+/// exists to catch.
+pub(crate) fn parse_stall_timeout(var: &str, raw: &str) -> Duration {
+    match raw.trim().parse::<u64>() {
+        Ok(ms) => Duration::from_millis(ms.clamp(1, 3_600_000)),
+        Err(_) => panic!("{var} must be an integer number of milliseconds, got {raw:?}"),
     }
 }
 
@@ -424,7 +447,7 @@ where
     let slab: Vec<Mutex<VSlot<Fut, R>>> =
         (0..num).map(|_| Mutex::new(VSlot { fut: None, result: None })).collect();
 
-    std::thread::scope(|scope| {
+    thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let shared = &shared;
@@ -471,7 +494,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use cubesync::atomic::AtomicU64;
 
     /// Extracts the message from a caught panic payload (both literal
     /// and formatted panics appear across these tests).
@@ -784,18 +807,63 @@ mod tests {
         assert!(msg.contains("hypercube dimension scan"), "{msg}");
     }
 
+    const STALL_VAR: &str = "CUBERUN_STALL_TIMEOUT_MS";
+
+    #[test]
+    fn worker_count_parses_positive_integers() {
+        assert_eq!(parse_worker_count("CUBERUN_WORKERS", "4"), 4);
+        assert_eq!(parse_worker_count("CUBERUN_WORKERS", " 16 "), 16);
+    }
+
+    #[test]
+    #[should_panic(
+        expected = "CUBERUN_WORKERS must be a positive integer worker count, got \"many\""
+    )]
+    fn worker_count_rejects_garbage() {
+        parse_worker_count("CUBERUN_WORKERS", "many");
+    }
+
+    #[test]
+    #[should_panic(expected = "CUBERUN_WORKERS must be a positive integer worker count, got \"0\"")]
+    fn worker_count_rejects_zero() {
+        parse_worker_count("CUBERUN_WORKERS", "0");
+    }
+
+    #[test]
+    #[should_panic(expected = "got \"-2\"")]
+    fn worker_count_rejects_negative() {
+        parse_worker_count("CUBERUN_WORKERS", "-2");
+    }
+
     #[test]
     fn stall_timeout_parses_and_clamps() {
         // Plain values parse as milliseconds (whitespace tolerated).
-        assert_eq!(parse_stall_timeout(Some("250")), Duration::from_millis(250));
-        assert_eq!(parse_stall_timeout(Some(" 1500 ")), Duration::from_millis(1500));
+        assert_eq!(parse_stall_timeout(STALL_VAR, "250"), Duration::from_millis(250));
+        assert_eq!(parse_stall_timeout(STALL_VAR, " 1500 "), Duration::from_millis(1500));
         // Zero clamps up to 1 ms, absurd values down to an hour.
-        assert_eq!(parse_stall_timeout(Some("0")), Duration::from_millis(1));
-        assert_eq!(parse_stall_timeout(Some("999999999999")), Duration::from_secs(3600));
-        // Unset or garbage falls back to the 30 s default.
-        assert_eq!(parse_stall_timeout(None), DEFAULT_STALL_TIMEOUT);
-        assert_eq!(parse_stall_timeout(Some("fast")), DEFAULT_STALL_TIMEOUT);
-        assert_eq!(parse_stall_timeout(Some("-5")), DEFAULT_STALL_TIMEOUT);
-        assert_eq!(parse_stall_timeout(Some("")), DEFAULT_STALL_TIMEOUT);
+        assert_eq!(parse_stall_timeout(STALL_VAR, "0"), Duration::from_millis(1));
+        assert_eq!(parse_stall_timeout(STALL_VAR, "999999999999"), Duration::from_secs(3600));
+    }
+
+    #[test]
+    #[should_panic(
+        expected = "CUBERUN_STALL_TIMEOUT_MS must be an integer number of milliseconds, got \"fast\""
+    )]
+    fn stall_timeout_rejects_garbage() {
+        parse_stall_timeout(STALL_VAR, "fast");
+    }
+
+    #[test]
+    #[should_panic(
+        expected = "CUBERUN_STALL_TIMEOUT_MS must be an integer number of milliseconds, got \"-5\""
+    )]
+    fn stall_timeout_rejects_negative() {
+        parse_stall_timeout(STALL_VAR, "-5");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be an integer number of milliseconds, got \"\"")]
+    fn stall_timeout_rejects_empty() {
+        parse_stall_timeout(STALL_VAR, "");
     }
 }

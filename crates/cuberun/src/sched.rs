@@ -46,11 +46,11 @@
 //! not.)
 
 use cubesim::par::ClaimCursor;
+use cubesync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use cubesync::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use cubetopo::{TopoSpec, Topology};
 use std::cell::Cell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Want-cell value: not waiting on anything scheduler-visible.
@@ -62,7 +62,7 @@ pub(crate) const WANT_BARRIER: u64 = 1 << 63;
 /// poisoned it (the panic itself is propagated separately; diagnostic
 /// state behind the lock is still worth reading).
 pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// One directed link endpoint: the queue of in-flight messages plus the
@@ -328,10 +328,8 @@ impl<T> Shared<T> {
         }
         let tick =
             (self.stall_timeout / 4).clamp(Duration::from_millis(10), Duration::from_secs(1));
-        let (guard, _) = self
-            .sleep_cv
-            .wait_timeout(clock, tick)
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let (guard, _) =
+            self.sleep_cv.wait_timeout(clock, tick).unwrap_or_else(PoisonError::into_inner);
         clock = guard;
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
         if self.is_done() {
@@ -399,7 +397,7 @@ pub(crate) struct VSlot<Fut, R> {
 /// suspend or finish, park the suspended ones.
 pub(crate) fn worker_loop<T, R, Fut, F>(
     w: usize,
-    shared: &std::sync::Arc<Shared<T>>,
+    shared: &cubesync::sync::Arc<Shared<T>>,
     slab: &[Mutex<VSlot<Fut, R>>],
     program: &F,
 ) where
@@ -419,7 +417,7 @@ pub(crate) fn worker_loop<T, R, Fut, F>(
             }
             let ctx = crate::runtime::NodeCtx::new(
                 cubeaddr::NodeId(node as u64),
-                std::sync::Arc::clone(shared),
+                cubesync::sync::Arc::clone(shared),
             );
             slot.fut = Some(Box::pin(program(ctx)));
             shared.note_spawned();

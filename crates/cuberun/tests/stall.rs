@@ -1,0 +1,72 @@
+//! End-to-end stall-detector coverage: a deliberately deadlocked node
+//! program must be *reported*, not hung on — and the report must name
+//! the parked nodes and the dimensions they are stuck on, because that
+//! is the part a user debugging a real deadlock reads first.
+
+use cuberun::{run_spmd, with_stall_timeout, with_workers};
+use std::time::Duration;
+
+/// Extracts the message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .expect("non-string panic payload")
+}
+
+/// Both nodes of a 1-cube receive on dim 0 and nobody ever sends: the
+/// canonical deadlock. The stall detector must fire within the (tight)
+/// timeout and its report must name both parked nodes and the dim.
+fn deadlocked_pair_reports_parked_nodes(workers: usize) {
+    let caught = std::panic::catch_unwind(|| {
+        with_workers(workers, || {
+            with_stall_timeout(Duration::from_millis(200), || {
+                run_spmd::<u64, u64, _, _>(1, |ctx| async move { ctx.recv(0).await })
+            })
+        })
+    });
+    let msg = panic_message(caught.expect_err("deadlocked program must not complete"));
+    assert!(msg.contains("SPMD scheduler stalled"), "{msg}");
+    assert!(msg.contains("0/2 node programs completed"), "{msg}");
+    assert!(msg.contains("2 waiting"), "{msg}");
+    assert!(msg.contains("node 0 on dim 0"), "{msg}");
+    assert!(msg.contains("node 1 on dim 0"), "{msg}");
+    assert!(msg.contains("deadlocked node program?"), "{msg}");
+}
+
+#[test]
+fn deadlocked_pair_is_reported_with_one_worker() {
+    deadlocked_pair_reports_parked_nodes(1);
+}
+
+#[test]
+fn deadlocked_pair_is_reported_with_two_workers() {
+    deadlocked_pair_reports_parked_nodes(2);
+}
+
+/// One-sided deadlock: node 1 sends and finishes, node 0 receives twice
+/// but only one message ever arrives. The report must show the partial
+/// completion and name only the stuck node.
+#[test]
+fn half_completed_run_names_only_the_stuck_node() {
+    let caught = std::panic::catch_unwind(|| {
+        with_workers(2, || {
+            with_stall_timeout(Duration::from_millis(200), || {
+                run_spmd::<u64, u64, _, _>(1, |ctx| async move {
+                    if ctx.id().bits() == 1 {
+                        ctx.send(0, 7);
+                        0
+                    } else {
+                        let first = ctx.recv(0).await;
+                        first + ctx.recv(0).await
+                    }
+                })
+            })
+        })
+    });
+    let msg = panic_message(caught.expect_err("deadlocked program must not complete"));
+    assert!(msg.contains("1/2 node programs completed"), "{msg}");
+    assert!(msg.contains("node 0 on dim 0"), "{msg}");
+    assert!(!msg.contains("node 1 on dim"), "{msg}");
+}

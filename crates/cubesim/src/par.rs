@@ -11,14 +11,21 @@
 //! sequential one whenever the per-item work is deterministic — the
 //! property the `fieldmap_equivalence` suite checks across thread counts.
 //!
-//! The worker count is `std::thread::available_parallelism`, overridable
-//! with the `CUBEBENCH_THREADS` environment variable (`1` forces the
-//! sequential path; useful for timing comparisons) or, scoped and
-//! thread-local, with [`with_threads`] (used by tests to pin a count
-//! without mutating the process environment).
+//! The worker count is `cubesync::thread::available_parallelism`,
+//! overridable with the `CUBEBENCH_THREADS` environment variable (`1`
+//! forces the sequential path; useful for timing comparisons) or,
+//! scoped and thread-local, with [`with_threads`] (used by tests to pin
+//! a count without mutating the process environment). A set but
+//! malformed `CUBEBENCH_THREADS` (garbage, empty, or `0`) panics with
+//! the offending value instead of silently falling back to one thread.
+//!
+//! All synchronization goes through the `cubesync` facade, so the
+//! [`ClaimCursor`] claim protocol and the scoped fan-out are
+//! model-checked by `crates/cubesync/tests/real_protocols.rs`.
 
+use cubesync::atomic::{AtomicUsize, Ordering};
+use cubesync::thread;
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 thread_local! {
     /// Worker-count override installed by [`with_threads`].
@@ -26,13 +33,26 @@ thread_local! {
 }
 
 /// Worker threads to use for sweeps and data-plane fan-out.
+///
+/// # Panics
+/// If `CUBEBENCH_THREADS` is set but not a positive integer — a silent
+/// one-thread fallback would quietly serialize a benchmark run.
 pub fn num_threads() -> usize {
     if let Some(t) = OVERRIDE.with(Cell::get) {
         return t;
     }
     match std::env::var("CUBEBENCH_THREADS") {
-        Ok(v) => v.parse().unwrap_or(1).max(1),
-        Err(_) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        Ok(v) => parse_thread_count("CUBEBENCH_THREADS", &v),
+        Err(_) => thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+/// Strict thread-count parsing for environment overrides: anything but
+/// a positive integer is a configuration error worth stopping for.
+fn parse_thread_count(var: &str, raw: &str) -> usize {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => panic!("{var} must be a positive integer thread count, got {raw:?}"),
     }
 }
 
@@ -106,7 +126,7 @@ pub fn par_map_with<T: Sync, R: Send>(
         return items.iter().map(&f).collect();
     }
     let cursor = ClaimCursor::new(items.len());
-    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
+    let mut tagged: Vec<(usize, R)> = thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 s.spawn(|| {
@@ -148,7 +168,7 @@ pub fn par_for_each_mut_with<T: Send>(
         return;
     }
     let chunk = items.len().div_ceil(threads);
-    std::thread::scope(|s| {
+    thread::scope(|s| {
         let handles: Vec<_> = items
             .chunks_mut(chunk)
             .enumerate()
@@ -225,7 +245,7 @@ mod tests {
     #[test]
     fn claim_cursor_hands_out_each_index_once() {
         let cursor = ClaimCursor::new(1000);
-        let claims: Vec<Vec<usize>> = std::thread::scope(|s| {
+        let claims: Vec<Vec<usize>> = thread::scope(|s| {
             let handles: Vec<_> = (0..4)
                 .map(|_| {
                     s.spawn(|| {
@@ -274,7 +294,7 @@ mod tests {
         let items: Vec<u64> = (0..16).collect();
         let out = par_map_with(4, &items, |&x| {
             if x < 4 {
-                std::thread::sleep(std::time::Duration::from_millis(10));
+                thread::sleep(std::time::Duration::from_millis(10));
             }
             x
         });
@@ -360,5 +380,32 @@ mod tests {
         let caught = std::panic::catch_unwind(|| with_threads(7, || panic!("boom")));
         assert!(caught.is_err());
         assert_eq!(num_threads(), ambient);
+    }
+
+    #[test]
+    fn thread_count_parses_positive_integers() {
+        assert_eq!(parse_thread_count("CUBEBENCH_THREADS", "1"), 1);
+        assert_eq!(parse_thread_count("CUBEBENCH_THREADS", "16"), 16);
+        assert_eq!(parse_thread_count("CUBEBENCH_THREADS", " 8 "), 8);
+    }
+
+    #[test]
+    #[should_panic(
+        expected = "CUBEBENCH_THREADS must be a positive integer thread count, got \"zweiundvierzig\""
+    )]
+    fn thread_count_rejects_garbage() {
+        parse_thread_count("CUBEBENCH_THREADS", "zweiundvierzig");
+    }
+
+    #[test]
+    #[should_panic(expected = "got \"0\"")]
+    fn thread_count_rejects_zero() {
+        parse_thread_count("CUBEBENCH_THREADS", "0");
+    }
+
+    #[test]
+    #[should_panic(expected = "got \"-3\"")]
+    fn thread_count_rejects_negatives() {
+        parse_thread_count("CUBEBENCH_THREADS", "-3");
     }
 }

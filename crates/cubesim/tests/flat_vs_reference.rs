@@ -150,7 +150,7 @@ fn params(ports: PortMode) -> MachineParams {
 }
 
 /// Extracts the panic message out of a `catch_unwind` payload.
-fn panic_msg(result: std::thread::Result<()>) -> Option<String> {
+fn panic_msg(result: Result<(), Box<dyn std::any::Any + Send>>) -> Option<String> {
     match result {
         Ok(()) => None,
         Err(e) => Some(match e.downcast::<String>() {

@@ -1,0 +1,192 @@
+//! Instrumented atomics for the model backend.
+//!
+//! Every access is a schedule point. The real `std` atomic performs the
+//! operation (after the point returns, while the caller still holds the
+//! baton, so no model thread can interleave), and the engine records the
+//! result in a per-location modification history. Under
+//! [`super::Config::weak_memory`], loads with an ordering weaker than
+//! `SeqCst` may then return stale values from that history; all
+//! read-modify-writes and `SeqCst` loads observe the newest value (as
+//! C11 requires of RMWs).
+//!
+//! `new` stays `const` (the repo keeps atomics in statics) by assigning
+//! the engine object id lazily through a `OnceLock`.
+
+use std::sync::atomic::Ordering;
+use std::sync::OnceLock;
+
+use super::engine::{current, next_object_id};
+
+macro_rules! model_atomic {
+    ($name:ident, $std:ty, $prim:ty, $from_u64:expr, $to_u64:expr) => {
+        pub struct $name {
+            id: OnceLock<u64>,
+            inner: $std,
+        }
+
+        impl $name {
+            pub const fn new(value: $prim) -> Self {
+                $name { id: OnceLock::new(), inner: <$std>::new(value) }
+            }
+
+            fn id(&self) -> u64 {
+                *self.id.get_or_init(next_object_id)
+            }
+
+            pub fn load(&self, order: Ordering) -> $prim {
+                let Some((engine, me)) = current() else { return self.inner.load(order) };
+                let id = self.id();
+                if !engine.atomic_point(me, id, "load") {
+                    return self.inner.load(order);
+                }
+                let newest = self.inner.load(order);
+                if matches!(order, Ordering::SeqCst) {
+                    engine.atomic_observe_latest(me, id, ($to_u64)(newest));
+                    newest
+                } else {
+                    ($from_u64)(engine.atomic_weak_read(me, id, ($to_u64)(newest)))
+                }
+            }
+
+            pub fn store(&self, value: $prim, order: Ordering) {
+                let Some((engine, me)) = current() else { return self.inner.store(value, order) };
+                let id = self.id();
+                if !engine.atomic_point(me, id, "store") {
+                    return self.inner.store(value, order);
+                }
+                let prev = self.inner.load(Ordering::SeqCst);
+                self.inner.store(value, order);
+                engine.atomic_record_write(me, id, ($to_u64)(prev), ($to_u64)(value));
+            }
+
+            pub fn swap(&self, value: $prim, order: Ordering) -> $prim {
+                let Some((engine, me)) = current() else { return self.inner.swap(value, order) };
+                let id = self.id();
+                if !engine.atomic_point(me, id, "swap") {
+                    return self.inner.swap(value, order);
+                }
+                let prev = self.inner.swap(value, order);
+                engine.atomic_record_write(me, id, ($to_u64)(prev), ($to_u64)(value));
+                prev
+            }
+
+            pub fn compare_exchange(
+                &self,
+                expected: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                let Some((engine, me)) = current() else {
+                    return self.inner.compare_exchange(expected, new, success, failure);
+                };
+                let id = self.id();
+                if !engine.atomic_point(me, id, "compare_exchange") {
+                    return self.inner.compare_exchange(expected, new, success, failure);
+                }
+                let result = self.inner.compare_exchange(expected, new, success, failure);
+                match result {
+                    Ok(prev) => engine.atomic_record_write(me, id, ($to_u64)(prev), ($to_u64)(new)),
+                    Err(prev) => engine.atomic_observe_latest(me, id, ($to_u64)(prev)),
+                }
+                result
+            }
+
+            pub fn get_mut(&mut self) -> &mut $prim {
+                self.inner.get_mut()
+            }
+
+            pub fn into_inner(self) -> $prim {
+                self.inner.into_inner()
+            }
+
+            /// Shared body of the `fetch_*` family: a schedule point,
+            /// the real RMW, then a history record of `prev -> new`.
+            fn rmw(
+                &self,
+                what: &'static str,
+                order: Ordering,
+                op: impl Fn(&$std, Ordering) -> $prim,
+                new_of: impl Fn($prim) -> $prim,
+            ) -> $prim {
+                let Some((engine, me)) = current() else { return op(&self.inner, order) };
+                let id = self.id();
+                if !engine.atomic_point(me, id, what) {
+                    return op(&self.inner, order);
+                }
+                let prev = op(&self.inner, order);
+                engine.atomic_record_write(me, id, ($to_u64)(prev), ($to_u64)(new_of(prev)));
+                prev
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(Default::default())
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                std::fmt::Debug::fmt(&self.inner, f)
+            }
+        }
+    };
+}
+
+macro_rules! model_atomic_int_ops {
+    ($name:ident, $std:ty, $prim:ty) => {
+        impl $name {
+            pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                self.rmw("fetch_add", order, |a, o| a.fetch_add(v, o), |p| p.wrapping_add(v))
+            }
+
+            pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                self.rmw("fetch_sub", order, |a, o| a.fetch_sub(v, o), |p| p.wrapping_sub(v))
+            }
+
+            pub fn fetch_max(&self, v: $prim, order: Ordering) -> $prim {
+                self.rmw("fetch_max", order, |a, o| a.fetch_max(v, o), |p| p.max(v))
+            }
+
+            pub fn fetch_min(&self, v: $prim, order: Ordering) -> $prim {
+                self.rmw("fetch_min", order, |a, o| a.fetch_min(v, o), |p| p.min(v))
+            }
+
+            pub fn fetch_or(&self, v: $prim, order: Ordering) -> $prim {
+                self.rmw("fetch_or", order, |a, o| a.fetch_or(v, o), |p| p | v)
+            }
+
+            pub fn fetch_and(&self, v: $prim, order: Ordering) -> $prim {
+                self.rmw("fetch_and", order, |a, o| a.fetch_and(v, o), |p| p & v)
+            }
+        }
+    };
+}
+
+model_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool, |v: u64| v != 0, |v: bool| v as u64);
+
+impl AtomicBool {
+    pub fn fetch_or(&self, v: bool, order: Ordering) -> bool {
+        self.rmw("fetch_or", order, |a, o| a.fetch_or(v, o), |p| p | v)
+    }
+
+    pub fn fetch_and(&self, v: bool, order: Ordering) -> bool {
+        self.rmw("fetch_and", order, |a, o| a.fetch_and(v, o), |p| p & v)
+    }
+}
+
+model_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32, |v: u64| v as u32, |v: u32| v as u64);
+model_atomic_int_ops!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+
+model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64, |v: u64| v, |v: u64| v);
+model_atomic_int_ops!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+
+model_atomic!(
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize,
+    |v: u64| v as usize,
+    |v: usize| v as u64
+);
+model_atomic_int_ops!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);

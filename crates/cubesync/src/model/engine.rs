@@ -1,0 +1,863 @@
+//! The deterministic scheduler and schedule explorer.
+//!
+//! One `Engine` lives per [`super::check_with`] call. Model threads are
+//! OS threads serialized by a baton: `st.active` names the only thread
+//! allowed to execute; everyone else waits on the engine condvar. Each
+//! visible operation calls [`Engine::sched`], which charges a step,
+//! records the event, consults the schedule for who runs next, and
+//! hands the baton over if the choice differs from the caller.
+//!
+//! Schedules are explored depth-first over the recorded choice points
+//! (only points with more than one option are recorded, so replay
+//! positions are stable across executions of a deterministic body).
+//! Backtracking bumps the deepest choice with an untried alternative
+//! and replays the prefix. Preemption bounding prunes at generation
+//! time: once the bound is spent, a runnable thread's schedule point
+//! offers no alternatives.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Panic payload used to tear model threads down once a failure is
+/// recorded or exploration is aborted; never shown to the user (the
+/// diagnostic travels via `EngineState::failure`). Raised with
+/// `resume_unwind` so the panic hook stays silent.
+pub(crate) struct Abort;
+
+/// Global id source for model sync objects (mutexes, condvars,
+/// atomics). Monotonic across the process; never reset — replay only
+/// depends on choice *positions*, not ids.
+static OBJECT_IDS: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn next_object_id() -> u64 {
+    OBJECT_IDS.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    /// The engine this OS thread is a model thread of, plus its model
+    /// thread id. `None` outside model executions: the facade types
+    /// fall back to plain `std` behavior.
+    static CURRENT: RefCell<Option<(Arc<Engine>, usize)>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn current() -> Option<(Arc<Engine>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(ctx: Option<(Arc<Engine>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// A visible operation, for event trails and diagnostics.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Op {
+    Lock(u64),
+    Unlock(u64),
+    CvWait { cv: u64 },
+    CvNotify { cv: u64, all: bool },
+    Atomic { id: u64, what: &'static str },
+    Yield,
+    Spawn { child: usize },
+    Join,
+    Exit,
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Op::Lock(m) => write!(f, "lock Mutex#{m}"),
+            Op::Unlock(m) => write!(f, "unlock Mutex#{m}"),
+            Op::CvWait { cv } => write!(f, "wait Condvar#{cv}"),
+            Op::CvNotify { cv, all: false } => write!(f, "notify_one Condvar#{cv}"),
+            Op::CvNotify { cv, all: true } => write!(f, "notify_all Condvar#{cv}"),
+            Op::Atomic { id, what } => write!(f, "{what} Atomic#{id}"),
+            Op::Yield => write!(f, "yield"),
+            Op::Spawn { child } => write!(f, "spawn T{child}"),
+            Op::Join => write!(f, "join"),
+            Op::Exit => write!(f, "exit"),
+        }
+    }
+}
+
+/// Why a model thread cannot run.
+#[derive(Clone, Debug)]
+enum Block {
+    Mutex(u64),
+    Condvar { cv: u64 },
+    Join(Vec<usize>),
+}
+
+#[derive(Clone, Debug)]
+enum Status {
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+struct ThreadState {
+    status: Status,
+}
+
+#[derive(Default)]
+struct MutexState {
+    owner: Option<usize>,
+    waiters: Vec<usize>,
+}
+
+#[derive(Default)]
+struct CvState {
+    /// Threads parked in a wait on this condvar (not yet notified).
+    waiters: Vec<usize>,
+}
+
+#[derive(Default)]
+struct AtomicState {
+    /// Modification order of the location (weak-memory mode only).
+    history: Vec<u64>,
+    /// Per-thread index of the oldest store the thread may still read.
+    obs: Vec<usize>,
+}
+
+/// One recorded multi-option choice.
+struct TracePoint {
+    options: usize,
+    chosen: usize,
+}
+
+pub(crate) struct EngineState {
+    threads: Vec<ThreadState>,
+    active: usize,
+    abort: bool,
+    failure: Option<String>,
+    /// True once every thread of the current execution finished.
+    all_done: bool,
+
+    // Schedule exploration.
+    trace: Vec<TracePoint>,
+    replay: Vec<usize>,
+    pos: usize,
+    preemptions: usize,
+    steps: u64,
+    rng: u64,
+    random_mode: bool,
+    random_left: usize,
+    exhausted: bool,
+
+    // Per-execution object state, keyed by global object id.
+    mutexes: HashMap<u64, MutexState>,
+    condvars: HashMap<u64, CvState>,
+    atomics: HashMap<u64, AtomicState>,
+    /// Open scope frames per thread: children spawned inside a
+    /// `thread::scope` body, joined at scope exit.
+    scopes: HashMap<usize, Vec<Vec<usize>>>,
+
+    /// Rolling event trail `(thread, op)` for diagnostics.
+    events: Vec<(usize, Op)>,
+}
+
+const EVENT_CAP: usize = 4096;
+const EVENT_SHOWN: usize = 60;
+
+impl EngineState {
+    fn runnable(&self) -> Vec<usize> {
+        (0..self.threads.len())
+            .filter(|&t| matches!(self.threads[t].status, Status::Runnable))
+            .collect()
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| matches!(t.status, Status::Finished))
+    }
+
+    fn note_event(&mut self, thread: usize, op: Op) {
+        if self.events.len() >= EVENT_CAP {
+            self.events.drain(..EVENT_CAP / 2);
+        }
+        self.events.push((thread, op));
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // SplitMix64: tiny, seedable, good enough to scatter schedules.
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn format_events(&self) -> String {
+        use std::fmt::Write;
+        let skipped = self.events.len().saturating_sub(EVENT_SHOWN);
+        let mut out = String::from("schedule event trail");
+        if skipped > 0 {
+            let _ = write!(out, " (last {EVENT_SHOWN} of {} events)", self.events.len());
+        }
+        out.push(':');
+        for (t, op) in self.events.iter().skip(skipped) {
+            let _ = write!(out, "\n  T{t}: {op}");
+        }
+        out
+    }
+
+    /// Formats the blocked threads for a deadlock report and classifies
+    /// the deadlock: if at least one thread is stuck in a condvar wait
+    /// and the rest are only joining (no mutex cycles), the signal that
+    /// would have woken it was lost (or never sent).
+    fn deadlock_report(&self) -> String {
+        use std::fmt::Write;
+        let mut saw_condvar = false;
+        let mut saw_mutex = false;
+        let mut detail = String::new();
+        for (t, th) in self.threads.iter().enumerate() {
+            let Status::Blocked(b) = &th.status else { continue };
+            if !detail.is_empty() {
+                detail.push_str(", ");
+            }
+            match b {
+                Block::Mutex(m) => {
+                    saw_mutex = true;
+                    let holder = self
+                        .mutexes
+                        .get(m)
+                        .and_then(|s| s.owner)
+                        .map_or("nobody".to_string(), |o| format!("T{o}"));
+                    let _ = write!(detail, "T{t} on Mutex#{m} (held by {holder})");
+                }
+                Block::Condvar { cv } => {
+                    saw_condvar = true;
+                    let _ = write!(detail, "T{t} in wait on Condvar#{cv}");
+                }
+                Block::Join(children) => {
+                    let _ = write!(detail, "T{t} joining {children:?}");
+                }
+            }
+        }
+        let kind = if saw_condvar && !saw_mutex {
+            "lost wakeup: a condvar wait no future signal can reach"
+        } else {
+            "deadlock: no thread can make progress"
+        };
+        format!("{kind} — {detail}\n{}", self.format_events())
+    }
+}
+
+pub(crate) struct Engine {
+    cfg: super::Config,
+    st: Mutex<EngineState>,
+    cv: Condvar,
+}
+
+impl Engine {
+    pub(crate) fn new(cfg: super::Config) -> Self {
+        let seed = cfg.seed;
+        Engine {
+            cfg,
+            st: Mutex::new(EngineState {
+                threads: Vec::new(),
+                active: 0,
+                abort: false,
+                failure: None,
+                all_done: false,
+                trace: Vec::new(),
+                replay: Vec::new(),
+                pos: 0,
+                preemptions: 0,
+                steps: 0,
+                rng: seed,
+                random_mode: false,
+                random_left: 0,
+                exhausted: false,
+                mutexes: HashMap::new(),
+                condvars: HashMap::new(),
+                atomics: HashMap::new(),
+                scopes: HashMap::new(),
+                events: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, EngineState> {
+        self.st.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    // ---- execution lifecycle (driver side) ----
+
+    /// Resets per-execution state; the caller's thread becomes model
+    /// thread 0 and holds the baton.
+    pub(crate) fn begin_execution(&self) {
+        let mut st = self.lock();
+        st.threads = vec![ThreadState { status: Status::Runnable }];
+        st.active = 0;
+        st.abort = false;
+        st.all_done = false;
+        st.trace.clear();
+        st.pos = 0;
+        st.preemptions = 0;
+        st.steps = 0;
+        st.mutexes.clear();
+        st.condvars.clear();
+        st.atomics.clear();
+        st.scopes.clear();
+        st.events.clear();
+    }
+
+    /// Thread 0's body returned: retire it, keep scheduling any
+    /// still-live threads, and wait for the execution to drain.
+    pub(crate) fn finish_root(&self) {
+        let st = self.lock();
+        let st = self.retire(st, 0);
+        self.wait_all_finished(st);
+    }
+
+    /// Thread 0's body panicked (either a real assertion failure on
+    /// this schedule, or an [`Abort`] from a recorded failure).
+    pub(crate) fn root_panicked(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut st = self.lock();
+        if payload.downcast_ref::<Abort>().is_none() && st.failure.is_none() {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".into());
+            st.failure = Some(format!("panic in model thread T0: {msg}\n{}", st.format_events()));
+        }
+        st.abort = true;
+        st.threads[0].status = Status::Finished;
+        self.cv.notify_all();
+        self.wait_all_finished(st);
+    }
+
+    fn wait_all_finished<'a>(&'a self, mut st: MutexGuard<'a, EngineState>) {
+        while !st.all_finished() {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        st.all_done = true;
+    }
+
+    pub(crate) fn failure(&self) -> Option<String> {
+        self.lock().failure.clone()
+    }
+
+    pub(crate) fn event_trail(&self) -> String {
+        self.lock().format_events()
+    }
+
+    pub(crate) fn exhausted(&self) -> bool {
+        self.lock().exhausted
+    }
+
+    /// Computes the next schedule; returns `false` when exploration is
+    /// over (search exhausted, or budgets spent).
+    pub(crate) fn advance(&self) -> bool {
+        let mut st = self.lock();
+        if st.random_mode {
+            if st.random_left == 0 {
+                return false;
+            }
+            st.random_left -= 1;
+            return true;
+        }
+        // Depth-first backtrack: bump the deepest choice with an
+        // untried alternative, replay everything above it.
+        while let Some(tp) = st.trace.last() {
+            if tp.chosen + 1 < tp.options {
+                break;
+            }
+            st.trace.pop();
+        }
+        match st.trace.last_mut() {
+            None => {
+                st.exhausted = true;
+                false
+            }
+            Some(tp) => {
+                tp.chosen += 1;
+                st.replay = st.trace.iter().map(|tp| tp.chosen).collect();
+                st.pos = 0;
+                true
+            }
+        }
+    }
+
+    /// Driver hook: called with the number of schedules executed so
+    /// far; flips to seeded-random sampling past the systematic budget.
+    pub(crate) fn note_budget(&self, schedules: usize) {
+        let mut st = self.lock();
+        if !st.random_mode && schedules >= self.cfg.max_schedules {
+            st.random_mode = true;
+            st.random_left = self.cfg.random_schedules;
+            st.replay.clear();
+        }
+    }
+
+    // ---- scheduling core (model-thread side) ----
+
+    /// Tears this thread down if the execution is aborting. Returns
+    /// `true` when the caller should fall back to raw (pass-through)
+    /// behavior because it is already unwinding.
+    fn abort_check<'a>(
+        &'a self,
+        st: MutexGuard<'a, EngineState>,
+    ) -> Option<MutexGuard<'a, EngineState>> {
+        if !st.abort {
+            return Some(st);
+        }
+        drop(st);
+        if std::thread::panicking() {
+            return None; // pass through: drop handlers during unwind
+        }
+        resume_unwind(Box::new(Abort));
+    }
+
+    /// Records a failure, aborts every thread, and unwinds the caller.
+    fn fail(&self, mut st: MutexGuard<'_, EngineState>, msg: String) -> ! {
+        if st.failure.is_none() {
+            let trail = st.format_events();
+            st.failure = Some(format!("{msg}\n{trail}"));
+        }
+        st.abort = true;
+        self.cv.notify_all();
+        drop(st);
+        resume_unwind(Box::new(Abort));
+    }
+
+    /// Picks an index among `options` choices: forced during replay,
+    /// random in sampling mode, `default` (then alternatives via
+    /// backtracking) during systematic search. Single-option points are
+    /// not recorded, keeping replay positions stable.
+    fn choose(
+        &self,
+        st: &mut EngineState,
+        options: usize,
+        default: usize,
+    ) -> Result<usize, String> {
+        if options <= 1 {
+            return Ok(0);
+        }
+        let chosen = if st.pos < st.replay.len() {
+            let c = st.replay[st.pos];
+            if c >= options {
+                return Err(format!(
+                    "replay diverged (choice {} of {options} options) — the checked body \
+                     is non-deterministic beyond scheduling",
+                    c
+                ));
+            }
+            c
+        } else if st.random_mode {
+            (st.next_rand() % options as u64) as usize
+        } else {
+            default
+        };
+        st.trace.push(TracePoint { options, chosen });
+        st.pos += 1;
+        Ok(chosen)
+    }
+
+    /// Waits until this thread holds the baton again.
+    fn wait_turn<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, EngineState>,
+        me: usize,
+    ) -> MutexGuard<'a, EngineState> {
+        loop {
+            if st.abort {
+                drop(st);
+                if std::thread::panicking() {
+                    // Unwinding already; let drop handlers finish.
+                    return self.lock();
+                }
+                resume_unwind(Box::new(Abort));
+            }
+            if st.active == me && matches!(st.threads[me].status, Status::Runnable) {
+                return st;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// The schedule point in front of every visible operation: charge a
+    /// step, record the event, let the schedule pick who runs next, and
+    /// hand the baton over if it is not the caller. Returns with the
+    /// engine lock held and the caller active — or `None` if the
+    /// execution is aborting and the caller is mid-unwind.
+    pub(crate) fn sched(&self, me: usize, op: Op) -> Option<MutexGuard<'_, EngineState>> {
+        let st = self.lock();
+        let mut st = self.abort_check(st)?;
+        debug_assert_eq!(st.active, me, "a non-active model thread reached a schedule point");
+        st.steps += 1;
+        st.note_event(me, op);
+        if st.steps > self.cfg.max_steps {
+            let msg = format!(
+                "step budget exceeded ({} visible operations) — possible livelock",
+                self.cfg.max_steps
+            );
+            self.fail(st, msg);
+        }
+        // Who runs next? The caller first (index 0) so the default
+        // schedule is depth-first "run until you block", alternatives
+        // are the preemptions.
+        let mut options: Vec<usize> = vec![me];
+        let under_bound = self.cfg.preemption_bound.is_none_or(|b| st.preemptions < b);
+        if under_bound {
+            options.extend(st.runnable().into_iter().filter(|&t| t != me));
+        }
+        let chosen = match self.choose(&mut st, options.len(), 0) {
+            Ok(c) => c,
+            Err(msg) => self.fail(st, msg),
+        };
+        let next = options[chosen];
+        if next != me {
+            st.preemptions += 1;
+            st.active = next;
+            self.cv.notify_all();
+            st = self.wait_turn(st, me);
+            if st.abort {
+                return None;
+            }
+        }
+        Some(st)
+    }
+
+    /// Blocks the caller for `reason` after handing the baton to some
+    /// runnable thread (deadlock if there is none); returns once a
+    /// waker made the caller runnable and the schedule picked it.
+    fn block_on<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, EngineState>,
+        me: usize,
+        reason: Block,
+    ) -> MutexGuard<'a, EngineState> {
+        st.threads[me].status = Status::Blocked(reason);
+        let runnable = st.runnable();
+        if runnable.is_empty() {
+            let msg = st.deadlock_report();
+            self.fail(st, msg);
+        }
+        let chosen = match self.choose(&mut st, runnable.len(), 0) {
+            Ok(c) => c,
+            Err(msg) => self.fail(st, msg),
+        };
+        st.active = runnable[chosen];
+        self.cv.notify_all();
+        self.wait_turn(st, me)
+    }
+
+    /// Marks `me` finished and passes the baton on. Never panics: the
+    /// caller is exiting and must unwind nothing. Failures (a deadlock
+    /// among the survivors) are recorded for the driver.
+    fn retire<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, EngineState>,
+        me: usize,
+    ) -> MutexGuard<'a, EngineState> {
+        st.note_event(me, Op::Exit);
+        st.threads[me].status = Status::Finished;
+        self.promote_joiners(&mut st);
+        let runnable = st.runnable();
+        if runnable.is_empty() {
+            if !st.all_finished() && !st.abort {
+                let msg = st.deadlock_report();
+                if st.failure.is_none() {
+                    st.failure = Some(msg);
+                }
+                st.abort = true;
+            }
+            self.cv.notify_all();
+            return st;
+        }
+        let chosen = match self.choose(&mut st, runnable.len(), 0) {
+            Ok(c) => c,
+            Err(msg) => {
+                if st.failure.is_none() {
+                    st.failure = Some(msg);
+                }
+                st.abort = true;
+                self.cv.notify_all();
+                return st;
+            }
+        };
+        st.active = runnable[chosen];
+        self.cv.notify_all();
+        st
+    }
+
+    /// Wakes any thread joining on children that have all finished.
+    fn promote_joiners(&self, st: &mut EngineState) {
+        let finished: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| matches!(st.threads[t].status, Status::Finished))
+            .collect();
+        for t in 0..st.threads.len() {
+            let unblocked = match &st.threads[t].status {
+                Status::Blocked(Block::Join(children)) => {
+                    children.iter().all(|c| finished.contains(c))
+                }
+                _ => false,
+            };
+            if unblocked {
+                st.threads[t].status = Status::Runnable;
+            }
+        }
+    }
+
+    // ---- thread operations ----
+
+    /// Registers a child thread (runnable immediately); called by the
+    /// parent at its spawn schedule point. `scoped` children are also
+    /// recorded in the parent's open scope frame for the implicit join
+    /// at scope exit.
+    pub(crate) fn register_child(&self, me: usize, scoped: bool) -> usize {
+        let child_hint = { self.lock().threads.len() };
+        let st = self.sched(me, Op::Spawn { child: child_hint });
+        let Some(mut st) = st else {
+            // Aborting mid-unwind: hand out a fresh id anyway so the
+            // spawned closure can retire itself cleanly.
+            let mut st = self.lock();
+            let id = st.threads.len();
+            st.threads.push(ThreadState { status: Status::Finished });
+            return id;
+        };
+        let id = st.threads.len();
+        st.threads.push(ThreadState { status: Status::Runnable });
+        if scoped {
+            if let Some(frame) = st.scopes.entry(me).or_default().last_mut() {
+                frame.push(id);
+            }
+        }
+        id
+    }
+
+    /// First call of a freshly spawned model thread: wait to be
+    /// scheduled for the first time.
+    pub(crate) fn wait_initial(&self, me: usize) {
+        let st = self.lock();
+        drop(self.wait_turn(st, me));
+    }
+
+    /// Final call of a model thread. `panic_msg` carries a *real* panic
+    /// (not an [`Abort`]) that should fail the check.
+    pub(crate) fn thread_exit(&self, me: usize, panic_msg: Option<String>) {
+        let mut st = self.lock();
+        if let Some(msg) = panic_msg {
+            if st.failure.is_none() {
+                let trail = st.format_events();
+                st.failure = Some(format!("panic in model thread T{me}: {msg}\n{trail}"));
+            }
+            st.abort = true;
+        }
+        let st = self.retire(st, me);
+        drop(st);
+    }
+
+    /// Blocks until every thread in `children` has finished.
+    pub(crate) fn join(&self, me: usize, children: &[usize]) {
+        loop {
+            let Some(st) = self.sched(me, Op::Join) else { return };
+            let pending: Vec<usize> = children
+                .iter()
+                .copied()
+                .filter(|&c| !matches!(st.threads[c].status, Status::Finished))
+                .collect();
+            if pending.is_empty() {
+                return;
+            }
+            drop(self.block_on(st, me, Block::Join(pending)));
+        }
+    }
+
+    pub(crate) fn yield_now(&self, me: usize) {
+        drop(self.sched(me, Op::Yield));
+    }
+
+    // ---- mutex operations ----
+
+    pub(crate) fn mutex_lock(&self, me: usize, id: u64) {
+        loop {
+            let Some(mut st) = self.sched(me, Op::Lock(id)) else { return };
+            let m = st.mutexes.entry(id).or_default();
+            if m.owner.is_none() {
+                m.owner = Some(me);
+                return;
+            }
+            if m.owner == Some(me) {
+                let msg = format!("T{me} re-locking Mutex#{id} it already holds (self-deadlock)");
+                self.fail(st, msg);
+            }
+            m.waiters.push(me);
+            drop(self.block_on(st, me, Block::Mutex(id)));
+        }
+    }
+
+    pub(crate) fn mutex_unlock(&self, me: usize, id: u64) {
+        let Some(mut st) = self.sched(me, Op::Unlock(id)) else { return };
+        Self::release_mutex(&mut st, me, id);
+    }
+
+    /// Releases ownership and makes every waiter runnable (they contend
+    /// again when scheduled — wake order is explored, not decided here).
+    fn release_mutex(st: &mut EngineState, me: usize, id: u64) {
+        let m = st.mutexes.entry(id).or_default();
+        debug_assert_eq!(m.owner, Some(me), "unlock of a mutex the thread does not hold");
+        m.owner = None;
+        let waiters = std::mem::take(&mut m.waiters);
+        for w in waiters {
+            st.threads[w].status = Status::Runnable;
+        }
+    }
+
+    // ---- condvar operations ----
+
+    /// Atomically releases `mutex` and parks on `cv`; re-acquires the
+    /// mutex before returning. The caller must have dropped the *real*
+    /// inner guard first (no other model thread can run in between —
+    /// the caller still holds the baton).
+    pub(crate) fn condvar_wait(&self, me: usize, cv: u64, mutex: u64) {
+        {
+            let Some(mut st) = self.sched(me, Op::CvWait { cv }) else { return };
+            Self::release_mutex(&mut st, me, mutex);
+            st.condvars.entry(cv).or_default().waiters.push(me);
+            drop(self.block_on(st, me, Block::Condvar { cv }));
+        }
+        self.mutex_lock(me, mutex);
+    }
+
+    /// Notifies one waiter (which one is an explored choice) or all.
+    pub(crate) fn condvar_notify(&self, me: usize, cv: u64, all: bool) {
+        let Some(mut st) = self.sched(me, Op::CvNotify { cv, all }) else { return };
+        let n = st.condvars.entry(cv).or_default().waiters.len();
+        if n == 0 {
+            return;
+        }
+        let waiters = if all {
+            std::mem::take(&mut st.condvars.get_mut(&cv).expect("entry above").waiters)
+        } else {
+            // Which waiter the signal reaches is an explored choice.
+            let chosen = match self.choose(&mut st, n, 0) {
+                Ok(c) => c,
+                Err(msg) => self.fail(st, msg),
+            };
+            vec![st.condvars.get_mut(&cv).expect("entry above").waiters.remove(chosen)]
+        };
+        for w in waiters {
+            st.threads[w].status = Status::Runnable;
+        }
+    }
+
+    // ---- atomic operations ----
+    //
+    // Split in two: `atomic_point` is the schedule point (other threads
+    // may run inside it); the wrapper then performs the *real* atomic
+    // operation while still holding the baton — no model thread can
+    // interleave between the point returning and the op — and finally
+    // records the result in the weak-memory history with one of the
+    // non-scheduling calls below.
+
+    /// The schedule point in front of an atomic access. Returns `false`
+    /// when the execution is aborting (callers fall through to the raw
+    /// operation so drop handlers can finish).
+    pub(crate) fn atomic_point(&self, me: usize, id: u64, what: &'static str) -> bool {
+        self.sched(me, Op::Atomic { id, what }).is_some()
+    }
+
+    fn with_atomic<R>(
+        st: &mut EngineState,
+        me: usize,
+        id: u64,
+        prev: u64,
+        f: impl FnOnce(&mut AtomicState, usize) -> R,
+    ) -> R {
+        let threads = st.threads.len();
+        let a = st.atomics.entry(id).or_default();
+        a.obs.resize(threads.max(a.obs.len()), 0);
+        if a.history.is_empty() {
+            a.history.push(prev);
+        }
+        f(a, me)
+    }
+
+    /// Records a store / read-modify-write: `new` joins the location's
+    /// modification history and the writer observes it (weak-memory
+    /// mode only; store *re*ordering is not modeled — see module docs).
+    pub(crate) fn atomic_record_write(&self, me: usize, id: u64, prev: u64, new: u64) {
+        if !self.cfg.weak_memory {
+            return;
+        }
+        let mut st = self.lock();
+        Self::with_atomic(&mut st, me, id, prev, |a, me| {
+            a.history.push(new);
+            a.obs[me] = a.history.len() - 1;
+        });
+    }
+
+    /// A `SeqCst` load (or the read half of any RMW): observes the
+    /// newest value.
+    pub(crate) fn atomic_observe_latest(&self, me: usize, id: u64, current: u64) {
+        if !self.cfg.weak_memory {
+            return;
+        }
+        let mut st = self.lock();
+        Self::with_atomic(&mut st, me, id, current, |a, me| {
+            a.obs[me] = a.history.len() - 1;
+        });
+    }
+
+    /// A load with an ordering weaker than `SeqCst` under weak-memory
+    /// exploration: returns any value of the location's history the
+    /// thread has not yet moved past — which one is an explored choice
+    /// (default = the newest, i.e. the sequentially consistent value,
+    /// so stale reads are reached via backtracking).
+    pub(crate) fn atomic_weak_read(&self, me: usize, id: u64, current: u64) -> u64 {
+        if !self.cfg.weak_memory {
+            return current;
+        }
+        let mut st = self.lock();
+        let (oldest, newest) =
+            Self::with_atomic(&mut st, me, id, current, |a, me| (a.obs[me], a.history.len() - 1));
+        let span = newest - oldest + 1;
+        let chosen = match self.choose(&mut st, span, 0) {
+            Ok(c) => c,
+            Err(msg) => self.fail(st, msg),
+        };
+        let idx = newest - chosen;
+        let a = st.atomics.get_mut(&id).expect("with_atomic created the entry");
+        a.obs[me] = idx;
+        a.history[idx]
+    }
+
+    // ---- scoped-thread bookkeeping ----
+
+    /// Opens a scope frame for `me`: children spawned through a
+    /// [`crate::model::thread::Scope`] are recorded in the top frame so
+    /// the scope exit can model-join them *before* `std`'s implicit
+    /// OS-level join (which would otherwise wait on threads that are
+    /// themselves waiting for the baton).
+    pub(crate) fn push_scope(&self, me: usize) {
+        self.lock().scopes.entry(me).or_default().push(Vec::new());
+    }
+
+    /// Closes `me`'s top scope frame, returning the children to join.
+    pub(crate) fn pop_scope(&self, me: usize) -> Vec<usize> {
+        let mut st = self.lock();
+        st.scopes.get_mut(&me).and_then(Vec::pop).unwrap_or_default()
+    }
+
+    /// Records a failure (for a real panic unwinding through a scope)
+    /// and aborts every thread so `std`'s implicit scope join can
+    /// complete while the panic propagates. No-op message for [`Abort`]
+    /// payloads (a failure is already recorded).
+    pub(crate) fn panic_abort(&self, me: usize, msg: Option<String>) {
+        let mut st = self.lock();
+        if let Some(msg) = msg {
+            if st.failure.is_none() {
+                let trail = st.format_events();
+                st.failure = Some(format!("panic in model thread T{me}: {msg}\n{trail}"));
+            }
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+}

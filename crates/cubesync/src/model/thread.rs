@@ -1,0 +1,194 @@
+//! Instrumented `spawn` / `scope` / `yield_now` / `sleep` for the model
+//! backend.
+//!
+//! Model threads are real OS threads, but a freshly spawned one does
+//! nothing until the engine schedules it for the first time (the baton
+//! serializes everything). Panics inside a child never escape the OS
+//! thread: a real assertion failure is recorded as the execution's
+//! failure, an `Abort` teardown is swallowed — either way the OS
+//! thread retires its model identity and exits cleanly, so `std`'s
+//! join (explicit or `scope`-implicit) always succeeds.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+use super::engine::{current, set_current, Abort, Engine};
+
+fn payload_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".into())
+}
+
+/// Body wrapper for every model child thread: wait to be scheduled,
+/// run, classify the outcome, retire. Returns `None` when the body
+/// panicked (real failure or abort teardown) — the joiner never sees
+/// it, because a real failure aborts the whole execution.
+fn run_child<T>(engine: Arc<Engine>, child: usize, f: impl FnOnce() -> T) -> Option<T> {
+    set_current(Some((Arc::clone(&engine), child)));
+    // `wait_initial` goes *inside* the catch: an execution aborting
+    // before this thread is ever scheduled unwinds out of it, and the
+    // thread must still retire below or the driver waits forever.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        engine.wait_initial(child);
+        f()
+    }));
+    let (ret, panic_msg) = match result {
+        Ok(value) => (Some(value), None),
+        Err(payload) if payload.downcast_ref::<Abort>().is_some() => (None, None),
+        Err(payload) => (None, Some(payload_msg(payload.as_ref()))),
+    };
+    engine.thread_exit(child, panic_msg);
+    set_current(None);
+    ret
+}
+
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<Option<T>>,
+    ctx: Option<(Arc<Engine>, usize)>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((engine, child)) = &self.ctx {
+            if let Some((_, me)) = current() {
+                // Model join first; the OS thread exits moments later,
+                // so the real join below never blocks the baton long.
+                engine.join(me, &[*child]);
+            }
+        }
+        self.inner
+            .join()
+            .map(|opt| opt.expect("model child retired without a result (aborting execution)"))
+    }
+
+    pub fn is_finished(&self) -> bool {
+        self.inner.is_finished()
+    }
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match current() {
+        Some((engine, me)) => {
+            let child = engine.register_child(me, false);
+            let engine2 = Arc::clone(&engine);
+            let inner = std::thread::spawn(move || run_child(engine2, child, f));
+            JoinHandle { inner, ctx: Some((engine, child)) }
+        }
+        None => JoinHandle { inner: std::thread::spawn(move || Some(f())), ctx: None },
+    }
+}
+
+/// Wrapper around [`std::thread::Scope`]; created only by [`scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, Option<T>>,
+    ctx: Option<(Arc<Engine>, usize)>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((engine, child)) = &self.ctx {
+            if let Some((_, me)) = current() {
+                engine.join(me, &[*child]);
+            }
+        }
+        self.inner
+            .join()
+            .map(|opt| opt.expect("model child retired without a result (aborting execution)"))
+    }
+
+    pub fn is_finished(&self) -> bool {
+        self.inner.is_finished()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        match current() {
+            Some((engine, me)) => {
+                let child = engine.register_child(me, true);
+                let engine2 = Arc::clone(&engine);
+                let inner = self.inner.spawn(move || run_child(engine2, child, f));
+                ScopedJoinHandle { inner, ctx: Some((engine, child)) }
+            }
+            None => ScopedJoinHandle { inner: self.inner.spawn(move || Some(f())), ctx: None },
+        }
+    }
+}
+
+/// Model-aware [`std::thread::scope`].
+///
+/// The signature differs from `std`'s in one way: the closure takes the
+/// scope by *any* (shorter) borrow rather than exactly `&'scope` —
+/// required because the wrapper `Scope` is a local of this function,
+/// not something with the full `'scope` lifetime. Call sites written
+/// against `std` (`scope(|s| { s.spawn(...); })`) compile unchanged.
+///
+/// Under the model, scope exit model-joins every child spawned through
+/// the wrapper *before* `std`'s implicit OS-level join — otherwise that
+/// join would wait on OS threads that are themselves waiting for the
+/// scheduling baton the exiting thread holds.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'a, 'scope> FnOnce(&'a Scope<'scope, 'env>) -> T,
+{
+    match current() {
+        Some((engine, me)) => {
+            engine.push_scope(me);
+            std::thread::scope(|s| {
+                let wrapper = Scope { inner: s };
+                match catch_unwind(AssertUnwindSafe(|| f(&wrapper))) {
+                    Ok(value) => {
+                        let children = engine.pop_scope(me);
+                        engine.join(me, &children);
+                        value
+                    }
+                    Err(payload) => {
+                        // Abort everything so std's implicit join can
+                        // complete while this panic propagates.
+                        let msg = if payload.downcast_ref::<Abort>().is_some() {
+                            None
+                        } else {
+                            Some(payload_msg(payload.as_ref()))
+                        };
+                        engine.panic_abort(me, msg);
+                        resume_unwind(payload)
+                    }
+                }
+            })
+        }
+        None => std::thread::scope(|s| f(&Scope { inner: s })),
+    }
+}
+
+pub fn yield_now() {
+    match current() {
+        Some((engine, me)) => engine.yield_now(me),
+        None => std::thread::yield_now(),
+    }
+}
+
+/// Under the model, sleeping is just yielding: the explorer owns time,
+/// and a protocol whose correctness needs a real delay is a bug the
+/// model should surface, not mask.
+pub fn sleep(dur: Duration) {
+    match current() {
+        Some((engine, me)) => engine.yield_now(me),
+        None => std::thread::sleep(dur),
+    }
+}

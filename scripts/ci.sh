@@ -50,6 +50,35 @@ if [ -n "$violations" ]; then
     false
 fi
 
+begin "lint policy: no raw std::sync / std::thread / crossbeam outside cubesync"
+# Every crate synchronizes through the cubesync facade so the model
+# checker can see (and exhaustively interleave) every visible operation.
+# A raw std::sync mutex or spawned thread is invisible to the explorer —
+# catch it at review time, not when a heisenbug ships. Allowlisted:
+# cubesync itself (the facade's two backends genuinely need the real
+# primitives) and the vendored shims.
+violations="$(grep -rln -E 'std::sync|std::thread|crossbeam' \
+    --include='*.rs' crates src tests examples 2>/dev/null \
+    | grep -v '^crates/cubesync/' || true)"
+if [ -n "$violations" ]; then
+    echo "FAIL: files bypass the cubesync facade with raw sync/thread primitives:" >&2
+    echo "$violations" >&2
+    false
+fi
+
+begin "model-check: exhaustive interleaving of the real concurrency protocols (time-bounded)"
+# Rebuilds the facade's dependents against the model backend and
+# enumerates schedules of cubesim::par, the cuberun scheduler, and the
+# plan cache. The bound is generous — the suite runs in seconds — and
+# exists to turn an exploration blow-up into a failure, not a hang.
+timeout 300 env RUSTFLAGS="--cfg cubesync_model" \
+    cargo test -q -p cubesync --test real_protocols
+
+begin "model-check: seeded-mutation detection suite"
+# The checker's own coverage gate: five historical concurrency bugs
+# re-introduced into protocol miniatures must each be *caught*.
+timeout 300 cargo test -q -p cubesync --test mutations
+
 begin "cubecheck: static invariants of the figure schedules"
 cargo run --release -q -p cubecheck -- --all-figures
 
